@@ -1,0 +1,138 @@
+// Ablation studies for the design choices called out in DESIGN.md (these
+// go beyond the paper's own figures):
+//   A. Cell-architecture contrast (Section 1 motivation): the same netlist
+//      routed as conventional-12T vs ClosedM1 vs OpenM1.
+//   B. Flip pass on/off (Algorithm 1 runs moves and flips as separate
+//      serial DistOpt passes).
+//   C. Window shifting on/off (Algorithm 1 line 9: boundary cells).
+//   D. Timing-criticality beta_n (the paper's future-work item (ii)).
+#include "bench_util.h"
+
+#include "core/greedy_aligner.h"
+#include "route/router.h"
+
+using namespace vm1;
+using namespace vm1::benchutil;
+
+namespace {
+
+void ablation_arch(double scale) {
+  std::printf("\n--- A. architecture contrast (same netlist seed) ---\n");
+  Table t({"arch", "#dM1", "M1WL", "via12", "RWL", "DRV"});
+  for (CellArch arch : {CellArch::kConventional12T, CellArch::kClosedM1,
+                        CellArch::kOpenM1}) {
+    FlowOptions f = paper_flow("tiny", arch, 1200, scale);
+    f.router.max_iterations = 3;
+    Design d = prepare_design(f, nullptr);
+    RouteMetrics m = Router(d, f.router).route();
+    t.add_row({to_string(arch), fmt(m.num_dm1, 0), fmt(m.m1_wl_dbu(), 0),
+               fmt(m.via12, 0), fmt(m.rwl_dbu, 0), fmt(m.drv, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("expected: conventional has dM1=0 (M1 rails); ClosedM1/OpenM1"
+              " exploit inter-row M1.\n");
+}
+
+void ablation_flip_and_shift(double scale) {
+  std::printf("\n--- B/C. flip pass and window shifting ---\n");
+  Table t({"config", "alignments", "HPWL", "obj"});
+  struct Cfg {
+    const char* name;
+    bool flip;
+    bool shift;
+  };
+  for (const Cfg& cfg : {Cfg{"full (flip+shift)", true, true},
+                         Cfg{"no flip pass", false, true},
+                         Cfg{"no window shift", true, false},
+                         Cfg{"neither", false, false}}) {
+    FlowOptions f = paper_flow("tiny", CellArch::kClosedM1, 1200, scale);
+    Design d = prepare_design(f, nullptr);
+    VM1OptOptions v = f.vm1;
+    v.flip_pass = cfg.flip;
+    v.shift_windows = cfg.shift;
+    VM1OptStats s = vm1opt(d, v);
+    t.add_row({cfg.name, fmt(s.final.alignments, 0), fmt(s.final.hpwl, 0),
+               fmt(s.final.value, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("expected: the full configuration reaches the best (lowest) "
+              "objective.\n");
+}
+
+void ablation_greedy_vs_milp(double scale) {
+  std::printf("\n--- E. greedy aligner vs window MILP ---\n");
+  Table t({"optimizer", "alignments", "HPWL", "#dM1", "RWL", "sec"});
+  FlowOptions base = paper_flow("tiny", CellArch::kClosedM1, 1200, scale);
+  Design d0 = prepare_design(base, nullptr);
+  std::vector<Placement> snap = d0.placements();
+  {
+    RouteMetrics m = Router(d0, base.router).route();
+    ObjectiveBreakdown o = evaluate_objective(d0, base.vm1.params);
+    t.add_row({"none (baseline)", fmt(o.alignments, 0), fmt(o.hpwl, 0),
+               fmt(m.num_dm1, 0), fmt(m.rwl_dbu, 0), "0"});
+  }
+  {
+    Design d = design_from_snapshot(base, snap);
+    GreedyAlignOptions g;
+    g.params = base.vm1.params;
+    GreedyAlignStats s = greedy_align(d, g);
+    RouteMetrics m = Router(d, base.router).route();
+    t.add_row({"greedy (single-cell)", fmt(s.alignments_after, 0),
+               fmt(s.hpwl_after, 0), fmt(m.num_dm1, 0), fmt(m.rwl_dbu, 0),
+               fmt(s.seconds, 1)});
+  }
+  {
+    Design d = design_from_snapshot(base, snap);
+    VM1OptStats s = vm1opt(d, base.vm1);
+    RouteMetrics m = Router(d, base.router).route();
+    t.add_row({"window MILP (paper)", fmt(s.final.alignments, 0),
+               fmt(s.final.hpwl, 0), fmt(m.num_dm1, 0), fmt(m.rwl_dbu, 0),
+               fmt(s.seconds, 1)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("expected: the MILP finds more alignments than single-cell "
+              "greedy (joint moves), at higher runtime.\n");
+}
+
+void ablation_timing_beta(double scale) {
+  std::printf("\n--- D. timing-criticality beta_n (future work (ii)) ---\n");
+  Table t({"config", "WNS", "RWL", "alignments"});
+  for (bool use_crit : {false, true}) {
+    FlowOptions f = paper_flow("tiny", CellArch::kClosedM1, 1200, scale);
+    Design d = prepare_design(f, nullptr);
+    Router r0(d, f.router);
+    r0.route();
+    std::vector<long> lengths(d.netlist().num_nets(), 0);
+    for (int n = 0; n < d.netlist().num_nets(); ++n) {
+      lengths[n] = r0.net_length_dbu(n);
+    }
+    StaOptions so;
+    so.net_lengths = lengths;
+    double period = run_sta(d, so).max_delay;
+
+    VM1OptOptions v = f.vm1;
+    if (use_crit) {
+      v.params.net_beta = timing_criticality_weights(d, lengths, 4.0);
+    }
+    VM1OptStats s = vm1opt(d, v);
+    QoR q = measure(d, f.router, v.params, period);
+    t.add_row({use_crit ? "beta_n = criticality" : "beta_n = 1",
+               fmt(q.sta.wns, 2), fmt(q.route.rwl_dbu, 0),
+               fmt(s.final.alignments, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("expected: criticality weights protect timing (WNS no worse) "
+              "at a small alignment cost.\n");
+}
+
+}  // namespace
+
+int main() {
+  double scale = env_scale(1.0);
+  std::printf("OpenVM1 ablations (scale=%.2f)\n", scale);
+  ablation_arch(scale);
+  ablation_flip_and_shift(scale);
+  ablation_greedy_vs_milp(scale);
+  ablation_timing_beta(scale);
+  return 0;
+}

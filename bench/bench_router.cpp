@@ -1,0 +1,52 @@
+// Infrastructure micro-benchmarks: placement + routing throughput per
+// architecture (google-benchmark harness).
+#include <benchmark/benchmark.h>
+
+#include "core/flow.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+#include "route/router.h"
+
+namespace {
+
+using namespace vm1;
+
+Design placed(CellArch arch, double scale) {
+  DesignOptions opts;
+  opts.scale = scale;
+  Design d = make_design("tiny", arch, opts);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+void BM_RouteTiny(benchmark::State& state) {
+  CellArch arch = static_cast<CellArch>(state.range(0));
+  Design d = placed(arch, 1.0);
+  for (auto _ : state) {
+    Router router(d);
+    RouteMetrics m = router.route();
+    benchmark::DoNotOptimize(m.rwl_dbu);
+    state.counters["dM1"] = static_cast<double>(m.num_dm1);
+    state.counters["RWL"] = static_cast<double>(m.rwl_dbu);
+  }
+  state.SetLabel(to_string(arch));
+}
+BENCHMARK(BM_RouteTiny)
+    ->Arg(static_cast<int>(CellArch::kClosedM1))
+    ->Arg(static_cast<int>(CellArch::kOpenM1))
+    ->Arg(static_cast<int>(CellArch::kConventional12T))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlaceAndLegalize(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    Design d = placed(CellArch::kClosedM1, scale);
+    benchmark::DoNotOptimize(d.placement(0).x);
+  }
+}
+BENCHMARK(BM_PlaceAndLegalize)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Infrastructure micro-benchmarks: simplex LP and branch-and-bound MILP
+// throughput on window-MILP-shaped instances (google-benchmark harness).
+#include <benchmark/benchmark.h>
+
+#include "milp/branch_and_bound.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vm1;
+
+/// Assignment-like LP with `cells` cells x `cands` candidates plus
+/// exclusivity rows — the LP relaxation shape of a window MILP.
+lp::Problem make_assignment_lp(int cells, int cands, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::Problem p;
+  std::vector<std::vector<int>> vars(cells);
+  for (int c = 0; c < cells; ++c) {
+    for (int k = 0; k < cands; ++k) {
+      vars[c].push_back(
+          p.add_variable(0, 1, static_cast<double>(rng.uniform(100))));
+    }
+  }
+  for (int c = 0; c < cells; ++c) {
+    std::vector<std::pair<int, double>> row;
+    for (int v : vars[c]) row.emplace_back(v, 1.0);
+    p.add_constraint(row, lp::Sense::kEq, 1);
+  }
+  // Random exclusivity rows couple the cells like shared sites.
+  for (int r = 0; r < cells * 2; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int c = 0; c < cells; ++c) {
+      row.emplace_back(vars[c][rng.uniform(cands)], 1.0);
+    }
+    p.add_constraint(row, lp::Sense::kLe, 1);
+  }
+  return p;
+}
+
+void BM_SimplexAssignment(benchmark::State& state) {
+  int cells = static_cast<int>(state.range(0));
+  int cands = static_cast<int>(state.range(1));
+  lp::Problem p = make_assignment_lp(cells, cands, 42);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    lp::Result r = solver.solve(p);
+    benchmark::DoNotOptimize(r.objective);
+  }
+  state.SetLabel(std::to_string(p.num_variables()) + " vars, " +
+                 std::to_string(p.num_constraints()) + " rows");
+}
+BENCHMARK(BM_SimplexAssignment)
+    ->Args({5, 10})
+    ->Args({10, 20})
+    ->Args({15, 40})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  milp::Model m;
+  std::vector<std::pair<int, double>> cap;
+  for (int i = 0; i < n; ++i) {
+    int x = m.add_binary(-(1.0 + static_cast<double>(rng.uniform(20))));
+    cap.emplace_back(x, 1.0 + static_cast<double>(rng.uniform(8)));
+  }
+  m.add_constraint(cap, lp::Sense::kLe, 2.5 * n);
+  milp::BranchAndBound::Options opts;
+  opts.max_nodes = 5000;
+  milp::BranchAndBound bnb(opts);
+  for (auto _ : state) {
+    milp::MipResult r = bnb.solve(m);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)
+    ->Arg(12)
+    ->Arg(20)
+    ->Arg(28)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

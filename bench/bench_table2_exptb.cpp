@@ -1,0 +1,63 @@
+// Reproduces Table 2 (ExptB-1 and ExptB-2): the full detailed-placement
+// optimization on four designs in both the ClosedM1 and OpenM1
+// architectures, reporting #dM1, M1 WL, #via12, HPWL, RWL, WNS, power and
+// runtime, init vs final.
+//
+// Expected shape (paper): ClosedM1 dM1 up ~4-5x, RWL down up to ~6%,
+// via12 down up to ~14%; OpenM1 dM1 up ~60%, RWL down up to ~2%.
+#include "bench_util.h"
+
+using namespace vm1;
+using namespace vm1::benchutil;
+
+namespace {
+
+void run_arch(CellArch arch, double alpha_nm, double scale) {
+  std::printf("\n=== %s-based designs (alpha = %.0f nm-units) ===\n",
+              to_string(arch), alpha_nm);
+  Table t({"design", "#inst", "util", "dM1 i", "dM1 f", "(d%)", "M1WL i",
+           "M1WL f", "(d%)", "via12 i", "via12 f", "(d%)", "HPWL i",
+           "HPWL f", "(d%)", "RWL i", "RWL f", "(d%)", "WNS i", "WNS f",
+           "pwr i", "pwr f", "(d%)", "sec"});
+  for (const char* design : {"m0", "aes", "jpeg", "vga"}) {
+    FlowOptions f = paper_flow(design, arch, alpha_nm, scale);
+    std::optional<Design> d;
+    FlowResult r = run_flow(f, &d);
+    const QoR& a = r.init;
+    const QoR& b = r.final;
+    t.add_row({design,
+               std::to_string(d->netlist().num_instances()),
+               "75%",
+               fmt(a.route.num_dm1, 0), fmt(b.route.num_dm1, 0),
+               fmt_delta(a.route.num_dm1, b.route.num_dm1),
+               fmt(a.route.m1_wl_dbu(), 0), fmt(b.route.m1_wl_dbu(), 0),
+               fmt_delta(a.route.m1_wl_dbu(), b.route.m1_wl_dbu()),
+               fmt(a.route.via12, 0), fmt(b.route.via12, 0),
+               fmt_delta(a.route.via12, b.route.via12),
+               fmt(a.hpwl, 0), fmt(b.hpwl, 0),
+               fmt_delta(a.hpwl, b.hpwl),
+               fmt(a.route.rwl_dbu, 0), fmt(b.route.rwl_dbu, 0),
+               fmt_delta(a.route.rwl_dbu, b.route.rwl_dbu),
+               fmt(a.sta.wns, 3), fmt(b.sta.wns, 3),
+               fmt(a.power.total_mw(), 2), fmt(b.power.total_mw(), 2),
+               fmt_delta(a.power.total_mw(), b.power.total_mw()),
+               fmt(r.opt.seconds, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  double scale = env_scale(0.25);
+  std::printf("Table 2 reproduction (scale=%.2f; set OPENVM1_SCALE to "
+              "grow toward paper-size designs)\n", scale);
+  run_arch(CellArch::kClosedM1, 1200, scale);
+  run_arch(CellArch::kOpenM1, 1000, scale);
+  std::printf(
+      "\npaper reference: ClosedM1 dM1 +400..460%%, M1WL -0.5..-27%%, "
+      "via12 -5.7..-14.4%%, RWL -1.1..-6.4%%;\n"
+      "OpenM1 dM1 +47..70%%, via12 -1.7..-4.1%%, RWL -0.8..-2.2%%; "
+      "WNS ~0, power -0.1..-0.9%%.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Shared helpers for the paper-reproduction bench binaries.
+///
+/// Environment knobs (all optional):
+///   OPENVM1_SCALE    design-size multiplier (default from each bench)
+///   OPENVM1_THREADS  worker threads for DistOpt (default 2)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/flow.h"
+#include "io/report.h"
+#include "util/stats.h"
+
+namespace vm1::benchutil {
+
+inline double env_scale(double fallback) {
+  const char* s = std::getenv("OPENVM1_SCALE");
+  return s ? std::atof(s) : fallback;
+}
+
+inline unsigned env_threads() {
+  const char* s = std::getenv("OPENVM1_THREADS");
+  return s ? static_cast<unsigned>(std::atoi(s)) : 2u;
+}
+
+/// The paper's preferred operating point: U = {(20, 4, 1)}, theta = 1%.
+inline VM1OptOptions paper_vm1_options(double alpha_nm, CellArch arch) {
+  VM1OptOptions v;
+  v.params.alpha = paper_alpha(alpha_nm);
+  v.params.epsilon = arch == CellArch::kOpenM1 ? 2.0 : 0.0;
+  v.sequence = {ParamSet{20, 0, 4, 1}};
+  v.threads = env_threads();
+  v.max_inner_iters = 2;
+  return v;
+}
+
+inline FlowOptions paper_flow(const std::string& design, CellArch arch,
+                              double alpha_nm, double scale,
+                              double util = 0.75) {
+  FlowOptions f;
+  f.design_name = design;
+  f.arch = arch;
+  f.design.scale = scale;
+  f.design.utilization = util;
+  f.vm1 = paper_vm1_options(alpha_nm, arch);
+  return f;
+}
+
+/// Rebuilds the same design (same seeds) and restores a placement
+/// snapshot — cheap per-configuration reset for sweep benches.
+inline Design design_from_snapshot(const FlowOptions& base,
+                                   const std::vector<Placement>& snap) {
+  Design d = make_design(base.design_name, base.arch, base.design);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    d.set_placement(static_cast<int>(i), snap[i]);
+  }
+  return d;
+}
+
+}  // namespace vm1::benchutil

@@ -1,0 +1,83 @@
+// Full ClosedM1 flow on an aes-class design, step by step, printing one
+// Table-2-style row at the end. Demonstrates using the library's stages
+// individually rather than through run_flow().
+#include <cstdio>
+
+#include "core/dist_opt.h"
+#include "core/vm1opt.h"
+#include "design/legality.h"
+#include "io/def_io.h"
+#include "io/lef_writer.h"
+#include "io/report.h"
+#include "place/detailed_placer.h"
+#include "place/global_placer.h"
+#include "place/hpwl.h"
+#include "place/legalizer.h"
+#include "route/metrics.h"
+#include "route/router.h"
+#include "timing/power.h"
+#include "timing/sta.h"
+#include "util/stats.h"
+
+using namespace vm1;
+
+int main(int argc, char** argv) {
+  const char* design_name = argc > 1 ? argv[1] : "aes";
+
+  // 1. Library + netlist + floorplan (stand-in for synthesis & init).
+  DesignOptions dopts;
+  dopts.utilization = 0.75;
+  Design d = make_design(design_name, CellArch::kClosedM1, dopts);
+  std::printf("design %s: %d instances, %d nets, %d rows x %d sites\n",
+              d.name().c_str(), d.netlist().num_instances(),
+              d.netlist().num_nets(), d.num_rows(), d.sites_per_row());
+
+  // Optionally dump the library for inspection.
+  write_lef_file("/tmp/openvm1_closedm1.lef", d.tech(), d.library());
+
+  // 2. Place.
+  global_place(d);
+  legalize(d);
+  detailed_place(d);
+  if (!is_legal(d)) {
+    std::fprintf(stderr, "placement is not legal!\n");
+    return 1;
+  }
+  std::printf("placed: HPWL = %lld dbu\n",
+              static_cast<long long>(total_hpwl(d)));
+
+  // 3. Initial routing (the "post-routed placement" the paper starts from).
+  RouterOptions ropts;
+  Router init_router(d, ropts);
+  RouteMetrics init = init_router.route();
+  std::printf("initial route: %s\n", summarize(init).c_str());
+
+  // 4. Vertical-M1-aware detailed placement (the paper's contribution).
+  VM1OptOptions vopts;
+  vopts.params.alpha = paper_alpha(1200);  // ExptB ClosedM1 setting
+  vopts.sequence = {ParamSet{20, 0, 4, 1}};
+  VM1OptStats stats = vm1opt(d, vopts);
+  std::printf("vm1opt: obj %.0f -> %.0f (%d iterations, %.1fs)\n",
+              stats.initial.value, stats.final.value,
+              stats.outer_iterations, stats.seconds);
+
+  // 5. Re-route and compare.
+  Router final_router(d, ropts);
+  RouteMetrics fin = final_router.route();
+  std::printf("final route:   %s\n", summarize(fin).c_str());
+
+  // Checkpoint the optimized placement.
+  write_def_file("/tmp/openvm1_closedm1_opt.def", d);
+
+  Table t({"metric", "init", "final", "delta%"});
+  auto add = [&](const char* name, double a, double b) {
+    t.add_row({name, fmt(a, 0), fmt(b, 0), fmt_delta(a, b)});
+  };
+  add("#dM1", init.num_dm1, fin.num_dm1);
+  add("M1 WL", init.m1_wl_dbu(), fin.m1_wl_dbu());
+  add("#via12", init.via12, fin.via12);
+  add("RWL", init.rwl_dbu, fin.rwl_dbu);
+  add("#DRV", init.drv, fin.drv);
+  std::printf("\n%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "core/dist_opt.h"
+
+#include <atomic>
+#include <memory>
+
+#include "core/window.h"
+#include "util/logging.h"
+
+namespace vm1 {
+
+DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
+                      ThreadPool* pool) {
+  Timer timer;
+  DistOptStats stats;
+
+  WindowGrid grid = partition_windows(d, opts.tx, opts.ty, opts.bw, opts.bh);
+  std::vector<std::vector<int>> batches = diagonal_batches(grid);
+
+  for (const std::vector<int>& batch : batches) {
+    // Build phase (serial): snapshot-consistent MILPs for this batch.
+    struct Job {
+      BuiltMilp built;
+      std::vector<double> warm;
+      milp::MipResult result;
+    };
+    std::vector<std::unique_ptr<Job>> jobs;
+    for (int widx : batch) {
+      if (grid.movable[widx].empty()) continue;
+      WindowProblem wp;
+      wp.design = &d;
+      wp.window = grid.windows[widx];
+      wp.movable = grid.movable[widx];
+      wp.lx = opts.lx;
+      wp.ly = opts.ly;
+      wp.allow_move = opts.allow_move;
+      wp.allow_flip = opts.allow_flip;
+      wp.params = opts.params;
+      auto job = std::make_unique<Job>();
+      job->built = build_window_milp(wp);
+      if (job->built.empty()) continue;
+      job->warm = job->built.warm_start(d);
+      jobs.push_back(std::move(job));
+      ++stats.windows;
+    }
+
+    // Solve phase (parallel): models are self-contained; the design is
+    // read-only until the apply phase below.
+    auto solve_one = [&](std::size_t j) {
+      Job& job = *jobs[j];
+      milp::BranchAndBound bnb(opts.mip);
+      job.result =
+          bnb.solve(job.built.model, job.built.make_heuristic(), &job.warm);
+    };
+    if (pool && jobs.size() > 1) {
+      pool->parallel_for(jobs.size(), solve_one);
+    } else {
+      for (std::size_t j = 0; j < jobs.size(); ++j) solve_one(j);
+    }
+
+    // Apply phase (serial): windows in a batch touch disjoint cells.
+    for (const auto& job : jobs) {
+      stats.total_nodes += job->result.nodes_explored;
+      stats.total_lp_iters += job->result.lp_iterations;
+      if (job->result.x.empty()) continue;
+      ++stats.windows_solved;
+      double warm_obj = job->built.model.objective_value(job->warm);
+      if (job->result.objective < warm_obj - 1e-9) {
+        ++stats.windows_improved;
+      }
+      job->built.apply(d, job->result.x);
+    }
+  }
+
+  stats.objective = evaluate_objective(d, opts.params).value;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace vm1

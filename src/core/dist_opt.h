@@ -1,0 +1,45 @@
+/// \file dist_opt.h
+/// DistOpt (Algorithm 2): distributable window-based optimization.
+///
+/// Partitions the layout into (bw x bh) windows offset by (tx, ty), walks
+/// the ~sqrt(|W|) diagonal batches, and inside each batch builds and solves
+/// every window's MILP in parallel, applying the solutions afterward. Each
+/// window's branch-and-bound is warm-started with the current placement, so
+/// a window's local objective never degrades.
+#pragma once
+
+#include "core/milp_builder.h"
+#include "milp/branch_and_bound.h"
+#include "util/thread_pool.h"
+
+namespace vm1 {
+
+struct DistOptOptions {
+  int bw = 20;  ///< window width in sites
+  int bh = 3;   ///< window height in rows
+  int tx = 0;   ///< horizontal window offset (sites)
+  int ty = 0;   ///< vertical window offset (rows)
+  int lx = 4;   ///< max x displacement (sites)
+  int ly = 1;   ///< max row displacement
+  bool allow_move = true;  ///< f=0 pass: perturb positions
+  bool allow_flip = true;  ///< f=1 pass: flip orientations
+  VM1Params params;
+  milp::BranchAndBound::Options mip;
+};
+
+struct DistOptStats {
+  int windows = 0;          ///< windows with at least one movable cell
+  int windows_solved = 0;   ///< windows whose MILP produced a solution
+  int windows_improved = 0; ///< windows whose solution changed placements
+  long total_nodes = 0;     ///< branch-and-bound nodes across windows
+  long total_lp_iters = 0;
+  double objective = 0;     ///< full-design objective after this DistOpt
+  double seconds = 0;
+};
+
+/// Runs one DistOpt pass over the whole design. `pool` may be null
+/// (sequential solving).
+DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
+                      ThreadPool* pool);
+
+}  // namespace vm1

@@ -1,0 +1,66 @@
+/// \file flow.h
+/// End-to-end reference flow: generate -> place -> route -> VM1Opt ->
+/// re-route -> report. This is the programmatic equivalent of the paper's
+/// commercial-tool flow (Design Compiler + Innovus) around the optimizer.
+#pragma once
+
+#include <optional>
+
+#include "core/vm1opt.h"
+#include "design/design.h"
+#include "place/detailed_placer.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+#include "route/router.h"
+#include "timing/power.h"
+#include "timing/sta.h"
+
+namespace vm1 {
+
+struct FlowOptions {
+  std::string design_name = "aes";
+  CellArch arch = CellArch::kClosedM1;
+  DesignOptions design;
+  GlobalPlaceOptions gp;
+  DetailedPlaceOptions dp;
+  RouterOptions router;
+  VM1OptOptions vm1;
+  bool run_vm1 = true;  ///< false = baseline flow only
+  /// Run one alpha=0 (pure wirelength) window-MILP pass as part of the
+  /// *baseline* placement. This emulates a commercial-strength detailed
+  /// placer, so that subsequent alpha>0 runs measure the alignment/HPWL
+  /// trade-off rather than leftover wirelength slack. Used by the
+  /// alpha-sensitivity study (Figure 6).
+  bool polish_baseline = false;
+};
+
+/// Snapshot of the quality metrics at one point of the flow.
+struct QoR {
+  Coord hpwl = 0;
+  RouteMetrics route;
+  StaResult sta;
+  PowerResult power;
+  ObjectiveBreakdown objective;
+};
+
+struct FlowResult {
+  QoR init;   ///< after initial place & route
+  QoR final;  ///< after VM1Opt + re-route (== init when run_vm1 is false)
+  VM1OptStats opt;
+  double place_seconds = 0;
+};
+
+/// Builds the design and runs initial placement + routing.
+/// The returned Design is ready for vm1opt().
+Design prepare_design(const FlowOptions& opts, double* place_seconds);
+
+/// Measures HPWL / routing / timing / power at the current placement.
+QoR measure(const Design& d, const RouterOptions& ropts,
+            const VM1Params& params, double clock_period = 0);
+
+/// Full flow. The design is constructed internally; pass `out_design` to
+/// keep the optimized design for further experiments.
+FlowResult run_flow(const FlowOptions& opts,
+                    std::optional<Design>* out_design = nullptr);
+
+}  // namespace vm1

@@ -1,0 +1,106 @@
+#include "core/greedy_aligner.h"
+
+#include <algorithm>
+
+#include "design/legality.h"
+#include "place/hpwl.h"
+#include "util/logging.h"
+
+namespace vm1 {
+namespace {
+
+/// Local objective of instance `inst`'s nets under the current placement.
+double local_objective(const Design& d, const std::vector<int>& nets,
+                       const VM1Params& params, bool open) {
+  double obj = 0;
+  for (int n : nets) {
+    obj += params.beta_of(n) * static_cast<double>(net_hpwl(d, n));
+    auto [cnt, ovl] = count_net_alignments(d, n, params);
+    obj -= params.alpha * static_cast<double>(cnt);
+    if (open) obj -= params.epsilon * ovl;
+  }
+  return obj;
+}
+
+}  // namespace
+
+GreedyAlignStats greedy_align(Design& d, const GreedyAlignOptions& opts) {
+  Timer timer;
+  GreedyAlignStats stats;
+  const Netlist& nl = d.netlist();
+  const bool open = d.library().arch() == CellArch::kOpenM1;
+
+  ObjectiveBreakdown before = evaluate_objective(d, opts.params);
+  stats.alignments_before = before.alignments;
+  stats.hpwl_before = before.hpwl;
+
+  auto grid = occupancy_grid(d);
+  auto free_span = [&](int row, int x, int w, int self) {
+    if (x < 0 || x + w > d.sites_per_row() || row < 0 ||
+        row >= d.num_rows()) {
+      return false;
+    }
+    for (int s = x; s < x + w; ++s) {
+      int occ = grid[row][s];
+      if (occ >= 0 && occ != self) return false;
+    }
+    return true;
+  };
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    int accepted = 0;
+    for (int i = 0; i < nl.num_instances(); ++i) {
+      const Cell& c = nl.cell_of(i);
+      if (c.filler || c.pins.empty()) continue;
+      std::vector<int> nets = nets_of_instance(d, i);
+      if (nets.empty()) continue;
+
+      const Placement orig = d.placement(i);
+      double base = local_objective(d, nets, opts.params, open);
+      Placement best = orig;
+      double best_gain = 1e-9;
+
+      for (int dr = -opts.ly; dr <= opts.ly; ++dr) {
+        for (int dx = -opts.lx; dx <= opts.lx; ++dx) {
+          for (bool flip : {false, true}) {
+            if (!opts.allow_flip && flip != orig.flipped) continue;
+            Placement cand{orig.x + dx, orig.row + dr,
+                           opts.allow_flip ? flip : orig.flipped};
+            if (cand == orig) continue;
+            if (!free_span(cand.row, cand.x, c.width_sites, i)) continue;
+            d.set_placement(i, cand);
+            double gain = base - local_objective(d, nets, opts.params, open);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best = cand;
+            }
+          }
+        }
+      }
+      d.set_placement(i, orig);
+
+      if (!(best == orig)) {
+        // Commit: update occupancy.
+        for (int s = orig.x; s < orig.x + c.width_sites; ++s) {
+          grid[orig.row][s] = -1;
+        }
+        d.set_placement(i, best);
+        for (int s = best.x; s < best.x + c.width_sites; ++s) {
+          grid[best.row][s] = i;
+        }
+        ++accepted;
+        if (best.x != orig.x || best.row != orig.row) ++stats.moves;
+        if (best.flipped != orig.flipped) ++stats.flips;
+      }
+    }
+    if (accepted == 0) break;
+  }
+
+  ObjectiveBreakdown after = evaluate_objective(d, opts.params);
+  stats.alignments_after = after.alignments;
+  stats.hpwl_after = after.hpwl;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace vm1

@@ -1,0 +1,40 @@
+/// \file greedy_aligner.h
+/// Greedy baseline for vertical-M1-aware detailed placement.
+///
+/// The paper argues that alignment requires *joint* optimization over a
+/// window (MILP), because aligning one pair perturbs neighbours and nets
+/// interact. This module implements the natural greedy alternative — visit
+/// alignment opportunities in order of cheapest HPWL cost and realize each
+/// by sliding/flipping a single cell if the sites are free — so benches can
+/// quantify the MILP's advantage (see bench_ablation).
+#pragma once
+
+#include "core/milp_builder.h"
+
+namespace vm1 {
+
+struct GreedyAlignOptions {
+  VM1Params params;
+  int lx = 4;  ///< max slide distance (sites)
+  int ly = 0;  ///< greedy moves stay in-row (row moves need legalization
+               ///< context a single-cell greedy cannot see)
+  bool allow_flip = true;
+  int max_passes = 3;
+};
+
+struct GreedyAlignStats {
+  int moves = 0;
+  int flips = 0;
+  long alignments_before = 0;
+  long alignments_after = 0;
+  double hpwl_before = 0;
+  double hpwl_after = 0;
+  double seconds = 0;
+};
+
+/// Runs the greedy alignment heuristic in place. Preserves legality.
+/// Accepts a move/flip only when the local objective
+/// (beta * dHPWL - alpha * d#alignments [- epsilon * d_overlap]) improves.
+GreedyAlignStats greedy_align(Design& d, const GreedyAlignOptions& opts);
+
+}  // namespace vm1

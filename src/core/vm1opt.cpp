@@ -1,0 +1,73 @@
+#include "core/vm1opt.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vm1 {
+
+VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
+  Timer timer;
+  VM1OptStats stats;
+  stats.initial = evaluate_objective(d, opts.params);
+  stats.objective_trajectory.push_back(stats.initial.value);
+
+  ThreadPool pool(opts.threads);
+  int tx = 0, ty = 0;
+  double obj = stats.initial.value;
+
+  for (const ParamSet& u : opts.sequence) {
+    double delta_obj = std::numeric_limits<double>::infinity();
+    int inner = 0;
+    while (delta_obj >= opts.theta && inner < opts.max_inner_iters) {
+      double pre_obj = obj;
+
+      DistOptOptions move_pass;
+      move_pass.bw = u.bw;
+      move_pass.bh = u.rows();
+      move_pass.tx = tx;
+      move_pass.ty = ty;
+      move_pass.lx = u.lx;
+      move_pass.ly = u.ly;
+      move_pass.allow_move = true;
+      move_pass.allow_flip = false;
+      move_pass.params = opts.params;
+      move_pass.mip = opts.mip;
+      DistOptStats ms = dist_opt(d, move_pass, &pool);
+      stats.windows += ms.windows;
+      stats.milp_nodes += ms.total_nodes;
+      obj = ms.objective;
+
+      if (opts.flip_pass) {
+        DistOptOptions flip_pass = move_pass;
+        flip_pass.lx = 0;
+        flip_pass.ly = 0;
+        flip_pass.allow_move = false;
+        flip_pass.allow_flip = true;
+        DistOptStats fs = dist_opt(d, flip_pass, &pool);
+        stats.windows += fs.windows;
+        stats.milp_nodes += fs.total_nodes;
+        obj = fs.objective;
+      }
+
+      // Shift windows so last iteration's boundary cells become movable.
+      if (opts.shift_windows) {
+        tx += u.bw / 2;
+        ty += std::max(1, u.rows() / 2);
+      }
+
+      ++stats.outer_iterations;
+      ++inner;
+      stats.objective_trajectory.push_back(obj);
+      delta_obj = (pre_obj - obj) / std::max(1.0, std::abs(pre_obj));
+      log_debug("vm1opt: u=(", u.bw, ",", u.lx, ",", u.ly, ") iter ", inner,
+                " obj ", pre_obj, " -> ", obj);
+    }
+  }
+
+  stats.final = evaluate_objective(d, opts.params);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace vm1

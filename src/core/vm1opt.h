@@ -1,0 +1,67 @@
+/// \file vm1opt.h
+/// VM1Opt (Algorithm 1): the metaheuristic outer loop of the vertical-M1
+/// routing-aware detailed placement optimization.
+///
+/// For each parameter set u = (bw, bh, lx, ly) in the sequence U, iterate:
+///   1. DistOpt with moves enabled, flips disabled (f = 0);
+///   2. DistOpt with flips enabled, moves disabled (f = 1, lx = ly = 0);
+///   3. shift the window offsets (tx, ty) so boundary cells that straddled
+///      windows become movable next iteration;
+/// until the normalized objective improvement falls below theta (1%).
+#pragma once
+
+#include "core/dist_opt.h"
+
+namespace vm1 {
+
+/// One entry of the input parameter-set queue U.
+struct ParamSet {
+  int bw = 20;  ///< window width (sites) — also sets bh when bh == 0
+  int bh = 0;   ///< window height in rows (0 = derive as max(2, 3*bw/20))
+  int lx = 4;
+  int ly = 1;
+
+  int rows() const { return bh > 0 ? bh : std::max(2, 3 * bw / 20); }
+};
+
+struct VM1OptOptions {
+  VM1Params params;
+  std::vector<ParamSet> sequence = {ParamSet{20, 0, 4, 1}};
+  double theta = 0.01;      ///< convergence threshold (paper: 1%)
+  int max_inner_iters = 4;  ///< safety bound per parameter set
+  bool flip_pass = true;    ///< run the f=1 DistOpt of Algorithm 1
+  /// Shift window offsets (tx, ty) between iterations so boundary cells
+  /// become movable (Algorithm 1 line 9). Disable only for ablations.
+  bool shift_windows = true;
+  unsigned threads = 0;     ///< 0 = hardware concurrency
+  milp::BranchAndBound::Options mip = default_mip();
+
+  static milp::BranchAndBound::Options default_mip() {
+    milp::BranchAndBound::Options o;
+    o.max_nodes = 60;
+    o.time_limit_sec = 1.5;
+    // Window objectives are quantized in ~0.02 steps (beta * integer HPWL
+    // plus alpha multiples); proving optimality tighter than that only
+    // burns nodes.
+    o.gap_tol = 0.02;
+    // One runaway LP (huge windows in the Figure-5 sweep) must not stall a
+    // whole batch: truncate and fall back to the incumbent.
+    o.lp_options.time_limit_sec = 0.75;
+    return o;
+  }
+};
+
+struct VM1OptStats {
+  ObjectiveBreakdown initial;
+  ObjectiveBreakdown final;
+  int outer_iterations = 0;  ///< total DistOpt pairs executed
+  int windows = 0;
+  long milp_nodes = 0;
+  double seconds = 0;
+  std::vector<double> objective_trajectory;
+};
+
+/// Runs the full optimization on the design in place.
+VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts);
+
+}  // namespace vm1

@@ -1,0 +1,77 @@
+#include "core/window.h"
+
+#include <algorithm>
+
+namespace vm1 {
+
+WindowGrid partition_windows(const Design& d, int tx, int ty, int bw,
+                             int bh) {
+  WindowGrid grid;
+  const int sites = d.sites_per_row();
+  const int rows = d.num_rows();
+  bw = std::max(1, bw);
+  bh = std::max(1, bh);
+  // Normalize offsets into [-(bw-1), 0] so window 0 starts at or before 0.
+  tx = -(((tx % bw) + bw) % bw);
+  ty = -(((ty % bh) + bh) % bh);
+
+  grid.grid_x = (sites - tx + bw - 1) / bw;
+  grid.grid_y = (rows - ty + bh - 1) / bh;
+
+  for (int wy = 0; wy < grid.grid_y; ++wy) {
+    for (int wx = 0; wx < grid.grid_x; ++wx) {
+      Window w;
+      w.x0 = std::max(0, tx + wx * bw);
+      w.x1 = std::min(sites, tx + (wx + 1) * bw);
+      w.row0 = std::max(0, ty + wy * bh);
+      w.row1 = std::min(rows - 1, ty + (wy + 1) * bh - 1);
+      grid.windows.push_back(w);
+    }
+  }
+  grid.movable.resize(grid.windows.size());
+
+  const Netlist& nl = d.netlist();
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d.placement(i);
+    const Cell& c = nl.cell_of(i);
+    if (c.filler) continue;
+    int wx = (p.x - tx) / bw;
+    int wy = (p.row - ty) / bh;
+    if (wx < 0 || wx >= grid.grid_x || wy < 0 || wy >= grid.grid_y) continue;
+    std::size_t idx = static_cast<std::size_t>(wy) * grid.grid_x + wx;
+    if (grid.windows[idx].contains_footprint(p.x, p.row, c.width_sites)) {
+      grid.movable[idx].push_back(i);
+    }
+  }
+  return grid;
+}
+
+std::vector<std::vector<int>> diagonal_batches(const WindowGrid& grid) {
+  std::vector<std::vector<int>> batches;
+  const int gx = grid.grid_x;
+  const int gy = grid.grid_y;
+  if (gx <= 0 || gy <= 0) return batches;
+
+  // Wrapped diagonals over the larger dimension: every batch takes at most
+  // one window per column and one per row.
+  if (gx <= gy) {
+    batches.resize(gy);
+    for (int k = 0; k < gy; ++k) {
+      for (int i = 0; i < gx; ++i) {
+        int wy = (i + k) % gy;
+        batches[k].push_back(wy * gx + i);
+      }
+    }
+  } else {
+    batches.resize(gx);
+    for (int k = 0; k < gx; ++k) {
+      for (int j = 0; j < gy; ++j) {
+        int wx = (j + k) % gx;
+        batches[k].push_back(j * gx + wx);
+      }
+    }
+  }
+  return batches;
+}
+
+}  // namespace vm1

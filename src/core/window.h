@@ -1,0 +1,37 @@
+/// \file window.h
+/// Layout partitioning into windows and diagonal batch selection
+/// (Section 4.1 of the paper).
+///
+/// Windows tile the core on a (bw x bh) grid offset by (tx, ty). A cell is
+/// *movable* in a window when its footprint lies fully inside; boundary-
+/// straddling cells stay fixed and are captured by shifting (tx, ty) in a
+/// later outer iteration. Batches group windows whose x- and y-projections
+/// are pairwise disjoint (wrapped diagonals), so per-window HPWL deltas add
+/// up exactly (Figure 4(b)) and the batch can be solved in parallel;
+/// there are max(grid_x, grid_y) ~ sqrt(|W|) batches.
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace vm1 {
+
+struct WindowGrid {
+  std::vector<Window> windows;
+  std::vector<std::vector<int>> movable;  ///< per window: movable insts
+  int grid_x = 0;  ///< number of window columns
+  int grid_y = 0;  ///< number of window rows
+};
+
+/// Partitions the core into bw-site x bh-row windows with offset (tx, ty)
+/// (in sites / rows), assigning each instance to the window that fully
+/// contains it.
+WindowGrid partition_windows(const Design& d, int tx, int ty, int bw,
+                             int bh);
+
+/// Returns batches of window indices with pairwise-disjoint x and y
+/// projections covering every window exactly once.
+std::vector<std::vector<int>> diagonal_batches(const WindowGrid& grid);
+
+}  // namespace vm1

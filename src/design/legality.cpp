@@ -1,0 +1,52 @@
+#include "design/legality.h"
+
+namespace vm1 {
+
+std::vector<LegalityViolation> check_legality(const Design& d) {
+  std::vector<LegalityViolation> out;
+  const Netlist& nl = d.netlist();
+  std::vector<std::vector<int>> grid(
+      d.num_rows(), std::vector<int>(d.sites_per_row(), -1));
+
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d.placement(i);
+    const Cell& c = nl.cell_of(i);
+    if (p.row < 0 || p.row >= d.num_rows()) {
+      out.push_back({i, "row out of range"});
+      continue;
+    }
+    if (p.x < 0 || p.x + c.width_sites > d.sites_per_row()) {
+      out.push_back({i, "x out of range"});
+      continue;
+    }
+    for (int s = p.x; s < p.x + c.width_sites; ++s) {
+      if (grid[p.row][s] >= 0) {
+        out.push_back({i, "overlaps instance " +
+                              nl.instance(grid[p.row][s]).name});
+        break;
+      }
+      grid[p.row][s] = i;
+    }
+  }
+  return out;
+}
+
+bool is_legal(const Design& d) { return check_legality(d).empty(); }
+
+std::vector<std::vector<int>> occupancy_grid(const Design& d) {
+  const Netlist& nl = d.netlist();
+  std::vector<std::vector<int>> grid(
+      d.num_rows(), std::vector<int>(d.sites_per_row(), -1));
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d.placement(i);
+    const Cell& c = nl.cell_of(i);
+    if (p.row < 0 || p.row >= d.num_rows()) continue;
+    for (int s = std::max(0, p.x);
+         s < std::min(d.sites_per_row(), p.x + c.width_sites); ++s) {
+      if (grid[p.row][s] < 0) grid[p.row][s] = i;
+    }
+  }
+  return grid;
+}
+
+}  // namespace vm1

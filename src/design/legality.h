@@ -1,0 +1,29 @@
+/// \file legality.h
+/// Placement legality checking: in-core, on-site, non-overlapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/design.h"
+
+namespace vm1 {
+
+/// One legality violation, human readable.
+struct LegalityViolation {
+  int inst = -1;
+  std::string what;
+};
+
+/// Checks every instance: inside the core, and no two cells share a site.
+std::vector<LegalityViolation> check_legality(const Design& d);
+
+/// Convenience: true when check_legality(d) is empty.
+bool is_legal(const Design& d);
+
+/// Per-(row, site) occupancy grid: value = instance id or -1.
+/// Multi-site cells occupy a run of sites. Overlaps keep the first writer;
+/// use check_legality to detect them.
+std::vector<std::vector<int>> occupancy_grid(const Design& d);
+
+}  // namespace vm1

@@ -1,0 +1,94 @@
+#include "io/def_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace vm1 {
+
+std::string write_def(const Design& d) {
+  const Netlist& nl = d.netlist();
+  std::ostringstream os;
+  os << "VERSION 5.7 ;\nDESIGN " << d.name() << " ;\n";
+  Rect core = d.core();
+  os << "DIEAREA ( " << core.lx << " " << core.ly << " ) ( " << core.hx
+     << " " << core.hy << " ) ;\n";
+  os << "ROWS " << d.num_rows() << " SITES " << d.sites_per_row() << " ;\n";
+  os << "COMPONENTS " << nl.num_instances() << " ;\n";
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d.placement(i);
+    os << "- " << nl.instance(i).name << " " << nl.cell_of(i).name
+       << " + PLACED ( " << p.x << " " << p.row << " ) "
+       << (p.flipped ? "FS" : "N") << " ;\n";
+  }
+  os << "END COMPONENTS\n";
+  os << "PINS " << nl.num_ios() << " ;\n";
+  for (int io = 0; io < nl.num_ios(); ++io) {
+    const Point& pos = d.io_position(io);
+    os << "- " << nl.io(io).name << " + "
+       << (nl.io(io).is_input ? "INPUT" : "OUTPUT") << " ( " << pos.x << " "
+       << pos.y << " ) ;\n";
+  }
+  os << "END PINS\nEND DESIGN\n";
+  return os.str();
+}
+
+bool write_def_file(const std::string& path, const Design& d) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_def(d);
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> read_def_placement(const std::string& text,
+                                            Design& d) {
+  std::vector<std::string> problems;
+  const Netlist& nl = d.netlist();
+  std::unordered_map<std::string, int> by_name;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    by_name[nl.instance(i).name] = i;
+  }
+
+  std::istringstream in(text);
+  std::string line;
+  bool in_components = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "COMPONENTS") {
+      in_components = true;
+      continue;
+    }
+    if (tok == "END") {
+      std::string what;
+      ls >> what;
+      if (what == "COMPONENTS") in_components = false;
+      continue;
+    }
+    if (!in_components || tok != "-") continue;
+    std::string name, master, plus, placed, open;
+    int x = 0, row = 0;
+    std::string close, orient;
+    ls >> name >> master >> plus >> placed >> open >> x >> row >> close >>
+        orient;
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      problems.push_back("unknown instance " + name);
+      continue;
+    }
+    d.set_placement(it->second, Placement{x, row, orient == "FS"});
+  }
+  return problems;
+}
+
+std::vector<std::string> read_def_placement_file(const std::string& path,
+                                                 Design& d) {
+  std::ifstream in(path);
+  if (!in) return {"cannot open " + path};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return read_def_placement(ss.str(), d);
+}
+
+}  // namespace vm1

@@ -1,0 +1,28 @@
+/// \file def_io.h
+/// DEF-like placement save/restore.
+///
+/// The writer emits a DEF-flavoured text file with DIEAREA, COMPONENTS
+/// (name, master, x, row, orientation) and PINS. The reader restores the
+/// *placement* into an existing Design whose netlist matches by instance
+/// name — the use case is checkpointing a flow between stages.
+#pragma once
+
+#include <string>
+
+#include "design/design.h"
+
+namespace vm1 {
+
+/// Renders the design's floorplan + placement.
+std::string write_def(const Design& d);
+bool write_def_file(const std::string& path, const Design& d);
+
+/// Applies the placements recorded in DEF-like text to `d`. Instances are
+/// matched by name; unknown names are reported in the returned list
+/// (empty = clean load).
+std::vector<std::string> read_def_placement(const std::string& text,
+                                            Design& d);
+std::vector<std::string> read_def_placement_file(const std::string& path,
+                                                 Design& d);
+
+}  // namespace vm1

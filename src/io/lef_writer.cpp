@@ -1,0 +1,48 @@
+#include "io/lef_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vm1 {
+
+std::string write_lef(const Tech& tech, const Library& lib) {
+  std::ostringstream os;
+  os << "VERSION 5.7 ;\n";
+  os << "# OpenVM1 synthetic " << to_string(lib.arch()) << " library\n";
+  os << "UNITS\n  DATABASE SITES 1 ;\nEND UNITS\n\n";
+  os << "SITE core\n  SIZE 1 BY " << tech.row_height() << " ;\nEND core\n\n";
+  for (const Layer& l : tech.layers()) {
+    os << "LAYER " << l.name << "\n  TYPE ROUTING ;\n  DIRECTION "
+       << (l.dir == Dir::kVertical ? "VERTICAL" : "HORIZONTAL")
+       << " ;\n  PITCH " << l.pitch << " ;\nEND " << l.name << "\n\n";
+  }
+  for (const Cell& c : lib.cells()) {
+    os << "MACRO " << c.name << "\n";
+    os << "  CLASS " << (c.filler ? "CORE SPACER" : "CORE") << " ;\n";
+    os << "  SIZE " << c.width_sites << " BY " << tech.row_height()
+       << " ;\n";
+    for (const PinInfo& p : c.pins) {
+      os << "  PIN " << p.name << "\n    DIRECTION "
+         << (p.dir == PinDir::kInput ? "INPUT" : "OUTPUT") << " ;\n";
+      for (const PinShape& s : p.shapes) {
+        os << "    PORT LAYER "
+           << tech.layer(s.layer).name << " RECT " << s.box.lx << " "
+           << s.box.ly << " " << s.box.hx << " " << s.box.hy << " ;\n";
+      }
+      os << "  END " << p.name << "\n";
+    }
+    os << "END " << c.name << "\n\n";
+  }
+  os << "END LIBRARY\n";
+  return os.str();
+}
+
+bool write_lef_file(const std::string& path, const Tech& tech,
+                    const Library& lib) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_lef(tech, lib);
+  return static_cast<bool>(out);
+}
+
+}  // namespace vm1

@@ -1,0 +1,18 @@
+/// \file lef_writer.h
+/// LEF-like text dump of a technology + library (debugging / inspection).
+#pragma once
+
+#include <string>
+
+#include "cells/cell.h"
+
+namespace vm1 {
+
+/// Renders the library in a LEF-flavoured plain-text format.
+std::string write_lef(const Tech& tech, const Library& lib);
+
+/// Convenience: write to a file. Returns false on IO failure.
+bool write_lef_file(const std::string& path, const Tech& tech,
+                    const Library& lib);
+
+}  // namespace vm1

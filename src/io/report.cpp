@@ -1,0 +1,34 @@
+#include "io/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vm1 {
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      std::string v = c < cells.size() ? cells[c] : "";
+      os << std::string(width[c] - v.size(), ' ') << v;
+      os << (c + 1 == width.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace vm1

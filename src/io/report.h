@@ -1,0 +1,29 @@
+/// \file report.h
+/// Fixed-width table printing used by benches and examples to render the
+/// paper's tables/figure series on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vm1 {
+
+/// A simple left-padded table: set headers once, add rows of strings.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column auto-sizing and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vm1

@@ -1,0 +1,448 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace vm1::lp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kUnbounded:
+      return "unbounded";
+    case Status::kIterLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+int Problem::add_variable(double lo, double hi, double cost,
+                          std::string name) {
+  assert(std::isfinite(lo));
+  assert(lo <= hi);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  cost_.push_back(cost);
+  names_.push_back(std::move(name));
+  return static_cast<int>(lo_.size()) - 1;
+}
+
+void Problem::add_constraint(std::vector<std::pair<int, double>> terms,
+                             Sense sense, double rhs) {
+  for ([[maybe_unused]] const auto& [v, a] : terms) {
+    assert(v >= 0 && v < num_variables());
+  }
+  rows_.push_back(Constraint{std::move(terms), sense, rhs});
+}
+
+void Problem::set_bounds(int v, double lo, double hi) {
+  assert(lo <= hi);
+  lo_[v] = lo;
+  hi_[v] = hi;
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  double z = 0;
+  for (int v = 0; v < num_variables(); ++v) z += cost_[v] * x[v];
+  return z;
+}
+
+double Problem::max_violation(const std::vector<double>& x) const {
+  double worst = 0;
+  for (int v = 0; v < num_variables(); ++v) {
+    worst = std::max(worst, lo_[v] - x[v]);
+    if (std::isfinite(hi_[v])) worst = std::max(worst, x[v] - hi_[v]);
+  }
+  for (const auto& row : rows_) {
+    double lhs = 0;
+    for (const auto& [v, a] : row.terms) lhs += a * x[v];
+    switch (row.sense) {
+      case Sense::kLe:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case Sense::kGe:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case Sense::kEq:
+        worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+/// Internal dense tableau state for the bounded-variable simplex.
+///
+/// The problem is normalized to `A x = b, 0 <= x <= u` (variables shifted by
+/// their lower bounds, >= rows negated, one slack per row, artificials added
+/// for rows whose slack-basis start is infeasible).
+class Tableau {
+ public:
+  Tableau(const Problem& p, const SimplexSolver::Options& opts)
+      : opts_(opts), n_struct_(p.num_variables()), m_(p.num_constraints()) {
+    build(p);
+  }
+
+  Result run(const Problem& p);
+
+ private:
+  enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper };
+
+  double& tab(int i, int j) { return tab_[static_cast<std::size_t>(i) * ncols_ + j]; }
+
+  void build(const Problem& p);
+  // Runs simplex iterations on the current cost row. Returns status.
+  Status iterate(bool phase1);
+  void compute_zrow();
+  int choose_entering(bool bland) const;
+  void pivot(int row, int col);
+
+  SimplexSolver::Options opts_;
+  int n_struct_;  ///< structural variable count
+  int m_;         ///< constraint count
+  int ncols_ = 0;
+  int n_art_begin_ = 0;  ///< first artificial column
+  std::vector<double> tab_;   ///< m x ncols, equals B^-1 A
+  std::vector<double> beta_;  ///< basic variable values
+  std::vector<double> ub_;    ///< upper bounds of normalized vars (lower = 0)
+  std::vector<double> cost_;  ///< current objective (phase 1 or 2)
+  std::vector<double> cost2_; ///< phase-2 objective
+  std::vector<double> zrow_;  ///< reduced costs
+  std::vector<int> basis_;    ///< basis_[row] = column index
+  std::vector<VarState> state_;
+  std::vector<double> shift_;  ///< lower bounds of structural vars
+  int iterations_ = 0;
+  bool need_phase1_ = false;
+#ifdef VM1_LP_DEBUG
+  std::vector<double> a0_, b0_;  ///< normalized system copy for checks
+  void check_system(const char* tag) {
+    std::vector<double> xn(ncols_, 0.0);
+    for (int j = 0; j < ncols_; ++j) {
+      if (state_[j] == VarState::kAtUpper) xn[j] = ub_[j];
+    }
+    for (int i = 0; i < m_; ++i) xn[basis_[i]] = beta_[i];
+    double worst = 0;
+    for (int i = 0; i < m_; ++i) {
+      double lhs = 0;
+      for (int j = 0; j < ncols_; ++j) {
+        lhs += a0_[static_cast<std::size_t>(i) * ncols_ + j] * xn[j];
+      }
+      worst = std::max(worst, std::abs(lhs - b0_[i]));
+    }
+    std::fprintf(stderr, "[lp] %s: system residual %g\n", tag, worst);
+  }
+#endif
+};
+
+void Tableau::build(const Problem& p) {
+  // Column layout: [0, n_struct) structural, [n_struct, n_struct+m) slacks,
+  // then artificials for initially-infeasible rows.
+  // Rows are normalized so that Ge becomes Le (negated); Eq keeps slack with
+  // upper bound zero.
+  shift_.resize(n_struct_);
+  for (int v = 0; v < n_struct_; ++v) shift_[v] = p.lower_bound(v);
+
+  // Count artificials by computing the slack-start residual per row.
+  std::vector<double> rhs_norm(m_);
+  std::vector<double> slack_ub(m_);
+  std::vector<int> sign(m_, 1);
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& row = p.constraint(i);
+    double b = row.rhs;
+    for (const auto& [v, a] : row.terms) b -= a * shift_[v];
+    int s = (row.sense == Sense::kGe) ? -1 : 1;
+    sign[i] = s;
+    rhs_norm[i] = s * b;
+    slack_ub[i] = (row.sense == Sense::kEq) ? 0.0 : kInf;
+  }
+
+  std::vector<int> art_rows;
+  for (int i = 0; i < m_; ++i) {
+    // Slack starts at clamp(rhs, 0, slack_ub); residual needs an artificial.
+    double v = rhs_norm[i];
+    double clamped = std::min(std::max(v, 0.0), slack_ub[i]);
+    if (std::abs(v - clamped) > opts_.tol) art_rows.push_back(i);
+  }
+  need_phase1_ = !art_rows.empty();
+
+  n_art_begin_ = n_struct_ + m_;
+  ncols_ = n_art_begin_ + static_cast<int>(art_rows.size());
+  tab_.assign(static_cast<std::size_t>(m_) * ncols_, 0.0);
+  ub_.assign(ncols_, kInf);
+  cost2_.assign(ncols_, 0.0);
+  state_.assign(ncols_, VarState::kAtLower);
+  beta_.assign(m_, 0.0);
+  basis_.assign(m_, -1);
+
+  for (int v = 0; v < n_struct_; ++v) {
+    double hi = p.upper_bound(v);
+    ub_[v] = std::isfinite(hi) ? hi - shift_[v] : kInf;
+    cost2_[v] = p.cost(v);
+  }
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& row = p.constraint(i);
+    for (const auto& [v, a] : row.terms) tab(i, v) += sign[i] * a;
+    tab(i, n_struct_ + i) = 1.0;
+    ub_[n_struct_ + i] = slack_ub[i];
+  }
+
+  // Initial basis: slack where feasible, artificial otherwise. The basis
+  // must be the identity in the tableau, so rows whose starting residual is
+  // negative are negated before their artificial (coefficient +1) is added.
+  int art_col = n_art_begin_;
+  std::size_t next_art = 0;
+  for (int i = 0; i < m_; ++i) {
+    double v = rhs_norm[i];
+    double clamped = std::min(std::max(v, 0.0), slack_ub[i]);
+    if (next_art < art_rows.size() && art_rows[next_art] == i) {
+      ++next_art;
+      double resid = v - clamped;
+      if (resid < 0) {
+        // Negate the whole row (structural + slack coefficients and rhs)
+        // so the artificial's column is +1.
+        for (int j = 0; j < ncols_; ++j) tab(i, j) = -tab(i, j);
+        rhs_norm[i] = -v;
+        resid = -resid;
+        // Slack stays at the same bound value (always 0 here: a negative
+        // residual implies the slack was clamped to its lower bound).
+      }
+      tab(i, art_col) = 1.0;
+      basis_[i] = art_col;
+      beta_[i] = resid;
+      state_[art_col] = VarState::kBasic;
+      state_[n_struct_ + i] =
+          (clamped == 0.0) ? VarState::kAtLower : VarState::kAtUpper;
+      ++art_col;
+    } else {
+      basis_[i] = n_struct_ + i;
+      beta_[i] = clamped;
+      state_[n_struct_ + i] = VarState::kBasic;
+    }
+  }
+#ifdef VM1_LP_DEBUG
+  a0_ = tab_;
+  b0_ = rhs_norm;
+#endif
+}
+
+void Tableau::compute_zrow() {
+  zrow_.assign(ncols_, 0.0);
+  // z_j = c_j - c_B' (B^-1 A_j). tab_ holds B^-1 A.
+  for (int j = 0; j < ncols_; ++j) zrow_[j] = cost_[j];
+  for (int i = 0; i < m_; ++i) {
+    double cb = cost_[basis_[i]];
+    if (cb == 0.0) continue;
+    const double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
+    for (int j = 0; j < ncols_; ++j) zrow_[j] -= cb * row[j];
+  }
+}
+
+int Tableau::choose_entering(bool bland) const {
+  int best = -1;
+  double best_score = opts_.tol;
+  for (int j = 0; j < ncols_; ++j) {
+    if (state_[j] == VarState::kBasic) continue;
+    double z = zrow_[j];
+    double score = 0;
+    if (state_[j] == VarState::kAtLower && z < -opts_.tol) {
+      score = -z;
+    } else if (state_[j] == VarState::kAtUpper && z > opts_.tol) {
+      score = z;
+    } else {
+      continue;
+    }
+    if (bland) return j;  // first eligible (lowest index)
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void Tableau::pivot(int r, int c) {
+  double piv = tab(r, c);
+  double inv = 1.0 / piv;
+  double* prow = &tab_[static_cast<std::size_t>(r) * ncols_];
+  for (int j = 0; j < ncols_; ++j) prow[j] *= inv;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    double f = tab(i, c);
+    if (f == 0.0) continue;
+    double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
+    for (int j = 0; j < ncols_; ++j) row[j] -= f * prow[j];
+    tab(i, c) = 0.0;
+  }
+  double fz = zrow_[c];
+  if (fz != 0.0) {
+    for (int j = 0; j < ncols_; ++j) zrow_[j] -= fz * prow[j];
+    zrow_[c] = 0.0;
+  }
+}
+
+Status Tableau::iterate(bool phase1) {
+  compute_zrow();
+  int stall = 0;
+  bool bland = false;
+  Timer timer;
+  while (iterations_ < opts_.max_iterations) {
+    if (opts_.time_limit_sec > 0 && (iterations_ & 127) == 0 &&
+        timer.seconds() > opts_.time_limit_sec) {
+      return Status::kIterLimit;
+    }
+#ifdef VM1_LP_DEBUG
+    check_system(phase1 ? "p1 iter" : "p2 iter");
+#endif
+    int j = choose_entering(bland);
+    if (j < 0) return Status::kOptimal;
+    ++iterations_;
+
+    const int d = (state_[j] == VarState::kAtLower) ? 1 : -1;
+
+    // Ratio test.
+    double t_max = ub_[j];  // bound-flip distance (may be inf)
+    int leave_row = -1;
+    int leave_dir = 0;  // +1: leaving var hits lower; -1: hits upper
+    for (int i = 0; i < m_; ++i) {
+      double e = d * tab(i, j);
+      if (std::abs(e) < opts_.pivot_tol) continue;
+      double t;
+      int dir;
+      if (e > 0) {
+        t = beta_[i] / e;  // basic hits its lower bound (0)
+        dir = 1;
+      } else {
+        if (!std::isfinite(ub_[basis_[i]])) continue;
+        t = (ub_[basis_[i]] - beta_[i]) / (-e);
+        dir = -1;
+      }
+      if (t < 0) t = 0;
+      if (t < t_max - 1e-12 ||
+          (leave_row >= 0 && t < t_max + 1e-12 && bland &&
+           basis_[i] < basis_[leave_row])) {
+        t_max = t;
+        leave_row = i;
+        leave_dir = dir;
+      }
+    }
+
+    if (!std::isfinite(t_max)) {
+      return phase1 ? Status::kInfeasible : Status::kUnbounded;
+    }
+
+    if (t_max <= 1e-11) {
+      ++stall;
+      if (stall > 2 * (m_ + ncols_)) bland = true;
+    } else {
+      stall = 0;
+    }
+
+    if (leave_row < 0) {
+      // Bound flip: entering variable moves to its opposite bound.
+      double t = ub_[j];
+      for (int i = 0; i < m_; ++i) beta_[i] -= d * tab(i, j) * t;
+      state_[j] =
+          (state_[j] == VarState::kAtLower) ? VarState::kAtUpper
+                                            : VarState::kAtLower;
+      continue;
+    }
+
+    // Basis change.
+    double t = t_max;
+    for (int i = 0; i < m_; ++i) beta_[i] -= d * tab(i, j) * t;
+    int leaving = basis_[leave_row];
+    state_[leaving] =
+        (leave_dir > 0) ? VarState::kAtLower : VarState::kAtUpper;
+    // Entering variable's new value relative to its lower bound.
+    double enter_val = (d > 0) ? t : ub_[j] - t;
+    pivot(leave_row, j);
+    basis_[leave_row] = j;
+    state_[j] = VarState::kBasic;
+    beta_[leave_row] = enter_val;
+  }
+  return Status::kIterLimit;
+}
+
+Result Tableau::run(const Problem& p) {
+  Result res;
+  auto recover_x = [&]() {
+    std::vector<double> xn(ncols_, 0.0);
+    for (int j = 0; j < ncols_; ++j) {
+      if (state_[j] == VarState::kAtUpper) xn[j] = ub_[j];
+    }
+    for (int i = 0; i < m_; ++i) xn[basis_[i]] = beta_[i];
+    std::vector<double> x(n_struct_);
+    for (int v = 0; v < n_struct_; ++v) x[v] = shift_[v] + xn[v];
+    return x;
+  };
+#ifdef VM1_LP_DEBUG
+  auto report = [&](const char* tag) {
+    std::vector<double> x = recover_x();
+    std::fprintf(stderr, "[lp] %s: violation=%g obj=%g\n", tag,
+                 p.max_violation(x), p.objective_value(x));
+  };
+#endif
+  if (need_phase1_) {
+    cost_.assign(ncols_, 0.0);
+    for (int j = n_art_begin_; j < ncols_; ++j) cost_[j] = 1.0;
+    Status s = iterate(/*phase1=*/true);
+    if (s == Status::kIterLimit) {
+      res.status = s;
+      res.iterations = iterations_;
+      return res;
+    }
+    double infeas = 0;
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_art_begin_) infeas += beta_[i];
+    }
+    for (int j = n_art_begin_; j < ncols_; ++j) {
+      if (state_[j] == VarState::kAtUpper) infeas += ub_[j];
+    }
+    if (s == Status::kInfeasible || infeas > 1e-6) {
+      res.status = Status::kInfeasible;
+      res.iterations = iterations_;
+      return res;
+    }
+    // Pin artificials to zero so they cannot re-enter.
+    for (int j = n_art_begin_; j < ncols_; ++j) {
+      ub_[j] = 0.0;
+      if (state_[j] == VarState::kAtUpper) state_[j] = VarState::kAtLower;
+    }
+#ifdef VM1_LP_DEBUG
+    report("after phase 1");
+#endif
+  }
+
+  cost_ = cost2_;
+  Status s = iterate(/*phase1=*/false);
+  res.status = s;
+  res.iterations = iterations_;
+  if (s != Status::kOptimal) return res;
+
+  res.x = recover_x();
+  res.objective = p.objective_value(res.x);
+  return res;
+}
+
+}  // namespace
+
+Result SimplexSolver::solve(const Problem& p) const {
+  if (p.num_variables() == 0) {
+    Result r;
+    r.status = Status::kOptimal;
+    r.objective = 0;
+    return r;
+  }
+  Tableau t(p, opts_);
+  return t.run(p);
+}
+
+}  // namespace vm1::lp

@@ -1,0 +1,113 @@
+/// \file simplex.h
+/// Dense bounded-variable primal simplex LP solver.
+///
+/// This is the LP engine underneath the branch-and-bound MILP solver
+/// (src/milp) that OpenVM1 uses in place of the paper's CPLEX 12.6.3.
+/// Window MILP instances are small (hundreds of variables), so a dense
+/// two-phase tableau simplex with upper-bounded variables is both simple
+/// and fast enough; correctness is validated against brute-force vertex
+/// enumeration in the test suite.
+///
+/// Conventions:
+///  * minimization;
+///  * every variable has a finite lower bound; upper bounds may be
+///    +infinity (vm1::lp::kInf);
+///  * constraints are `sum a_j x_j  (<= | >= | ==)  rhs`.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vm1::lp {
+
+/// Infinity marker for variable upper bounds.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLe, kGe, kEq };
+
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+};
+
+const char* to_string(Status s);
+
+/// One linear constraint: terms (var index, coefficient), sense, rhs.
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0;
+};
+
+/// An LP in natural (row) form. Build with add_variable/add_constraint,
+/// then hand to SimplexSolver::solve.
+class Problem {
+ public:
+  /// Adds a variable with bounds [lo, hi] and objective coefficient `cost`.
+  /// Requires lo finite and lo <= hi. Returns the variable index.
+  int add_variable(double lo, double hi, double cost, std::string name = "");
+
+  /// Adds a constraint. Term variable indices must be valid. Duplicate
+  /// indices within one constraint are allowed (coefficients accumulate).
+  void add_constraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                      double rhs);
+
+  int num_variables() const { return static_cast<int>(lo_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  double lower_bound(int v) const { return lo_[v]; }
+  double upper_bound(int v) const { return hi_[v]; }
+  double cost(int v) const { return cost_[v]; }
+  const std::string& name(int v) const { return names_[v]; }
+  const Constraint& constraint(int i) const { return rows_[i]; }
+
+  /// Overwrites a variable's bounds (used by branch-and-bound to fix
+  /// binaries). Requires lo <= hi.
+  void set_bounds(int v, double lo, double hi);
+
+  /// Evaluates the objective at x.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Returns the largest violation of any constraint or bound at x
+  /// (0 when feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> lo_, hi_, cost_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> rows_;
+};
+
+struct Result {
+  Status status = Status::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;  ///< variable values (size = num_variables)
+  int iterations = 0;
+};
+
+/// Two-phase dense tableau simplex with bounded variables.
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 200000;
+    /// Wall-clock budget; <= 0 means unlimited. Exceeding it returns
+    /// kIterLimit (callers treat it as truncation).
+    double time_limit_sec = 0;
+    double tol = 1e-7;        ///< feasibility / optimality tolerance
+    double pivot_tol = 1e-9;  ///< minimum |pivot| accepted
+  };
+
+  SimplexSolver() : opts_() {}
+  explicit SimplexSolver(const Options& opts) : opts_(opts) {}
+
+  Result solve(const Problem& p) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace vm1::lp

@@ -1,0 +1,177 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vm1::milp {
+
+const char* to_string(MipStatus s) {
+  switch (s) {
+    case MipStatus::kOptimal:
+      return "optimal";
+    case MipStatus::kFeasible:
+      return "feasible";
+    case MipStatus::kInfeasible:
+      return "infeasible";
+    case MipStatus::kNoSolution:
+      return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BoundFix {
+  int var;
+  double lo;
+  double hi;
+};
+
+struct Node {
+  std::vector<BoundFix> fixes;  ///< full path of branching decisions
+  double parent_bound;          ///< LP bound inherited from the parent
+};
+
+}  // namespace
+
+MipResult BranchAndBound::solve(const Model& model,
+                                const RoundingHeuristic& heuristic,
+                                const std::vector<double>* warm_start) const {
+  MipResult result;
+  Timer timer;
+  lp::SimplexSolver lp_solver(opts_.lp_options);
+
+  // Working copy whose integer-variable bounds we rewrite per node.
+  lp::Problem work = model.lp();
+  const auto& int_vars = model.integer_variables();
+  std::vector<std::pair<double, double>> orig_bounds;
+  orig_bounds.reserve(int_vars.size());
+  for (int v : int_vars) {
+    orig_bounds.emplace_back(work.lower_bound(v), work.upper_bound(v));
+  }
+
+  const double inf = std::numeric_limits<double>::infinity();
+  double incumbent_obj = inf;
+  std::vector<double> incumbent_x;
+  bool truncated = false;
+
+  auto try_incumbent = [&](const std::vector<double>& x) {
+    if (!model.is_feasible(x, 1e-5)) return;
+    double obj = model.objective_value(x);
+    if (obj < incumbent_obj - opts_.gap_tol) {
+      incumbent_obj = obj;
+      incumbent_x = x;
+    }
+  };
+
+  if (warm_start) try_incumbent(*warm_start);
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, -inf});
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= opts_.max_nodes ||
+        timer.seconds() > opts_.time_limit_sec) {
+      truncated = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.parent_bound >= incumbent_obj - opts_.gap_tol) continue;
+    ++result.nodes_explored;
+
+    // Apply this node's bound fixes.
+    for (std::size_t i = 0; i < int_vars.size(); ++i) {
+      work.set_bounds(int_vars[i], orig_bounds[i].first,
+                      orig_bounds[i].second);
+    }
+    for (const BoundFix& f : node.fixes) work.set_bounds(f.var, f.lo, f.hi);
+
+    lp::Result rel = lp_solver.solve(work);
+    result.lp_iterations += rel.iterations;
+    if (rel.status == lp::Status::kInfeasible) continue;
+    if (rel.status == lp::Status::kIterLimit) {
+      truncated = true;
+      continue;
+    }
+    if (rel.status == lp::Status::kUnbounded) {
+      // A bounded MILP relaxation cannot be unbounded unless the model has
+      // unbounded continuous vars; treat as truncation.
+      truncated = true;
+      continue;
+    }
+    if (rel.objective >= incumbent_obj - opts_.gap_tol) continue;
+
+    // Find the fractional integer variable with (priority, fractionality)
+    // lexicographically highest.
+    int branch_var = -1;
+    double branch_val = 0;
+    double best_frac_dist = opts_.int_tol;
+    int best_priority = std::numeric_limits<int>::min();
+    for (int v : int_vars) {
+      double f = rel.x[v] - std::floor(rel.x[v]);
+      double dist = std::min(f, 1.0 - f);
+      if (dist <= opts_.int_tol) continue;
+      int prio = model.branch_priority(v);
+      if (prio > best_priority ||
+          (prio == best_priority && dist > best_frac_dist)) {
+        best_priority = prio;
+        best_frac_dist = dist;
+        branch_var = v;
+        branch_val = rel.x[v];
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral LP solution: snap and accept.
+      std::vector<double> x = rel.x;
+      for (int v : int_vars) x[v] = std::round(x[v]);
+      try_incumbent(x);
+      continue;
+    }
+
+    if (heuristic) {
+      if (auto hx = heuristic(model, rel.x)) try_incumbent(*hx);
+    }
+
+    // Branch: floor child and ceil child. Push the child whose bound value is
+    // farther from the LP value first so the nearer one is explored first
+    // (DFS dive toward the relaxation).
+    double fl = std::floor(branch_val);
+    Node down{node.fixes, rel.objective};
+    down.fixes.push_back(
+        {branch_var, work.lower_bound(branch_var), fl});
+    Node up{std::move(node.fixes), rel.objective};
+    up.fixes.push_back(
+        {branch_var, fl + 1, work.upper_bound(branch_var)});
+    bool down_first = (branch_val - fl) < 0.5;
+    if (down_first) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  // Final bound: min over unexplored nodes and the incumbent.
+  double open_bound = incumbent_obj;
+  for (const Node& n : stack) open_bound = std::min(open_bound, n.parent_bound);
+
+  if (!incumbent_x.empty()) {
+    result.x = std::move(incumbent_x);
+    result.objective = incumbent_obj;
+    result.best_bound = truncated || !stack.empty() ? open_bound : incumbent_obj;
+    result.status = (truncated || !stack.empty()) ? MipStatus::kFeasible
+                                                  : MipStatus::kOptimal;
+  } else {
+    result.status = truncated ? MipStatus::kNoSolution : MipStatus::kInfeasible;
+    result.best_bound = open_bound;
+  }
+  return result;
+}
+
+}  // namespace vm1::milp

@@ -1,0 +1,72 @@
+/// \file branch_and_bound.h
+/// Branch-and-bound MILP solver over the bounded-variable simplex.
+///
+/// Features used by the window optimizer:
+///  * most-fractional branching on integer variables;
+///  * depth-first dives (child closer to the LP value first) with global
+///    best-bound pruning;
+///  * optional user rounding heuristic to seed/improve the incumbent
+///    (the window optimizer supplies "pick the best candidate per cell and
+///    repair legality");
+///  * node- and wall-time limits for anytime behaviour — the paper's
+///    runtime/quality trade-off study (ExptA) depends on this.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "milp/model.h"
+
+namespace vm1::milp {
+
+enum class MipStatus {
+  kOptimal,       ///< proven optimal incumbent
+  kFeasible,      ///< incumbent found, search truncated by a limit
+  kInfeasible,    ///< proven infeasible
+  kNoSolution,    ///< search truncated before any incumbent was found
+};
+
+const char* to_string(MipStatus s);
+
+struct MipResult {
+  MipStatus status = MipStatus::kNoSolution;
+  double objective = 0;
+  double best_bound = 0;  ///< global lower bound on the optimum
+  std::vector<double> x;
+  int nodes_explored = 0;
+  int lp_iterations = 0;
+};
+
+/// Given a (fractional) LP solution, returns a feasible integer solution if
+/// the heuristic can construct one.
+using RoundingHeuristic =
+    std::function<std::optional<std::vector<double>>(const Model&,
+                                                     const std::vector<double>&)>;
+
+class BranchAndBound {
+ public:
+  struct Options {
+    int max_nodes = 20000;
+    double time_limit_sec = 30.0;
+    double int_tol = 1e-6;
+    double gap_tol = 1e-9;  ///< absolute objective gap for pruning
+    lp::SimplexSolver::Options lp_options = {};
+  };
+
+  BranchAndBound() : opts_() {}
+  explicit BranchAndBound(const Options& opts) : opts_(opts) {}
+
+  /// Solves `model` (minimization). `heuristic` may be null. `warm_start`,
+  /// when given and feasible, seeds the incumbent — the window optimizer
+  /// passes the current placement so the result can never be worse than
+  /// the input.
+  MipResult solve(const Model& model,
+                  const RoundingHeuristic& heuristic = nullptr,
+                  const std::vector<double>* warm_start = nullptr) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace vm1::milp

@@ -1,0 +1,36 @@
+#include "milp/model.h"
+
+#include <cmath>
+
+namespace vm1::milp {
+
+int Model::add_continuous(double lo, double hi, double cost,
+                          std::string name) {
+  int v = lp_.add_variable(lo, hi, cost, std::move(name));
+  is_int_.push_back(false);
+  priority_.push_back(0);
+  return v;
+}
+
+int Model::add_binary(double cost, std::string name) {
+  return add_integer(0, 1, cost, std::move(name));
+}
+
+int Model::add_integer(double lo, double hi, double cost, std::string name) {
+  int v = lp_.add_variable(lo, hi, cost, std::move(name));
+  is_int_.push_back(true);
+  int_vars_.push_back(v);
+  priority_.push_back(0);
+  return v;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  if (lp_.max_violation(x) > tol) return false;
+  for (int v : int_vars_) {
+    if (std::abs(x[v] - std::round(x[v])) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace vm1::milp

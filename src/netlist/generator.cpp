@@ -1,0 +1,244 @@
+#include "netlist/generator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace vm1 {
+namespace {
+
+struct TypeMix {
+  const char* base;
+  double weight;
+};
+
+// Combinational mix loosely matching synthesized control/datapath logic.
+const std::vector<TypeMix>& comb_mix() {
+  static const std::vector<TypeMix> kMix = {
+      {"INV_X1", 0.16}, {"INV_X2", 0.05},   {"BUF_X1", 0.07},
+      {"NAND2_X1", 0.16}, {"NAND2_X2", 0.05}, {"NOR2_X1", 0.11},
+      {"AOI21_X1", 0.10}, {"OAI21_X1", 0.10}, {"XOR2_X1", 0.10},
+      {"MUX2_X1", 0.10},
+  };
+  return kMix;
+}
+
+const char* vt_suffix(Rng& rng) {
+  double r = rng.uniform_real();
+  if (r < 0.25) return "_LVT";
+  if (r < 0.80) return "_SVT";
+  return "_HVT";
+}
+
+}  // namespace
+
+Netlist generate_netlist(const Library& lib, const GeneratorConfig& cfg) {
+  Netlist nl(&lib);
+  Rng rng(cfg.seed);
+
+  // --- 1. Instances -------------------------------------------------------
+  std::vector<double> weights;
+  for (const TypeMix& m : comb_mix()) weights.push_back(m.weight);
+
+  int n_dff = static_cast<int>(cfg.num_instances * cfg.dff_fraction);
+  int n_clk_buf = (n_dff + cfg.dffs_per_clock_buf - 1) /
+                  std::max(1, cfg.dffs_per_clock_buf);
+  int n_comb = std::max(0, cfg.num_instances - n_dff - n_clk_buf);
+
+  std::vector<int> dff_insts;
+  std::vector<int> clk_buf_insts;
+  for (int i = 0; i < cfg.num_instances; ++i) {
+    std::string master;
+    if (i < n_comb) {
+      master = std::string(comb_mix()[rng.weighted_pick(weights)].base) +
+               vt_suffix(rng);
+    } else if (i < n_comb + n_dff) {
+      master = std::string("DFF_X1") + vt_suffix(rng);
+    } else {
+      master = "BUF_X1_SVT";  // clock buffers
+    }
+    int cell = lib.find(master);
+    if (cell < 0) throw std::runtime_error("missing master " + master);
+    int inst = nl.add_instance("u" + std::to_string(i), cell);
+    if (i >= n_comb + n_dff) {
+      clk_buf_insts.push_back(inst);
+    } else if (i >= n_comb) {
+      dff_insts.push_back(inst);
+    }
+  }
+
+  const int num_clusters =
+      std::max(1, (cfg.num_instances + cfg.cluster_size - 1) /
+                      cfg.cluster_size);
+  auto cluster_of = [&](int inst) { return inst / cfg.cluster_size; };
+
+  // --- 2. Nets: one per output pin, plus primary-input nets ---------------
+  // pickable[k]: net id, driver cluster, current fanout.
+  struct DriverNet {
+    int net;
+    int cluster;
+    int fanout = 0;
+    int driver_inst = -1;  // -1 for PI nets
+  };
+  std::vector<DriverNet> drivers;
+  std::vector<std::vector<int>> cluster_drivers(num_clusters);
+
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Cell& c = nl.cell_of(i);
+    int out = c.output_pin();
+    if (out < 0) continue;
+    bool is_clk_buf =
+        !clk_buf_insts.empty() && i >= clk_buf_insts.front();
+    if (is_clk_buf) continue;  // clock buffer outputs handled below
+    int net = nl.add_net("n" + std::to_string(nl.num_nets()));
+    nl.connect(net, NetPin{i, out});
+    int k = static_cast<int>(drivers.size());
+    drivers.push_back(DriverNet{net, cluster_of(i), 0, i});
+    cluster_drivers[cluster_of(i)].push_back(k);
+  }
+
+  // Primary inputs (excluding clock): distributed over pseudo-clusters.
+  std::vector<int> pi_ios;
+  for (int p = 0; p < cfg.num_primary_inputs; ++p) {
+    int io = nl.add_io("pi" + std::to_string(p), /*is_input=*/true);
+    pi_ios.push_back(io);
+    int net = nl.add_net("pinet" + std::to_string(p));
+    nl.connect(net, NetPin{-1, io});
+    int cluster = static_cast<int>(rng.uniform(num_clusters));
+    int k = static_cast<int>(drivers.size());
+    drivers.push_back(DriverNet{net, cluster, 0, -1});
+    cluster_drivers[cluster].push_back(k);
+  }
+
+  // --- 3. Sink assignment --------------------------------------------------
+  auto pick_driver = [&](int sink_inst) -> DriverNet* {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      int k;
+      int cl = cluster_of(sink_inst);
+      if (rng.chance(cfg.local_sink_prob) && !cluster_drivers[cl].empty()) {
+        k = cluster_drivers[cl][rng.uniform(cluster_drivers[cl].size())];
+      } else {
+        k = static_cast<int>(rng.uniform(drivers.size()));
+      }
+      DriverNet& d = drivers[k];
+      if (d.driver_inst == sink_inst) continue;       // no self loop
+      if (d.fanout >= cfg.max_fanout) continue;        // fanout cap
+      // Keep combinational logic acyclic: a combinational driver must have
+      // a smaller instance id than its sink (PIs and DFF outputs are
+      // sequential startpoints and may drive anything).
+      if (d.driver_inst >= 0 && !nl.cell_of(d.driver_inst).sequential &&
+          d.driver_inst >= sink_inst) {
+        continue;
+      }
+      return &d;
+    }
+    // Fall back: any driver with capacity respecting the same rules.
+    for (DriverNet& d : drivers) {
+      if (d.fanout >= cfg.max_fanout || d.driver_inst == sink_inst) continue;
+      if (d.driver_inst >= 0 && !nl.cell_of(d.driver_inst).sequential &&
+          d.driver_inst >= sink_inst) {
+        continue;
+      }
+      return &d;
+    }
+    return drivers.empty() ? nullptr : &drivers[0];
+  };
+
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Cell& c = nl.cell_of(i);
+    bool is_clk_buf_inst = false;
+    for (int b : clk_buf_insts) {
+      if (b == i) {
+        is_clk_buf_inst = true;
+        break;
+      }
+    }
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      if (c.pins[p].dir != PinDir::kInput) continue;
+      if (c.pins[p].name == "CK") continue;       // clock handled below
+      if (is_clk_buf_inst) continue;              // clock tree input below
+      DriverNet* d = pick_driver(i);
+      if (!d) throw std::runtime_error("no driver available");
+      nl.connect(d->net, NetPin{i, static_cast<int>(p)});
+      ++d->fanout;
+    }
+  }
+
+  // --- 4. Clock tree: clk PI -> clock buffers -> DFF CK pins ---------------
+  if (!dff_insts.empty()) {
+    int clk_io = nl.add_io("clk", /*is_input=*/true);
+    int root = nl.add_net("clk_root", /*is_clock=*/true);
+    nl.connect(root, NetPin{-1, clk_io});
+    for (std::size_t b = 0; b < clk_buf_insts.size(); ++b) {
+      int buf = clk_buf_insts[b];
+      const Cell& c = nl.cell_of(buf);
+      nl.connect(root, NetPin{buf, c.pin_index("A")});
+      int leaf = nl.add_net("clk_leaf" + std::to_string(b),
+                            /*is_clock=*/true);
+      nl.connect(leaf, NetPin{buf, c.output_pin()});
+      for (std::size_t f = b; f < dff_insts.size();
+           f += clk_buf_insts.size()) {
+        int dff = dff_insts[f];
+        nl.connect(leaf, NetPin{dff, nl.cell_of(dff).pin_index("CK")});
+      }
+    }
+  }
+
+  // --- 5. Primary outputs: attach PO terminals to sink-poor nets ----------
+  int attached = 0;
+  for (const DriverNet& d : drivers) {
+    if (attached >= cfg.num_primary_outputs) break;
+    if (d.fanout == 0 && d.driver_inst >= 0) {
+      int io = nl.add_io("po" + std::to_string(attached), /*is_input=*/false);
+      nl.connect(d.net, NetPin{-1, io});
+      ++attached;
+    }
+  }
+  // If too few sinkless nets existed, add POs on random nets.
+  while (attached < cfg.num_primary_outputs && !drivers.empty()) {
+    const DriverNet& d = drivers[rng.uniform(drivers.size())];
+    int io = nl.add_io("po" + std::to_string(attached), /*is_input=*/false);
+    nl.connect(d.net, NetPin{-1, io});
+    ++attached;
+  }
+
+  return nl;
+}
+
+GeneratorConfig design_config(const std::string& design_name, double scale) {
+  GeneratorConfig cfg;
+  // Bench-scale sizes; ratios follow Table 2 of the paper
+  // (9922 : 12345 : 54570 : 68606).
+  if (design_name == "m0") {
+    cfg.num_instances = static_cast<int>(900 * scale);
+    cfg.seed = 101;
+    cfg.num_primary_inputs = 20;
+    cfg.num_primary_outputs = 20;
+  } else if (design_name == "aes") {
+    cfg.num_instances = static_cast<int>(1120 * scale);
+    cfg.seed = 202;
+    cfg.num_primary_inputs = 24;
+    cfg.num_primary_outputs = 24;
+  } else if (design_name == "jpeg") {
+    cfg.num_instances = static_cast<int>(4950 * scale);
+    cfg.seed = 303;
+    cfg.num_primary_inputs = 32;
+    cfg.num_primary_outputs = 32;
+  } else if (design_name == "vga") {
+    cfg.num_instances = static_cast<int>(6230 * scale);
+    cfg.seed = 404;
+    cfg.num_primary_inputs = 40;
+    cfg.num_primary_outputs = 40;
+  } else if (design_name == "tiny") {
+    cfg.num_instances = static_cast<int>(120 * scale);
+    cfg.seed = 7;
+    cfg.num_primary_inputs = 8;
+    cfg.num_primary_outputs = 8;
+  } else {
+    throw std::invalid_argument("unknown design " + design_name);
+  }
+  return cfg;
+}
+
+}  // namespace vm1

@@ -1,0 +1,39 @@
+/// \file generator.h
+/// Synthetic gate-level netlist generator.
+///
+/// Stands in for the Design-Compiler-synthesized OpenCores testcases (m0,
+/// aes, jpeg, vga) of the paper. Generates clustered random logic with a
+/// Rent-style locality knob: most sinks of a net stay within the driver's
+/// cluster, a controllable fraction escapes to random clusters. DFFs are
+/// clocked through a two-level buffer tree so no net has unrealistic fanout.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace vm1 {
+
+struct GeneratorConfig {
+  int num_instances = 1000;
+  std::uint64_t seed = 1;
+  double dff_fraction = 0.14;
+  double local_sink_prob = 0.75;  ///< sink stays in driver's cluster
+  int cluster_size = 32;
+  int max_fanout = 8;
+  int num_primary_inputs = 24;
+  int num_primary_outputs = 24;
+  int dffs_per_clock_buf = 16;
+};
+
+/// Generates a netlist over `lib`. Deterministic in cfg.seed.
+Netlist generate_netlist(const Library& lib, const GeneratorConfig& cfg);
+
+/// The four paper designs at a given scale factor (1.0 reproduces the
+/// default bench sizes listed in DESIGN.md; instance-count ratios follow
+/// Table 2: m0 : aes : jpeg : vga ~ 9.9k : 12.3k : 54.6k : 68.6k).
+GeneratorConfig design_config(const std::string& design_name,
+                              double scale = 1.0);
+
+}  // namespace vm1

@@ -1,0 +1,163 @@
+#include "place/abacus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vm1 {
+namespace {
+
+/// One placed cell inside a row (Abacus bookkeeping).
+struct RowCell {
+  int inst;
+  int width;
+  double target_x;  ///< desired x from global placement
+  int x = 0;        ///< legalized position (filled by collapse)
+};
+
+/// Cluster of abutting cells per the Abacus recurrence.
+struct Cluster {
+  double e = 0;   ///< total weight
+  double q = 0;   ///< sum of e_i * (target - offset)
+  int w = 0;      ///< total width
+  int first = 0;  ///< index of first cell in the row vector
+  double x() const { return q / e; }
+};
+
+/// Re-packs `cells` (sorted by target_x) into [0, row_sites]; returns the
+/// total squared displacement, or a negative value when the row overflows.
+double collapse_row(std::vector<RowCell>& cells, int row_sites) {
+  long total_w = 0;
+  for (const RowCell& c : cells) total_w += c.width;
+  if (total_w > row_sites) return -1;
+
+  std::vector<Cluster> clusters;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    Cluster nc;
+    nc.e = 1.0;
+    nc.q = cells[i].target_x;
+    nc.w = cells[i].width;
+    nc.first = static_cast<int>(i);
+    clusters.push_back(nc);
+    // Merge while the new cluster overlaps its predecessor.
+    while (clusters.size() > 1) {
+      Cluster& prev = clusters[clusters.size() - 2];
+      Cluster& cur = clusters.back();
+      double prev_x =
+          std::clamp(prev.x(), 0.0, static_cast<double>(row_sites - prev.w));
+      double cur_x =
+          std::clamp(cur.x(), 0.0, static_cast<double>(row_sites - cur.w));
+      if (prev_x + prev.w <= cur_x) break;
+      // Merge cur into prev: cells of cur sit at offset prev.w.
+      prev.q += cur.q - cur.e * prev.w;
+      prev.e += cur.e;
+      prev.w += cur.w;
+      clusters.pop_back();
+    }
+  }
+
+  // Assign positions. Integer rounding may nudge a cluster into its
+  // predecessor, so chain a running lower bound.
+  double cost = 0;
+  int prev_end = 0;
+  for (const Cluster& cl : clusters) {
+    if (prev_end > row_sites - cl.w) return -1;  // rounding squeezed us out
+    int x = static_cast<int>(std::lround(
+        std::clamp(cl.x(), 0.0, static_cast<double>(row_sites - cl.w))));
+    x = std::clamp(x, prev_end, row_sites - cl.w);
+    std::size_t idx = static_cast<std::size_t>(cl.first);
+    int cur = x;
+    while (idx < cells.size()) {
+      // Cells of this cluster are contiguous starting at `first` and span
+      // width cl.w.
+      if (cur - x >= cl.w) break;
+      cells[idx].x = cur;
+      double dx = cur - cells[idx].target_x;
+      cost += dx * dx;
+      cur += cells[idx].width;
+      ++idx;
+    }
+    prev_end = x + cl.w;
+  }
+  return cost;
+}
+
+}  // namespace
+
+void abacus_legalize(Design& d, const AbacusOptions& opts) {
+  const Netlist& nl = d.netlist();
+  const int n = nl.num_instances();
+  const int num_rows = d.num_rows();
+  const int row_sites = d.sites_per_row();
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return d.placement(a).x < d.placement(b).x;
+  });
+
+  std::vector<std::vector<RowCell>> rows(num_rows);
+  std::vector<double> row_cost_now(num_rows, 0.0);
+
+  for (int idx : order) {
+    const Cell& c = nl.cell_of(idx);
+    const Placement desired = d.placement(idx);
+    const int des_row = std::clamp(desired.row, 0, num_rows - 1);
+
+    int best_row = -1;
+    double best_total = 0;
+    std::vector<RowCell> best_cells;
+
+    auto try_row = [&](int r) {
+      std::vector<RowCell> trial = rows[r];
+      RowCell rc;
+      rc.inst = idx;
+      rc.width = c.width_sites;
+      rc.target_x = static_cast<double>(desired.x);
+      // Keep sorted by target_x (cells arrive in x order, so push_back is
+      // almost always right; insert to be safe).
+      auto it = std::upper_bound(
+          trial.begin(), trial.end(), rc,
+          [](const RowCell& a, const RowCell& b) {
+            return a.target_x < b.target_x;
+          });
+      trial.insert(it, rc);
+      double cost = collapse_row(trial, row_sites);
+      if (cost < 0) return;  // row overflow
+      double vert = static_cast<double>(std::abs(r - des_row));
+      double total =
+          (cost - row_cost_now[r]) + opts.row_cost * vert * vert;
+      if (best_row < 0 || total < best_total) {
+        best_row = r;
+        best_total = total;
+        best_cells = std::move(trial);
+      }
+    };
+
+    for (int dr = 0; dr <= opts.row_search_range; ++dr) {
+      if (des_row - dr >= 0) try_row(des_row - dr);
+      if (dr > 0 && des_row + dr < num_rows) try_row(des_row + dr);
+      if (best_row >= 0 && dr >= 2) break;  // good enough neighbourhood
+    }
+    if (best_row < 0) {
+      for (int r = 0; r < num_rows; ++r) try_row(r);
+    }
+    if (best_row < 0) {
+      throw std::runtime_error("abacus_legalize: design does not fit core");
+    }
+    rows[best_row] = std::move(best_cells);
+    double c2 = collapse_row(rows[best_row], row_sites);
+    row_cost_now[best_row] = c2;
+  }
+
+  for (int r = 0; r < num_rows; ++r) {
+    for (const RowCell& rc : rows[r]) {
+      Placement p = d.placement(rc.inst);
+      d.set_placement(rc.inst, Placement{rc.x, r, p.flipped});
+    }
+  }
+}
+
+}  // namespace vm1

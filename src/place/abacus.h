@@ -1,0 +1,25 @@
+/// \file abacus.h
+/// Abacus-style legalization (Spindler/Schlichtmann/Johannes-inspired).
+///
+/// A second, higher-quality legalizer alongside the Tetris one: cells are
+/// inserted row by row in x order and each row's cells are re-packed by a
+/// quadratic-cost cluster collapse, minimizing total squared displacement
+/// from the global-placement targets. Used for ablations and as the
+/// default when placement quality matters more than runtime.
+#pragma once
+
+#include "design/design.h"
+
+namespace vm1 {
+
+struct AbacusOptions {
+  int row_search_range = 8;  ///< rows above/below the target row to try
+  double row_cost = 20.0;    ///< penalty per row of vertical displacement
+};
+
+/// Legalizes the current (possibly overlapping) placement with minimum
+/// squared displacement. Throws std::runtime_error if the design does not
+/// fit. Postcondition: is_legal(d).
+void abacus_legalize(Design& d, const AbacusOptions& opts = {});
+
+}  // namespace vm1

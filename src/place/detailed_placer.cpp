@@ -1,0 +1,140 @@
+#include "place/detailed_placer.h"
+
+#include <algorithm>
+
+#include "design/legality.h"
+#include "place/hpwl.h"
+
+namespace vm1 {
+namespace {
+
+/// Occupancy bookkeeping for in-row moves.
+class Grid {
+ public:
+  explicit Grid(const Design& d) : d_(d), grid_(occupancy_grid(d)) {}
+
+  void remove(int inst) {
+    const Placement& p = d_.placement(inst);
+    int w = d_.netlist().cell_of(inst).width_sites;
+    for (int s = p.x; s < p.x + w; ++s) grid_[p.row][s] = -1;
+  }
+  void put(int inst) {
+    const Placement& p = d_.placement(inst);
+    int w = d_.netlist().cell_of(inst).width_sites;
+    for (int s = p.x; s < p.x + w; ++s) grid_[p.row][s] = inst;
+  }
+  /// True if [x, x+w) in `row` is free (ignoring `ignore_inst`).
+  bool free_span(int row, int x, int w, int ignore_inst) const {
+    if (x < 0 || x + w > static_cast<int>(grid_[row].size())) return false;
+    for (int s = x; s < x + w; ++s) {
+      int occ = grid_[row][s];
+      if (occ >= 0 && occ != ignore_inst) return false;
+    }
+    return true;
+  }
+  int at(int row, int site) const { return grid_[row][site]; }
+
+ private:
+  const Design& d_;
+  std::vector<std::vector<int>> grid_;
+};
+
+}  // namespace
+
+Coord detailed_place(Design& d, const DetailedPlaceOptions& opts) {
+  const Netlist& nl = d.netlist();
+  const int n = nl.num_instances();
+  Grid grid(d);
+
+  Coord total = total_hpwl(d);
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    Coord pass_start = total;
+    for (int i = 0; i < n; ++i) {
+      const Cell& c = nl.cell_of(i);
+      if (c.filler) continue;
+      std::vector<int> nets = nets_of_instance(d, i);
+      if (nets.empty()) continue;
+      const Placement orig = d.placement(i);
+      Coord base = hpwl_of_nets(d, nets);
+
+      Placement best = orig;
+      Coord best_gain = 0;
+
+      auto try_placement = [&](const Placement& cand) {
+        d.set_placement(i, cand);
+        Coord gain = base - hpwl_of_nets(d, nets);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = cand;
+        }
+      };
+
+      // 1. Shifts within free gaps of the same row (and flip variants).
+      for (int dx = -opts.shift_range; dx <= opts.shift_range; ++dx) {
+        int x = orig.x + dx;
+        if (!grid.free_span(orig.row, x, c.width_sites, i)) continue;
+        try_placement(Placement{x, orig.row, orig.flipped});
+        if (opts.allow_flip) {
+          try_placement(Placement{x, orig.row, !orig.flipped});
+        }
+      }
+      d.set_placement(i, orig);
+
+      if (best_gain > 0) {
+        grid.remove(i);
+        d.set_placement(i, best);
+        grid.put(i);
+        total -= best_gain;
+        continue;
+      }
+
+      // 2. Swap with the right-hand neighbour when widths permit.
+      int right_site = orig.x + c.width_sites;
+      if (right_site < d.sites_per_row()) {
+        int j = grid.at(orig.row, right_site);
+        if (j >= 0 && j != i) {
+          const Cell& cj = nl.cell_of(j);
+          const Placement pj = d.placement(j);
+          // After swap: j at orig.x, i at orig.x + cj.width.
+          std::vector<int> both = nets;
+          for (int nn : nets_of_instance(d, j)) {
+            if (std::find(both.begin(), both.end(), nn) == both.end()) {
+              both.push_back(nn);
+            }
+          }
+          Coord before = hpwl_of_nets(d, both);
+          d.set_placement(j, Placement{orig.x, orig.row, pj.flipped});
+          d.set_placement(
+              i, Placement{orig.x + cj.width_sites, orig.row, orig.flipped});
+          Coord gain = before - hpwl_of_nets(d, both);
+          if (gain > 0) {
+            // Grid removal must use the pre-move placements: restore, clear
+            // both footprints, then commit the swap.
+            d.set_placement(i, orig);
+            d.set_placement(j, pj);
+            grid.remove(i);
+            grid.remove(j);
+            d.set_placement(j, Placement{orig.x, orig.row, pj.flipped});
+            d.set_placement(i, Placement{orig.x + cj.width_sites, orig.row,
+                                         orig.flipped});
+            grid.put(i);
+            grid.put(j);
+            total -= gain;
+          } else {
+            d.set_placement(i, orig);
+            d.set_placement(j, pj);
+          }
+        }
+      }
+    }
+    double improve =
+        pass_start > 0
+            ? static_cast<double>(pass_start - total) /
+                  static_cast<double>(pass_start)
+            : 0.0;
+    if (improve < opts.min_improve) break;
+  }
+  return total;
+}
+
+}  // namespace vm1

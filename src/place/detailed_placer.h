@@ -1,0 +1,25 @@
+/// \file detailed_placer.h
+/// Greedy wirelength-driven detailed placement.
+///
+/// Stands in for the commercial tool's detailed placement step: local cell
+/// shifts within free gaps, adjacent-cell swaps, and orientation flips,
+/// accepted greedily on HPWL improvement. This is the *traditional*,
+/// alignment-unaware optimizer; the paper's contribution (src/core) then
+/// perturbs its result to win direct vertical M1 routes.
+#pragma once
+
+#include "design/design.h"
+
+namespace vm1 {
+
+struct DetailedPlaceOptions {
+  int max_passes = 4;
+  int shift_range = 8;         ///< sites to explore left/right
+  double min_improve = 0.002;  ///< stop when a pass improves HPWL less
+  bool allow_flip = true;
+};
+
+/// Refines a legal placement; preserves legality. Returns final total HPWL.
+Coord detailed_place(Design& d, const DetailedPlaceOptions& opts = {});
+
+}  // namespace vm1

@@ -1,0 +1,133 @@
+#include "place/global_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vm1 {
+
+void global_place(Design& d, const GlobalPlaceOptions& opts) {
+  const Netlist& nl = d.netlist();
+  const Tech& tech = d.tech();
+  const int n = nl.num_instances();
+  const Rect core = d.core();
+  const double W = static_cast<double>(core.hx);
+  const double H = static_cast<double>(core.hy);
+  Rng rng(opts.seed);
+
+  // Continuous positions (cell centers).
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = W * (0.25 + 0.5 * rng.uniform_real());
+    y[i] = H * (0.25 + 0.5 * rng.uniform_real());
+  }
+
+  // Precompute, per instance, its connected (instance | IO) neighbours via
+  // a star model: each pin attracts toward the net's centroid.
+  struct NetRef {
+    int net;
+  };
+  std::vector<std::vector<int>> inst_nets(n);
+  for (int i = 0; i < n; ++i) {
+    const Cell& c = nl.cell_of(i);
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      int net = nl.net_at(i, static_cast<int>(p));
+      if (net >= 0) inst_nets[i].push_back(net);
+    }
+  }
+
+  const int num_bins_x = std::max(1, d.sites_per_row() / opts.bin_sites);
+  const int num_bins_y = std::max(1, d.num_rows() / 2);
+  const double bin_w = W / num_bins_x;
+  const double bin_h = H / num_bins_y;
+  const double bin_capacity =
+      bin_w * bin_h / static_cast<double>(tech.row_height());
+
+  std::vector<double> net_cx(nl.num_nets()), net_cy(nl.num_nets());
+
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    // Net centroids (IO terminals are fixed anchor points).
+    for (int nn = 0; nn < nl.num_nets(); ++nn) {
+      const Net& net = nl.net(nn);
+      if (!net.routable()) continue;
+      double cx = 0, cy = 0;
+      for (const NetPin& p : net.pins) {
+        if (p.is_io()) {
+          const Point& io = d.io_position(p.pin);
+          cx += static_cast<double>(io.x);
+          cy += static_cast<double>(io.y);
+        } else {
+          cx += x[p.inst];
+          cy += y[p.inst];
+        }
+      }
+      net_cx[nn] = cx / net.num_pins();
+      net_cy[nn] = cy / net.num_pins();
+    }
+
+    // Move every instance toward the average of its nets' centroids.
+    for (int i = 0; i < n; ++i) {
+      if (inst_nets[i].empty()) continue;
+      double tx = 0, ty = 0;
+      for (int nn : inst_nets[i]) {
+        tx += net_cx[nn];
+        ty += net_cy[nn];
+      }
+      tx /= static_cast<double>(inst_nets[i].size());
+      ty /= static_cast<double>(inst_nets[i].size());
+      x[i] = 0.5 * x[i] + 0.5 * tx;
+      y[i] = 0.5 * y[i] + 0.5 * ty;
+    }
+
+    // Bin-density spreading: push overflow outward along the emptier axis.
+    std::vector<double> density(
+        static_cast<std::size_t>(num_bins_x) * num_bins_y, 0.0);
+    auto bin_of = [&](double px, double py) {
+      int bx = std::clamp(static_cast<int>(px / bin_w), 0, num_bins_x - 1);
+      int by = std::clamp(static_cast<int>(py / bin_h), 0, num_bins_y - 1);
+      return std::pair{bx, by};
+    };
+    for (int i = 0; i < n; ++i) {
+      auto [bx, by] = bin_of(x[i], y[i]);
+      density[static_cast<std::size_t>(by) * num_bins_x + bx] +=
+          nl.cell_of(i).width_sites;
+    }
+    for (int i = 0; i < n; ++i) {
+      auto [bx, by] = bin_of(x[i], y[i]);
+      double dens = density[static_cast<std::size_t>(by) * num_bins_x + bx];
+      double over = dens / bin_capacity - 1.0;
+      if (over <= 0) continue;
+      double push = std::min(1.0, over) * opts.spread_strength;
+      // Push away from the bin center, plus jitter to break symmetry.
+      double cx = (bx + 0.5) * bin_w;
+      double cy = (by + 0.5) * bin_h;
+      double dx = x[i] - cx + (rng.uniform_real() - 0.5) * bin_w * 0.5;
+      double dy = y[i] - cy + (rng.uniform_real() - 0.5) * bin_h * 0.5;
+      x[i] += push * dx;
+      y[i] += push * dy;
+    }
+
+    for (int i = 0; i < n; ++i) {
+      x[i] = std::clamp(x[i], 0.0, W - 1.0);
+      y[i] = std::clamp(y[i], 0.0, H - 1.0);
+    }
+  }
+
+  // Write rounded positions (row/site); not yet legal.
+  for (int i = 0; i < n; ++i) {
+    const Cell& c = nl.cell_of(i);
+    Placement p;
+    p.x = std::clamp(
+        static_cast<int>(std::lround(x[i] - c.width_sites / 2.0)), 0,
+        d.sites_per_row() - c.width_sites);
+    p.row = std::clamp(
+        static_cast<int>(y[i] / static_cast<double>(tech.row_height())), 0,
+        d.num_rows() - 1);
+    p.flipped = false;
+    d.set_placement(i, p);
+  }
+}
+
+}  // namespace vm1

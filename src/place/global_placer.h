@@ -1,0 +1,28 @@
+/// \file global_placer.h
+/// Analytic-style global placement (stands in for the Innovus place step).
+///
+/// Iterates weighted-centroid (clique-model quadratic) relaxation with
+/// bin-density spreading, producing real-valued cell positions that the
+/// Tetris legalizer then snaps to rows/sites. Quality is adequate for the
+/// paper's experiments, which compare an initial routed placement against
+/// the VM1-optimized one — both derived from this same initial placement.
+#pragma once
+
+#include <cstdint>
+
+#include "design/design.h"
+
+namespace vm1 {
+
+struct GlobalPlaceOptions {
+  int iterations = 32;
+  double spread_strength = 0.35;  ///< fraction of bin overflow pushed out
+  int bin_sites = 12;             ///< bin width in sites
+  std::uint64_t seed = 17;
+};
+
+/// Runs global placement and writes (continuous, then rounded) positions
+/// into d's placements. Result is generally NOT legal; run legalize() next.
+void global_place(Design& d, const GlobalPlaceOptions& opts = {});
+
+}  // namespace vm1

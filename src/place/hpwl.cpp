@@ -1,0 +1,40 @@
+#include "place/hpwl.h"
+
+#include <algorithm>
+
+namespace vm1 {
+
+Coord net_hpwl(const Design& d, int net) {
+  const Net& n = d.netlist().net(net);
+  if (!n.routable()) return 0;
+  BBox box;
+  for (const NetPin& p : n.pins) box.add(d.pin_position(p));
+  return box.rect().half_perimeter();
+}
+
+Coord total_hpwl(const Design& d) {
+  Coord total = 0;
+  for (int n = 0; n < d.netlist().num_nets(); ++n) total += net_hpwl(d, n);
+  return total;
+}
+
+Coord hpwl_of_nets(const Design& d, const std::vector<int>& nets) {
+  Coord total = 0;
+  for (int n : nets) total += net_hpwl(d, n);
+  return total;
+}
+
+std::vector<int> nets_of_instance(const Design& d, int inst) {
+  std::vector<int> nets;
+  const Netlist& nl = d.netlist();
+  const Cell& c = nl.cell_of(inst);
+  for (std::size_t p = 0; p < c.pins.size(); ++p) {
+    int n = nl.net_at(inst, static_cast<int>(p));
+    if (n >= 0 && std::find(nets.begin(), nets.end(), n) == nets.end()) {
+      nets.push_back(n);
+    }
+  }
+  return nets;
+}
+
+}  // namespace vm1

@@ -1,0 +1,21 @@
+/// \file hpwl.h
+/// Half-perimeter wirelength evaluation.
+#pragma once
+
+#include "design/design.h"
+
+namespace vm1 {
+
+/// HPWL of one net (0 for nets with < 2 pins).
+Coord net_hpwl(const Design& d, int net);
+
+/// Sum of HPWL over all routable nets.
+Coord total_hpwl(const Design& d);
+
+/// Sum of HPWL over the nets in `nets` (deduplicated by the caller).
+Coord hpwl_of_nets(const Design& d, const std::vector<int>& nets);
+
+/// All nets incident to instance `inst` (no duplicates).
+std::vector<int> nets_of_instance(const Design& d, int inst);
+
+}  // namespace vm1

@@ -1,0 +1,105 @@
+#include "place/legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vm1 {
+
+namespace {
+
+/// One Tetris pass. In `compact` mode cells pack against the row frontier
+/// (no gaps), which always succeeds when any row has room — used as the
+/// fallback for very high utilization where gap-preserving placement
+/// strands too much whitespace. Throws when a cell cannot be placed.
+void tetris_pass(Design& d, const LegalizeOptions& opts, bool compact_mode) {
+  const Netlist& nl = d.netlist();
+  const int n = nl.num_instances();
+  const int num_rows = d.num_rows();
+  const int row_sites = d.sites_per_row();
+
+  // Process cells left-to-right (classic Tetris order).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return d.placement(a).x < d.placement(b).x;
+  });
+
+  // frontier[r] = first free site in row r (everything left is occupied).
+  std::vector<int> frontier(num_rows, 0);
+
+  for (int idx : order) {
+    const Cell& c = nl.cell_of(idx);
+    const int w = c.width_sites;
+    const Placement desired = d.placement(idx);
+    const int des_row = std::clamp(desired.row, 0, num_rows - 1);
+    const int des_x = std::clamp(desired.x, 0, row_sites - w);
+
+    int best_row = -1, best_pos = 0;
+    double best_cost = 0;
+    auto consider = [&](int r, bool compact) {
+      compact = compact || compact_mode;
+      int pos = compact ? frontier[r] : std::max(frontier[r], des_x);
+      if (pos + w > row_sites) return;
+      double cost = std::abs(pos - des_x) +
+                    opts.row_cost * std::abs(r - des_row);
+      if (best_row < 0 || cost < best_cost) {
+        best_row = r;
+        best_pos = pos;
+        best_cost = cost;
+      }
+    };
+
+    for (int dr = 0; dr <= opts.row_search_range && best_row < 0; ++dr) {
+      // Expand outward until something fits; then refine one more ring to
+      // allow a cheaper neighbour.
+      if (des_row - dr >= 0) consider(des_row - dr, false);
+      if (dr > 0 && des_row + dr < num_rows) consider(des_row + dr, false);
+    }
+    if (best_row >= 0) {
+      // Look one ring further for a possibly cheaper spot.
+      int found_dr = std::abs(best_row - des_row);
+      for (int dr = found_dr + 1;
+           dr <= std::min(found_dr + 2, opts.row_search_range); ++dr) {
+        if (des_row - dr >= 0) consider(des_row - dr, false);
+        if (des_row + dr < num_rows) consider(des_row + dr, false);
+      }
+    } else {
+      // Full scan, normal then compact mode.
+      for (int r = 0; r < num_rows; ++r) consider(r, false);
+      if (best_row < 0) {
+        for (int r = 0; r < num_rows; ++r) consider(r, true);
+      }
+    }
+    if (best_row < 0) {
+      throw std::runtime_error("legalize: design does not fit core");
+    }
+
+    d.set_placement(idx, Placement{best_pos, best_row, desired.flipped});
+    frontier[best_row] = best_pos + w;
+  }
+}
+
+}  // namespace
+
+void legalize(Design& d, const LegalizeOptions& opts) {
+  // Snapshot so the compact fallback restarts from the original targets
+  // rather than a half-finished normal pass.
+  std::vector<Placement> snapshot(d.netlist().num_instances());
+  for (int i = 0; i < d.netlist().num_instances(); ++i) {
+    snapshot[i] = d.placement(i);
+  }
+  try {
+    tetris_pass(d, opts, /*compact_mode=*/false);
+    return;
+  } catch (const std::runtime_error&) {
+    for (int i = 0; i < d.netlist().num_instances(); ++i) {
+      d.set_placement(i, snapshot[i]);
+    }
+  }
+  tetris_pass(d, opts, /*compact_mode=*/true);
+}
+
+}  // namespace vm1

@@ -1,0 +1,21 @@
+/// \file legalizer.h
+/// Tetris-style placement legalization.
+#pragma once
+
+#include "design/design.h"
+
+namespace vm1 {
+
+struct LegalizeOptions {
+  /// How many rows above/below the desired row to consider.
+  int row_search_range = 6;
+  /// Cost weight of vertical displacement relative to horizontal (per row).
+  double row_cost = 20.0;
+};
+
+/// Legalizes the current (possibly overlapping) placement: every cell ends
+/// up inside the core on whole sites with no overlaps. Throws
+/// std::runtime_error if the design does not fit (utilization > 1).
+void legalize(Design& d, const LegalizeOptions& opts = {});
+
+}  // namespace vm1

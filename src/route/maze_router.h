@@ -1,0 +1,78 @@
+/// \file maze_router.h
+/// Negotiated-congestion maze search over the TrackGraph.
+///
+/// Implements the inner engine of a PathFinder-style router: multi-source /
+/// multi-target Dijkstra with present-congestion and history costs. The
+/// outer rip-up-and-reroute loop lives in router.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/track_graph.h"
+
+namespace vm1 {
+
+/// Cost parameters for negotiated congestion.
+struct MazeCostOptions {
+  double via_cost = 4.0;
+  double overuse_penalty = 12.0;  ///< added per unit of overuse on an edge
+  double history_weight = 2.0;
+  int wire_capacity = 1;
+  int via_capacity = 4;
+};
+
+/// Shared routing state: per-edge usage and history. Wire edges are
+/// identified by their *from* node id (the +direction edge leaving that
+/// node along the layer); vias by the lower-layer node id.
+class MazeState {
+ public:
+  MazeState(const TrackGraph& graph, const MazeCostOptions& opts);
+
+  const TrackGraph& graph() const { return *graph_; }
+  const MazeCostOptions& options() const { return opts_; }
+
+  int wire_use(std::size_t from_node) const { return wire_use_[from_node]; }
+  int via_use(std::size_t low_node) const { return via_use_[low_node]; }
+  void add_wire(std::size_t from_node, int delta) {
+    wire_use_[from_node] += delta;
+  }
+  void add_via(std::size_t low_node, int delta) {
+    via_use_[low_node] += delta;
+  }
+
+  /// Adds current overuse into the history map (end of a rip-up iteration).
+  void accumulate_history();
+  /// Total wire-edge overuse (the DRV proxy).
+  long total_overflow() const;
+  /// Collects nodes whose outgoing wire edge is overused.
+  std::vector<std::size_t> overused_edges() const;
+
+  void reset_usage();
+
+  /// Multi-source/multi-target Dijkstra for `net`, restricted to grid bbox
+  /// [bx0,bx1]x[by0,by1]. Returns the node path from a source to a target
+  /// (inclusive), or empty when unreachable.
+  std::vector<GNode> search(const std::vector<GNode>& sources,
+                            const std::vector<GNode>& targets, int net,
+                            int bx0, int by0, int bx1, int by1);
+
+ private:
+  double wire_cost(int layer, std::size_t from_node) const;
+  double via_cost(std::size_t low_node) const;
+
+  const TrackGraph* graph_;
+  MazeCostOptions opts_;
+  std::vector<int> wire_use_;
+  std::vector<int> via_use_;
+  std::vector<float> history_;
+
+  // Search scratch (stamped to avoid O(N) clears per search).
+  std::vector<double> dist_;
+  std::vector<std::int64_t> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t cur_stamp_ = 0;
+};
+
+}  // namespace vm1

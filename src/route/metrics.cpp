@@ -1,0 +1,66 @@
+#include "route/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vm1 {
+
+long CongestionMap::total() const {
+  long t = 0;
+  for (long v : overflow) t += v;
+  return t;
+}
+
+CongestionMap build_congestion_map(const Router& router, int target_bins_x) {
+  const TrackGraph& g = router.graph();
+  const MazeState& st = router.state();
+  CongestionMap map;
+  map.bins_x = std::max(1, std::min(target_bins_x, g.width()));
+  int bin_w = std::max(1, (g.width() + map.bins_x - 1) / map.bins_x);
+  map.bins_x = (g.width() + bin_w) / bin_w;
+  int bin_h = bin_w;  // square-ish bins in grid units
+  map.bins_y = (g.height() + bin_h) / bin_h;
+  map.overflow.assign(static_cast<std::size_t>(map.bins_x) * map.bins_y, 0);
+
+  const int cap = st.options().wire_capacity;
+  const std::size_t per_layer =
+      static_cast<std::size_t>(g.width() + 1) * (g.height() + 1);
+  for (std::size_t id = 0; id < g.num_nodes(); ++id) {
+    int over = st.wire_use(id) - cap;
+    if (over <= 0) continue;
+    std::size_t rem = id % per_layer;
+    int gy = static_cast<int>(rem / (g.width() + 1));
+    int gx = static_cast<int>(rem % (g.width() + 1));
+    int bx = std::min(map.bins_x - 1, gx / bin_w);
+    int by = std::min(map.bins_y - 1, gy / bin_h);
+    map.overflow[static_cast<std::size_t>(by) * map.bins_x + bx] += over;
+  }
+  return map;
+}
+
+std::string render_congestion(const CongestionMap& map) {
+  static const char kShades[] = " .:-=+*#%@";
+  long peak = 1;
+  for (long v : map.overflow) peak = std::max(peak, v);
+  std::ostringstream os;
+  for (int by = map.bins_y - 1; by >= 0; --by) {
+    for (int bx = 0; bx < map.bins_x; ++bx) {
+      long v = map.at(bx, by);
+      int shade = static_cast<int>(
+          v * (static_cast<long>(sizeof(kShades)) - 2) / peak);
+      os << kShades[shade];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string summarize(const RouteMetrics& m) {
+  std::ostringstream os;
+  os << "RWL=" << m.rwl_dbu << " M1WL=" << m.m1_wl_dbu()
+     << " via12=" << m.via12 << " dM1=" << m.num_dm1 << " DRV=" << m.drv
+     << " unrouted=" << m.unrouted;
+  return os.str();
+}
+
+}  // namespace vm1

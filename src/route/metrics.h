@@ -1,0 +1,35 @@
+/// \file metrics.h
+/// Routing metric helpers: congestion maps and pretty-printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/router.h"
+
+namespace vm1 {
+
+/// Wire-edge overflow accumulated into coarse bins (for congestion studies
+/// and the ASCII heat map in examples/congestion_study).
+struct CongestionMap {
+  int bins_x = 0;
+  int bins_y = 0;
+  std::vector<long> overflow;  ///< bins_x * bins_y, row-major from bottom
+
+  long at(int bx, int by) const {
+    return overflow[static_cast<std::size_t>(by) * bins_x + bx];
+  }
+  long total() const;
+};
+
+/// Builds a congestion map with roughly `target_bins_x` columns.
+CongestionMap build_congestion_map(const Router& router,
+                                   int target_bins_x = 32);
+
+/// Renders the map as an ASCII heat map (rows top to bottom).
+std::string render_congestion(const CongestionMap& map);
+
+/// One-line summary of routing metrics.
+std::string summarize(const RouteMetrics& m);
+
+}  // namespace vm1

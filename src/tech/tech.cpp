@@ -1,0 +1,38 @@
+#include "tech/tech.h"
+
+namespace vm1 {
+
+const char* to_string(CellArch arch) {
+  switch (arch) {
+    case CellArch::kConventional12T:
+      return "Conventional12T";
+    case CellArch::kClosedM1:
+      return "ClosedM1";
+    case CellArch::kOpenM1:
+      return "OpenM1";
+  }
+  return "?";
+}
+
+Tech Tech::make_7nm() {
+  Tech t;
+  t.site_width_ = 1;
+  t.row_height_ = 15;
+  t.tracks_per_row_ = 7;
+  // Resistance grows toward the bottom of the stack (thin local metals),
+  // capacitance is roughly constant per unit length.
+  t.layers_ = {
+      {LayerId::kM0, "M0", Dir::kHorizontal, 3, 4.0, 0.20},
+      {LayerId::kM1, "M1", Dir::kVertical, 1, 3.0, 0.20},
+      {LayerId::kM2, "M2", Dir::kHorizontal, 2, 2.0, 0.18},
+      {LayerId::kM3, "M3", Dir::kVertical, 2, 1.5, 0.18},
+      {LayerId::kM4, "M4", Dir::kHorizontal, 4, 1.0, 0.16},
+  };
+  t.via_r_ = {8.0, 6.0, 5.0, 4.0};  // V01, V12, V23, V34
+  t.via_c_ = {0.05, 0.05, 0.04, 0.04};
+  t.gamma_ = 3;
+  t.delta_ = 1;
+  return t;
+}
+
+}  // namespace vm1

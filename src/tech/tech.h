@@ -1,0 +1,101 @@
+/// \file tech.h
+/// Synthetic sub-10nm technology description.
+///
+/// Stands in for the LEF technology + imec 7nm PDK data the paper uses.
+/// Units: 1 DBU = one placement-site width = one M1 routing pitch (the
+/// ClosedM1 library property "M1 pitch equal to the width of a placement
+/// site" from Section 1.1 of the paper). Vertical track indices count M2
+/// tracks; a 7.5-track cell row spans `tracks_per_row` M2 tracks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace vm1 {
+
+/// Physical size of one DBU (= one placement site = one M1 pitch) in nm.
+/// Used only to translate the paper's nm-denominated weighting factors
+/// (e.g. alpha = 1200) into this library's site-denominated units.
+inline constexpr double kNmPerSite = 45.0;
+
+/// Standard-cell architecture from Section 1.1 of the paper.
+enum class CellArch {
+  kConventional12T,  ///< M1 horizontal PG rails; no inter-row M1 routing
+  kClosedM1,         ///< 1D vertical M1 pins on the site grid; M1 open between pins
+  kOpenM1,           ///< pins on horizontal M0; M1 fully open
+};
+
+const char* to_string(CellArch arch);
+
+/// Preferred routing direction of a metal layer.
+enum class Dir { kHorizontal, kVertical };
+
+/// Routing layer identifiers. M0 is the complementary layer below M1 used
+/// for pins/intra-cell routing in the OpenM1 architecture.
+enum class LayerId : int { kM0 = 0, kM1 = 1, kM2 = 2, kM3 = 3, kM4 = 4 };
+
+inline int layer_index(LayerId l) { return static_cast<int>(l); }
+
+struct Layer {
+  LayerId id;
+  std::string name;
+  Dir dir;
+  /// Track pitch in DBU along the non-preferred axis.
+  Coord pitch;
+  /// Per-unit-length resistance and capacitance (arbitrary consistent
+  /// units; lower layers are more resistive, as in sub-10nm stacks).
+  double r_per_dbu;
+  double c_per_dbu;
+};
+
+/// Technology container. Use Tech::make_7nm() for the default used in all
+/// experiments.
+class Tech {
+ public:
+  /// Builds the default synthetic 7nm technology: 7.5-track rows,
+  /// M0(H)/M1(V)/M2(H)/M3(V)/M4(H), site width 1 DBU, row height 15 DBU
+  /// (M2 pitch 2 DBU).
+  static Tech make_7nm();
+
+  Coord site_width() const { return site_width_; }
+  Coord row_height() const { return row_height_; }
+  /// Number of M2 track slots a row spans (row_height / m2 pitch).
+  int tracks_per_row() const { return tracks_per_row_; }
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(LayerId id) const { return layers_[layer_index(id)]; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Via resistance between layer l and l+1.
+  double via_resistance(int lower_layer) const {
+    return via_r_[lower_layer];
+  }
+  /// Via capacitance contribution.
+  double via_capacitance(int lower_layer) const {
+    return via_c_[lower_layer];
+  }
+
+  /// Default maximum vertical span of a direct M1 route, in rows (the
+  /// paper's gamma; paper uses 3).
+  int gamma() const { return gamma_; }
+  void set_gamma(int g) { gamma_ = g; }
+
+  /// Default minimum pin-projection overlap (DBU) required for a dM1 in the
+  /// OpenM1 architecture (the paper's delta).
+  Coord delta() const { return delta_; }
+  void set_delta(Coord d) { delta_ = d; }
+
+ private:
+  Coord site_width_ = 1;
+  Coord row_height_ = 15;
+  int tracks_per_row_ = 7;  // usable full M2 tracks per row (7.5-track cell)
+  std::vector<Layer> layers_;
+  std::vector<double> via_r_;
+  std::vector<double> via_c_;
+  int gamma_ = 3;
+  Coord delta_ = 1;
+};
+
+}  // namespace vm1

@@ -1,0 +1,33 @@
+#include "timing/power.h"
+
+#include "place/hpwl.h"
+#include "timing/sta.h"
+
+namespace vm1 {
+
+PowerResult compute_power(const Design& d, const PowerOptions& opts) {
+  const Netlist& nl = d.netlist();
+  PowerResult res;
+
+  auto net_len = [&](int net) -> long {
+    if (net < static_cast<int>(opts.net_lengths.size())) {
+      return opts.net_lengths[net];
+    }
+    return net_hpwl(d, net);
+  };
+
+  double cv2f_scale = opts.vdd * opts.vdd * opts.freq_ghz * 1e-3;
+  for (int net = 0; net < nl.num_nets(); ++net) {
+    if (!nl.net(net).routable()) continue;
+    double activity =
+        nl.net(net).is_clock ? 1.0 : opts.activity;  // clock toggles always
+    double cap = net_capacitance(d, net, net_len(net));
+    res.dynamic_mw += activity * cap * cv2f_scale;
+  }
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    res.leakage_mw += nl.cell_of(i).leakage * 1e-3;
+  }
+  return res;
+}
+
+}  // namespace vm1

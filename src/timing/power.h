@@ -1,0 +1,30 @@
+/// \file power.h
+/// Switching + leakage power model (the Power column of Table 2).
+#pragma once
+
+#include <vector>
+
+#include "design/design.h"
+
+namespace vm1 {
+
+struct PowerResult {
+  double dynamic_mw = 0;
+  double leakage_mw = 0;
+  double total_mw() const { return dynamic_mw + leakage_mw; }
+};
+
+struct PowerOptions {
+  double activity = 0.15;  ///< average toggle rate
+  double vdd = 0.70;
+  double freq_ghz = 1.0;
+  /// Per-net routed wirelength in DBU; empty = fall back to HPWL.
+  std::vector<long> net_lengths;
+};
+
+/// Computes power for the current placement (and routing, when per-net
+/// lengths are supplied). Shorter routed nets => lower switching power,
+/// which is how the paper's optimization shows up in this column.
+PowerResult compute_power(const Design& d, const PowerOptions& opts = {});
+
+}  // namespace vm1

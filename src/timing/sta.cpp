@@ -1,0 +1,189 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "place/hpwl.h"
+#include "util/logging.h"
+
+namespace vm1 {
+namespace {
+
+/// Average per-DBU wire parasitics over the working layers (M1..M3).
+constexpr double kAvgR = 2.2;
+constexpr double kAvgC = 0.19;
+
+}  // namespace
+
+double net_capacitance(const Design& d, int net, long length_dbu) {
+  const Netlist& nl = d.netlist();
+  const Net& n = nl.net(net);
+  double cap = static_cast<double>(length_dbu) * kAvgC;
+  for (const NetPin& p : n.pins) {
+    if (p.is_io()) continue;
+    const PinInfo& pin = nl.cell_of(p.inst).pins[p.pin];
+    if (pin.dir == PinDir::kInput) cap += pin.cap;
+  }
+  return cap;
+}
+
+StaResult run_sta(const Design& d, const StaOptions& opts) {
+  const Netlist& nl = d.netlist();
+  const int n_inst = nl.num_instances();
+
+  auto net_len = [&](int net) -> long {
+    if (net < static_cast<int>(opts.net_lengths.size())) {
+      return opts.net_lengths[net];
+    }
+    return net_hpwl(d, net);
+  };
+
+  // Arrival time at each instance *output*. Startpoints (PI nets, DFF
+  // outputs) start at 0. Topological propagation via Kahn's algorithm over
+  // combinational instances.
+  std::vector<double> arrival(n_inst, 0.0);
+  std::vector<int> indeg(n_inst, 0);
+
+  // fanin counting: a combinational instance waits on each input driven by
+  // a combinational cell output.
+  auto driver_of = [&](int net) -> int {
+    const Net& nn = nl.net(net);
+    for (const NetPin& p : nn.pins) {
+      if (p.is_io()) {
+        if (nl.io(p.pin).is_input) return -1;  // PI startpoint
+        continue;
+      }
+      if (nl.cell_of(p.inst).pins[p.pin].dir == PinDir::kOutput) {
+        return p.inst;
+      }
+    }
+    return -1;
+  };
+
+  std::vector<int> net_driver(nl.num_nets(), -1);
+  for (int net = 0; net < nl.num_nets(); ++net) net_driver[net] = driver_of(net);
+
+  for (int i = 0; i < n_inst; ++i) {
+    const Cell& c = nl.cell_of(i);
+    if (c.sequential || c.filler) continue;
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      if (c.pins[p].dir != PinDir::kInput) continue;
+      int net = nl.net_at(i, static_cast<int>(p));
+      if (net < 0) continue;
+      int drv = net_driver[net];
+      if (drv >= 0 && !nl.cell_of(drv).sequential) ++indeg[i];
+    }
+  }
+
+  // Delay through instance i driving its output net: intrinsic + R * C_load
+  // + distributed wire delay (lumped Elmore: R_wire/2 * C_wire + R_wire *
+  // C_pins).
+  auto stage_delay = [&](int i) -> double {
+    const Cell& c = nl.cell_of(i);
+    int out = c.output_pin();
+    if (out < 0) return 0.0;
+    int net = nl.net_at(i, out);
+    if (net < 0) return c.intrinsic_delay;
+    long len = net_len(net);
+    double c_wire = static_cast<double>(len) * kAvgC;
+    double c_pins = net_capacitance(d, net, 0);
+    double r_wire = static_cast<double>(len) * kAvgR;
+    // Effective capacitance: the driver sees roughly half the distributed
+    // wire cap (the rest is shielded by wire resistance).
+    return c.intrinsic_delay + c.drive_res * (0.5 * c_wire + c_pins) +
+           1e-3 * r_wire * (0.5 * c_wire + c_pins);
+  };
+
+  std::queue<int> ready;
+  for (int i = 0; i < n_inst; ++i) {
+    const Cell& c = nl.cell_of(i);
+    if (!c.sequential && !c.filler && indeg[i] == 0) ready.push(i);
+  }
+  // Sequential cells launch at time 0 through their Q pin.
+  // (Handled implicitly: their sinks see arrival 0 + stage delay of the DFF.)
+
+  std::vector<double> out_arrival(n_inst, 0.0);
+  for (int i = 0; i < n_inst; ++i) {
+    const Cell& c = nl.cell_of(i);
+    if (c.sequential) out_arrival[i] = stage_delay(i);
+  }
+
+  int processed = 0;
+  while (!ready.empty()) {
+    int i = ready.front();
+    ready.pop();
+    ++processed;
+    const Cell& c = nl.cell_of(i);
+    double in_arr = 0.0;
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      if (c.pins[p].dir != PinDir::kInput) continue;
+      int net = nl.net_at(i, static_cast<int>(p));
+      if (net < 0) continue;
+      int drv = net_driver[net];
+      if (drv >= 0) in_arr = std::max(in_arr, out_arrival[drv]);
+    }
+    out_arrival[i] = in_arr + stage_delay(i);
+
+    int out = c.output_pin();
+    if (out < 0) continue;
+    int net = nl.net_at(i, out);
+    if (net < 0) continue;
+    for (const NetPin& p : nl.net(net).pins) {
+      if (p.is_io()) continue;
+      const Cell& sc = nl.cell_of(p.inst);
+      if (sc.pins[p.pin].dir != PinDir::kInput) continue;
+      if (sc.sequential || sc.filler) continue;
+      if (--indeg[p.inst] == 0) ready.push(p.inst);
+    }
+  }
+
+  // Endpoint arrivals: DFF inputs and primary outputs.
+  StaResult res;
+  double max_delay = 0;
+  for (int i = 0; i < n_inst; ++i) {
+    const Cell& c = nl.cell_of(i);
+    if (!c.sequential) continue;
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      if (c.pins[p].dir != PinDir::kInput) continue;
+      int net = nl.net_at(i, static_cast<int>(p));
+      if (net < 0) continue;
+      int drv = net_driver[net];
+      double arr = drv >= 0 ? out_arrival[drv] : 0.0;
+      ++res.num_endpoints;
+      if (arr > max_delay) {
+        max_delay = arr;
+        res.critical_endpoint_inst = i;
+      }
+    }
+  }
+  for (int io = 0; io < nl.num_ios(); ++io) {
+    if (nl.io(io).is_input) continue;
+    ++res.num_endpoints;
+  }
+  for (int net = 0; net < nl.num_nets(); ++net) {
+    bool has_po = false;
+    for (const NetPin& p : nl.net(net).pins) {
+      if (p.is_io() && !nl.io(p.pin).is_input) has_po = true;
+    }
+    if (!has_po) continue;
+    int drv = net_driver[net];
+    double arr = drv >= 0 ? out_arrival[drv] : 0.0;
+    if (arr > max_delay) {
+      max_delay = arr;
+      res.critical_endpoint_inst = drv;
+    }
+  }
+
+  (void)arrival;
+  res.net_arrival.assign(nl.num_nets(), 0.0);
+  for (int net = 0; net < nl.num_nets(); ++net) {
+    int drv = net_driver[net];
+    if (drv >= 0) res.net_arrival[net] = out_arrival[drv];
+  }
+  res.max_delay = max_delay;
+  double period = opts.clock_period > 0 ? opts.clock_period : max_delay;
+  res.wns = period - max_delay;
+  return res;
+}
+
+}  // namespace vm1

@@ -1,0 +1,40 @@
+/// \file sta.h
+/// Lumped-Elmore static timing analysis.
+///
+/// Produces the WNS column of Table 2. Paths start at primary inputs and
+/// DFF outputs and end at primary outputs and DFF data/clock inputs.
+/// Net parasitics come from routed wirelength when available (pass the
+/// router's per-net lengths), otherwise from HPWL.
+#pragma once
+
+#include <vector>
+
+#include "design/design.h"
+
+namespace vm1 {
+
+struct StaResult {
+  double max_delay = 0;     ///< critical path delay (arbitrary time units)
+  double wns = 0;           ///< clock_period - max_delay (negative = violation)
+  int num_endpoints = 0;
+  int critical_endpoint_inst = -1;
+  /// Arrival time at each net's driver output (0 for PI/clock nets).
+  /// Used to derive per-net timing-criticality weights.
+  std::vector<double> net_arrival;
+};
+
+struct StaOptions {
+  /// Clock period; <= 0 means "use the computed max delay" (WNS == 0).
+  double clock_period = 0;
+  /// Per-net routed wirelength in DBU; empty = fall back to HPWL.
+  std::vector<long> net_lengths;
+};
+
+/// Runs STA on the design in its current placement.
+StaResult run_sta(const Design& d, const StaOptions& opts = {});
+
+/// Total net capacitance (per-net wire cap + sink pin caps) — the quantity
+/// the power model integrates. Exposed for tests.
+double net_capacitance(const Design& d, int net, long length_dbu);
+
+}  // namespace vm1

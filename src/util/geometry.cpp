@@ -1,0 +1,29 @@
+#include "util/geometry.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace vm1 {
+
+std::string to_string(const Point& p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+std::string to_string(const Rect& r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.lx << "," << r.ly << " .. " << r.hx << "," << r.hy
+            << "]";
+}
+
+}  // namespace vm1

@@ -1,0 +1,139 @@
+/// \file geometry.h
+/// Integer lattice geometry primitives used throughout OpenVM1.
+///
+/// All layout coordinates in OpenVM1 are integers in *database units* (DBU).
+/// One DBU equals one placement-site width, which for the synthetic 7nm
+/// libraries also equals the M1 routing pitch (the ClosedM1 architecture of
+/// the paper has "M1 pitch equal to the width of a placement site").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace vm1 {
+
+/// Coordinate type for all layout geometry (database units).
+using Coord = std::int64_t;
+
+/// A point on the integer layout lattice.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// L1 (Manhattan) distance between two points.
+inline Coord manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Closed axis-aligned rectangle [lx, hx] x [ly, hy].
+///
+/// A Rect is *valid* when lx <= hx and ly <= hy. Degenerate (zero width or
+/// height) rectangles are valid and are used for 1D pin shapes.
+struct Rect {
+  Coord lx = 0;
+  Coord ly = 0;
+  Coord hx = 0;
+  Coord hy = 0;
+
+  Rect() = default;
+  Rect(Coord lx_, Coord ly_, Coord hx_, Coord hy_)
+      : lx(lx_), ly(ly_), hx(hx_), hy(hy_) {}
+
+  bool valid() const { return lx <= hx && ly <= hy; }
+  Coord width() const { return hx - lx; }
+  Coord height() const { return hy - ly; }
+  /// Half-perimeter of the rectangle (HPWL of its corner set).
+  Coord half_perimeter() const { return width() + height(); }
+  Point center() const { return {(lx + hx) / 2, (ly + hy) / 2}; }
+
+  /// True if point p lies inside (boundary inclusive).
+  bool contains(const Point& p) const {
+    return p.x >= lx && p.x <= hx && p.y >= ly && p.y <= hy;
+  }
+  /// True if r lies fully inside this rect (boundary inclusive).
+  bool contains(const Rect& r) const {
+    return r.lx >= lx && r.hx <= hx && r.ly >= ly && r.hy <= hy;
+  }
+  /// True if the closed rectangles share at least a point.
+  bool intersects(const Rect& r) const {
+    return lx <= r.hx && r.lx <= hx && ly <= r.hy && r.ly <= hy;
+  }
+  /// True if the *open* interiors overlap (shared edges do not count).
+  bool overlaps_open(const Rect& r) const {
+    return lx < r.hx && r.lx < hx && ly < r.hy && r.ly < hy;
+  }
+
+  /// Grow to include point p.
+  void expand(const Point& p) {
+    lx = std::min(lx, p.x);
+    hx = std::max(hx, p.x);
+    ly = std::min(ly, p.y);
+    hy = std::max(hy, p.y);
+  }
+  /// Grow to include rect r.
+  void expand(const Rect& r) {
+    lx = std::min(lx, r.lx);
+    hx = std::max(hx, r.hx);
+    ly = std::min(ly, r.ly);
+    hy = std::max(hy, r.hy);
+  }
+
+  /// Rect translated by (dx, dy).
+  Rect shifted(Coord dx, Coord dy) const {
+    return {lx + dx, ly + dy, hx + dx, hy + dy};
+  }
+
+  /// Intersection (invalid Rect if disjoint).
+  Rect intersection(const Rect& r) const {
+    return {std::max(lx, r.lx), std::max(ly, r.ly), std::min(hx, r.hx),
+            std::min(hy, r.hy)};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Length of the 1D overlap of closed intervals [a0,a1] and [b0,b1];
+/// negative values indicate the gap size between disjoint intervals.
+inline Coord interval_overlap(Coord a0, Coord a1, Coord b0, Coord b1) {
+  return std::min(a1, b1) - std::max(a0, b0);
+}
+
+/// Bounding box builder that starts empty.
+class BBox {
+ public:
+  void add(const Point& p) {
+    if (empty_) {
+      box_ = {p.x, p.y, p.x, p.y};
+      empty_ = false;
+    } else {
+      box_.expand(p);
+    }
+  }
+  void add(const Rect& r) {
+    if (empty_) {
+      box_ = r;
+      empty_ = false;
+    } else {
+      box_.expand(r);
+    }
+  }
+  bool empty() const { return empty_; }
+  /// Valid only when !empty().
+  const Rect& rect() const { return box_; }
+
+ private:
+  Rect box_;
+  bool empty_ = true;
+};
+
+std::string to_string(const Point& p);
+std::string to_string(const Rect& r);
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace vm1

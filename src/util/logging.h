@@ -1,0 +1,68 @@
+/// \file logging.h
+/// Lightweight leveled logging and wall-clock timers.
+#pragma once
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+namespace vm1 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void stream_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void stream_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  stream_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::stream_all(os, args...);
+  log_message(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+/// Monotonic stopwatch; reports elapsed seconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace vm1

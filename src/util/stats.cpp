@@ -1,0 +1,37 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vm1 {
+
+void Summary::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double pct_delta(double before, double after) {
+  if (before == 0) return 0;
+  return (after - before) / before * 100.0;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_delta(double before, double after, int precision) {
+  double d = pct_delta(before, after);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f", precision, d);
+  return buf;
+}
+
+}  // namespace vm1

@@ -1,0 +1,38 @@
+/// \file stats.h
+/// Small statistics helpers used in reports and benchmark tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vm1 {
+
+/// Running univariate summary (count / mean / min / max / sum).
+class Summary {
+ public:
+  void add(double v);
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Percentage change from `before` to `after` ((after-before)/before*100);
+/// 0 when before == 0.
+double pct_delta(double before, double after);
+
+/// Format a double with fixed precision (for report tables).
+std::string fmt(double v, int precision = 1);
+
+/// Format a percent delta as e.g. "-6.4" / "+4.0".
+std::string fmt_delta(double before, double after, int precision = 1);
+
+}  // namespace vm1

@@ -1,0 +1,51 @@
+/// \file thread_pool.h
+/// Minimal fixed-size thread pool used for the distributable window
+/// optimization (Section 4.1 of the paper): each iteration solves a batch of
+/// diagonally-adjacent, mutually independent windows in parallel.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vm1 {
+
+/// Fixed-size worker pool. Tasks are void() callables; `wait_idle` blocks
+/// until every submitted task has finished, providing the barrier between
+/// window batches.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vm1

@@ -1,0 +1,89 @@
+#include "place/abacus.h"
+
+#include <gtest/gtest.h>
+
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/hpwl.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+class AbacusPerArch : public ::testing::TestWithParam<CellArch> {};
+
+TEST_P(AbacusPerArch, ProducesLegalPlacement) {
+  Design d = make_design("tiny", GetParam());
+  global_place(d);
+  abacus_legalize(d);
+  EXPECT_TRUE(is_legal(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, AbacusPerArch,
+                         ::testing::Values(CellArch::kClosedM1,
+                                           CellArch::kOpenM1));
+
+TEST(Abacus, HandlesHighUtilization) {
+  DesignOptions opts;
+  opts.utilization = 0.92;
+  Design d = make_design("tiny", CellArch::kClosedM1, opts);
+  global_place(d);
+  abacus_legalize(d);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(Abacus, DisplacementNotWorseThanTetris) {
+  // Abacus minimizes squared displacement; on the same global placement
+  // its total displacement should beat (or at least match) Tetris.
+  auto displacement = [](const Design& d,
+                         const std::vector<Placement>& from) {
+    long total = 0;
+    for (int i = 0; i < d.netlist().num_instances(); ++i) {
+      total += std::abs(d.placement(i).x - from[i].x) +
+               std::abs(d.placement(i).row - from[i].row) * 4;
+    }
+    return total;
+  };
+
+  Design da = make_design("tiny", CellArch::kClosedM1);
+  global_place(da);
+  std::vector<Placement> targets = da.placements();
+  abacus_legalize(da);
+  long disp_abacus = displacement(da, targets);
+
+  Design dt = make_design("tiny", CellArch::kClosedM1);
+  global_place(dt);
+  legalize(dt);
+  long disp_tetris = displacement(dt, targets);
+
+  EXPECT_LE(disp_abacus, disp_tetris);
+}
+
+TEST(Abacus, PreservesOrientation) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  d.set_placement(0, Placement{d.placement(0).x, d.placement(0).row, true});
+  abacus_legalize(d);
+  EXPECT_TRUE(d.placement(0).flipped);
+}
+
+TEST(Abacus, AlreadyLegalPlacementStaysClose) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  std::vector<Placement> before = d.placements();
+  abacus_legalize(d);
+  EXPECT_TRUE(is_legal(d));
+  // A legal input is a zero-cost solution; cells should barely move.
+  long moved_far = 0;
+  for (int i = 0; i < d.netlist().num_instances(); ++i) {
+    if (std::abs(d.placement(i).x - before[i].x) > 3 ||
+        d.placement(i).row != before[i].row) {
+      ++moved_far;
+    }
+  }
+  EXPECT_LT(moved_far, d.netlist().num_instances() / 4);
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,228 @@
+#include "milp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vm1::milp {
+namespace {
+
+MipResult solve(const Model& m) {
+  BranchAndBound bnb;
+  return bnb.solve(m);
+}
+
+TEST(BranchAndBound, PureLpPassesThrough) {
+  Model m;
+  int x = m.add_continuous(0, 4, -1, "x");
+  m.add_constraint({{x, 1.0}}, lp::Sense::kLe, 2.5);
+  MipResult r = solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.5, 1e-6);
+}
+
+TEST(BranchAndBound, SimpleBinaryChoice) {
+  // min -3a - 2b  s.t. a + b <= 1  => a = 1, b = 0.
+  Model m;
+  int a = m.add_binary(-3, "a");
+  int b = m.add_binary(-2, "b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kLe, 1);
+  MipResult r = solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -3, 1e-6);
+  EXPECT_NEAR(r.x[a], 1, 1e-6);
+  EXPECT_NEAR(r.x[b], 0, 1e-6);
+}
+
+TEST(BranchAndBound, KnapsackKnownOptimum) {
+  // values {10, 13, 7, 8}, weights {3, 4, 2, 3}, capacity 7.
+  // Optimum: items 0+1 (v=23, w=7).
+  Model m;
+  const double v[] = {10, 13, 7, 8};
+  const double w[] = {3, 4, 2, 3};
+  std::vector<std::pair<int, double>> cap;
+  for (int i = 0; i < 4; ++i) {
+    int x = m.add_binary(-v[i]);
+    cap.emplace_back(x, w[i]);
+  }
+  m.add_constraint(cap, lp::Sense::kLe, 7);
+  MipResult r = solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -23, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIntegral) {
+  // a + b == 1 with both forced to 0 by bounds on a third constraint.
+  Model m;
+  int a = m.add_binary(0, "a");
+  int b = m.add_binary(0, "b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kEq, 1);
+  m.add_constraint({{a, 1.0}}, lp::Sense::kLe, 0);
+  m.add_constraint({{b, 1.0}}, lp::Sense::kLe, 0);
+  EXPECT_EQ(solve(m).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, FractionalLpForcedInteger) {
+  // LP optimum is x = 2.5; integer optimum is 2 (x <= 2.5 constraint).
+  Model m;
+  int x = m.add_integer(0, 10, -1, "x");
+  m.add_constraint({{x, 2.0}}, lp::Sense::kLe, 5);
+  MipResult r = solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2, 1e-6);
+}
+
+TEST(BranchAndBound, AssignmentProblemIntegrality) {
+  // 3x3 assignment: cost matrix with unique optimum on the diagonal.
+  Model m;
+  double cost[3][3] = {{1, 5, 5}, {5, 2, 5}, {5, 5, 3}};
+  int v[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) v[i][j] = m.add_binary(cost[i][j]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::pair<int, double>> row, col;
+    for (int j = 0; j < 3; ++j) {
+      row.emplace_back(v[i][j], 1.0);
+      col.emplace_back(v[j][i], 1.0);
+    }
+    m.add_constraint(row, lp::Sense::kEq, 1);
+    m.add_constraint(col, lp::Sense::kEq, 1);
+  }
+  MipResult r = solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 6, 1e-6);
+}
+
+TEST(BranchAndBound, WarmStartNeverWorsens) {
+  Model m;
+  int a = m.add_binary(-1, "a");
+  int b = m.add_binary(-1, "b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kLe, 1);
+  std::vector<double> warm = {1.0, 0.0};  // feasible with objective -1
+  BranchAndBound::Options opts;
+  opts.max_nodes = 0;  // forbid all search: incumbent must come from warm
+  BranchAndBound bnb(opts);
+  MipResult r = bnb.solve(m, nullptr, &warm);
+  ASSERT_FALSE(r.x.empty());
+  EXPECT_LE(r.objective, -1 + 1e-9);
+}
+
+TEST(BranchAndBound, HeuristicSeedsIncumbent) {
+  Model m;
+  int a = m.add_binary(-2, "a");
+  int b = m.add_binary(-3, "b");
+  m.add_constraint({{a, 2.0}, {b, 2.0}}, lp::Sense::kLe, 3);
+  auto heuristic = [](const Model& model, const std::vector<double>& lpx)
+      -> std::optional<std::vector<double>> {
+    // Round down: always feasible for <=-only models with positive coeffs.
+    std::vector<double> x(lpx.size());
+    for (std::size_t i = 0; i < lpx.size(); ++i) x[i] = std::floor(lpx[i]);
+    (void)model;
+    return x;
+  };
+  BranchAndBound bnb;
+  MipResult r = bnb.solve(m, heuristic);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -3, 1e-6);  // b alone
+}
+
+TEST(BranchAndBound, NodeLimitReportsFeasible) {
+  Rng rng(5);
+  Model m;
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 18; ++i) {
+    int x = m.add_binary(-(1.0 + static_cast<double>(rng.uniform(9))));
+    row.emplace_back(x, 1.0 + static_cast<double>(rng.uniform(4)));
+  }
+  m.add_constraint(row, lp::Sense::kLe, 11);
+  BranchAndBound::Options opts;
+  opts.max_nodes = 3;
+  MipResult r = BranchAndBound(opts).solve(m);
+  // With almost no search we still expect an incumbent (rounded LP or a
+  // lucky integral node) or an honest kNoSolution.
+  if (!r.x.empty()) {
+    EXPECT_TRUE(m.is_feasible(r.x, 1e-5));
+    EXPECT_GE(r.objective, r.best_bound - 1e-6);
+  } else {
+    EXPECT_EQ(r.status, MipStatus::kNoSolution);
+  }
+}
+
+class BnBExhaustive : public ::testing::TestWithParam<int> {};
+
+// Property: on random small binary MILPs the B&B optimum matches exhaustive
+// enumeration over all 2^n assignments.
+TEST_P(BnBExhaustive, MatchesEnumeration) {
+  Rng rng(900 + GetParam());
+  const int n = 3 + static_cast<int>(rng.uniform(6));  // up to 8 binaries
+  const int mrows = 1 + static_cast<int>(rng.uniform(4));
+
+  Model m;
+  std::vector<double> cost(n);
+  for (int j = 0; j < n; ++j) {
+    cost[j] = rng.uniform_int(-6, 6);
+    m.add_binary(cost[j]);
+  }
+  struct Row {
+    std::vector<double> a;
+    double rhs;
+    lp::Sense sense;
+  };
+  std::vector<Row> rows;
+  for (int i = 0; i < mrows; ++i) {
+    Row row;
+    row.a.resize(n);
+    for (int j = 0; j < n; ++j) {
+      row.a[j] = static_cast<double>(rng.uniform_int(-3, 3));
+    }
+    row.rhs = static_cast<double>(rng.uniform_int(-2, 6));
+    row.sense = rng.chance(0.5) ? lp::Sense::kLe : lp::Sense::kGe;
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (row.a[j] != 0) terms.emplace_back(j, row.a[j]);
+    }
+    if (terms.empty()) continue;
+    m.add_constraint(terms, row.sense, row.rhs);
+    rows.push_back(row);
+  }
+
+  // Exhaustive reference.
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (const Row& row : rows) {
+      double lhs = 0;
+      for (int j = 0; j < n; ++j) {
+        if (mask & (1 << j)) lhs += row.a[j];
+      }
+      if (row.sense == lp::Sense::kLe ? lhs > row.rhs + 1e-9
+                                      : lhs < row.rhs - 1e-9) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    double obj = 0;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1 << j)) obj += cost[j];
+    }
+    best = std::min(best, obj);
+  }
+
+  MipResult r = solve(m);
+  if (std::isinf(best)) {
+    EXPECT_EQ(r.status, MipStatus::kInfeasible) << "instance " << GetParam();
+  } else {
+    ASSERT_EQ(r.status, MipStatus::kOptimal) << "instance " << GetParam();
+    EXPECT_NEAR(r.objective, best, 1e-6) << "instance " << GetParam();
+    EXPECT_TRUE(m.is_feasible(r.x, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMilp, BnBExhaustive, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace vm1::milp

@@ -1,0 +1,144 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  CandidatesTest() : d_(make_design("tiny", CellArch::kClosedM1)) {
+    global_place(d_);
+    legalize(d_);
+    win_.x0 = 0;
+    win_.x1 = d_.sites_per_row();
+    win_.row0 = 0;
+    win_.row1 = d_.num_rows() - 1;
+  }
+
+  std::vector<int> all_movable() {
+    std::vector<int> v;
+    for (int i = 0; i < d_.netlist().num_instances(); ++i) v.push_back(i);
+    return v;
+  }
+
+  Design d_;
+  Window win_;
+};
+
+TEST_F(CandidatesTest, CurrentPlacementIsCandidateZero) {
+  auto movable = all_movable();
+  auto mask = fixed_site_mask(d_, win_, movable);
+  auto cands = enumerate_candidates(d_, 0, win_, mask, 3, 1, true, true);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0], d_.placement(0));
+}
+
+TEST_F(CandidatesTest, PerturbationRangeRespected) {
+  auto movable = all_movable();
+  auto mask = fixed_site_mask(d_, win_, movable);
+  const int lx = 4, ly = 1;
+  for (int i = 0; i < 10; ++i) {
+    const Placement cur = d_.placement(i);
+    for (const Candidate& c :
+         enumerate_candidates(d_, i, win_, mask, lx, ly, true, true)) {
+      EXPECT_LE(std::abs(c.x - cur.x), lx);
+      EXPECT_LE(std::abs(c.row - cur.row), ly);
+    }
+  }
+}
+
+TEST_F(CandidatesTest, CandidatesStayInsideWindow) {
+  Window small;
+  small.x0 = 4;
+  small.x1 = 18;
+  small.row0 = 1;
+  small.row1 = 2;
+  // Movable set: cells fully inside.
+  std::vector<int> movable;
+  const Netlist& nl = d_.netlist();
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d_.placement(i);
+    if (small.contains_footprint(p.x, p.row, nl.cell_of(i).width_sites)) {
+      movable.push_back(i);
+    }
+  }
+  auto mask = fixed_site_mask(d_, small, movable);
+  for (int m : movable) {
+    int w = nl.cell_of(m).width_sites;
+    auto cands = enumerate_candidates(d_, m, small, mask, 8, 3, true, true);
+    for (std::size_t k = 1; k < cands.size(); ++k) {  // 0 = identity
+      EXPECT_TRUE(small.contains_footprint(cands[k].x, cands[k].row, w));
+    }
+  }
+}
+
+TEST_F(CandidatesTest, FixedMaskExcludesOccupiedSites) {
+  // Use a window over everything but mark only instance 0 movable: all
+  // other cells become fixed blockages.
+  std::vector<int> movable = {0};
+  auto mask = fixed_site_mask(d_, win_, movable);
+  const Netlist& nl = d_.netlist();
+  auto cands = enumerate_candidates(d_, 0, win_, mask, 6, 2, true, false);
+  auto grid = occupancy_grid(d_);
+  for (std::size_t k = 1; k < cands.size(); ++k) {
+    for (int s = cands[k].x; s < cands[k].x + nl.cell_of(0).width_sites;
+         ++s) {
+      int occ = grid[cands[k].row][s];
+      EXPECT_TRUE(occ < 0 || occ == 0)
+          << "candidate overlaps fixed cell " << occ;
+    }
+  }
+}
+
+TEST_F(CandidatesTest, FlipOnlyModeProducesAtMostTwo) {
+  auto movable = all_movable();
+  auto mask = fixed_site_mask(d_, win_, movable);
+  auto cands = enumerate_candidates(d_, 3, win_, mask, 4, 1,
+                                    /*allow_move=*/false,
+                                    /*allow_flip=*/true);
+  EXPECT_GE(cands.size(), 1u);
+  EXPECT_LE(cands.size(), 2u);
+  for (const Candidate& c : cands) {
+    EXPECT_EQ(c.x, d_.placement(3).x);
+    EXPECT_EQ(c.row, d_.placement(3).row);
+  }
+}
+
+TEST_F(CandidatesTest, NoFlipNoMoveIsIdentityOnly) {
+  auto movable = all_movable();
+  auto mask = fixed_site_mask(d_, win_, movable);
+  auto cands = enumerate_candidates(d_, 5, win_, mask, 4, 1, false, false);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], d_.placement(5));
+}
+
+TEST_F(CandidatesTest, LargerRangeGivesMoreCandidates) {
+  auto movable = all_movable();
+  auto mask = fixed_site_mask(d_, win_, movable);
+  auto small = enumerate_candidates(d_, 7, win_, mask, 1, 0, true, false);
+  auto large = enumerate_candidates(d_, 7, win_, mask, 5, 1, true, false);
+  EXPECT_GE(large.size(), small.size());
+}
+
+TEST(WindowStruct, ContainsFootprint) {
+  Window w;
+  w.x0 = 10;
+  w.x1 = 20;
+  w.row0 = 2;
+  w.row1 = 4;
+  EXPECT_TRUE(w.contains_footprint(10, 2, 5));
+  EXPECT_TRUE(w.contains_footprint(15, 4, 5));
+  EXPECT_FALSE(w.contains_footprint(16, 4, 5));  // spills right
+  EXPECT_FALSE(w.contains_footprint(9, 3, 5));   // starts left
+  EXPECT_FALSE(w.contains_footprint(12, 5, 2));  // row below window
+  EXPECT_EQ(w.width(), 10);
+  EXPECT_EQ(w.rows(), 3);
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,107 @@
+#include "core/dist_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+Design placed(CellArch arch = CellArch::kClosedM1) {
+  Design d = make_design("tiny", arch);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+DistOptOptions fast_opts() {
+  DistOptOptions o;
+  o.bw = 16;
+  o.bh = 2;
+  o.lx = 3;
+  o.ly = 1;
+  o.mip.max_nodes = 60;
+  o.mip.time_limit_sec = 2.0;
+  return o;
+}
+
+TEST(DistOpt, ObjectiveDoesNotIncrease) {
+  Design d = placed();
+  DistOptOptions opts = fast_opts();
+  double before = evaluate_objective(d, opts.params).value;
+  DistOptStats stats = dist_opt(d, opts, nullptr);
+  EXPECT_LE(stats.objective, before + 1e-6);
+  EXPECT_GT(stats.windows, 0);
+}
+
+TEST(DistOpt, PreservesLegality) {
+  Design d = placed();
+  dist_opt(d, fast_opts(), nullptr);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(DistOpt, ParallelMatchesSequential) {
+  Design d_seq = placed();
+  Design d_par = placed();
+  DistOptOptions opts = fast_opts();
+  dist_opt(d_seq, opts, nullptr);
+  ThreadPool pool(4);
+  dist_opt(d_par, opts, &pool);
+  // Same windows, same MILPs, same deterministic solver => same layout.
+  for (int i = 0; i < d_seq.netlist().num_instances(); ++i) {
+    EXPECT_EQ(d_seq.placement(i), d_par.placement(i)) << "instance " << i;
+  }
+}
+
+TEST(DistOpt, IncreasesAlignmentsWithHighAlpha) {
+  Design d = placed();
+  DistOptOptions opts = fast_opts();
+  opts.params.alpha = 60;  // strongly favour alignment
+  long before = evaluate_objective(d, opts.params).alignments;
+  dist_opt(d, opts, nullptr);
+  long after = evaluate_objective(d, opts.params).alignments;
+  EXPECT_GE(after, before);
+}
+
+TEST(DistOpt, FlipOnlyPassKeepsPositions) {
+  Design d = placed();
+  std::vector<std::pair<int, int>> pos;
+  for (int i = 0; i < d.netlist().num_instances(); ++i) {
+    pos.emplace_back(d.placement(i).x, d.placement(i).row);
+  }
+  DistOptOptions opts = fast_opts();
+  opts.allow_move = false;
+  opts.allow_flip = true;
+  opts.lx = 0;
+  opts.ly = 0;
+  dist_opt(d, opts, nullptr);
+  for (int i = 0; i < d.netlist().num_instances(); ++i) {
+    EXPECT_EQ(d.placement(i).x, pos[i].first);
+    EXPECT_EQ(d.placement(i).row, pos[i].second);
+  }
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(DistOpt, OpenM1ArchRuns) {
+  Design d = placed(CellArch::kOpenM1);
+  DistOptOptions opts = fast_opts();
+  opts.params.alpha = 30;
+  double before = evaluate_objective(d, opts.params).value;
+  DistOptStats stats = dist_opt(d, opts, nullptr);
+  EXPECT_LE(stats.objective, before + 1e-6);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(DistOpt, StatsAreCoherent) {
+  Design d = placed();
+  DistOptStats s = dist_opt(d, fast_opts(), nullptr);
+  EXPECT_GE(s.windows, s.windows_solved);
+  EXPECT_GE(s.windows_solved, s.windows_improved);
+  EXPECT_GE(s.total_nodes, 0);
+  EXPECT_GT(s.seconds, 0);
+}
+
+}  // namespace
+}  // namespace vm1

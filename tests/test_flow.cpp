@@ -1,0 +1,73 @@
+#include "core/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "design/legality.h"
+
+namespace vm1 {
+namespace {
+
+FlowOptions fast_flow(CellArch arch) {
+  FlowOptions f;
+  f.design_name = "tiny";
+  f.arch = arch;
+  f.vm1.sequence = {ParamSet{16, 2, 3, 1}};
+  f.vm1.max_inner_iters = 2;
+  f.vm1.threads = 2;
+  f.vm1.mip.max_nodes = 60;
+  f.vm1.mip.time_limit_sec = 2.0;
+  f.vm1.params.alpha = 30;
+  return f;
+}
+
+TEST(Flow, EndToEndClosedM1) {
+  std::optional<Design> d;
+  FlowResult r = run_flow(fast_flow(CellArch::kClosedM1), &d);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(is_legal(*d));
+  EXPECT_GT(r.init.route.rwl_dbu, 0);
+  EXPECT_GT(r.final.route.rwl_dbu, 0);
+  // The optimizer's own objective must improve or hold.
+  EXPECT_LE(r.final.objective.value, r.init.objective.value + 1e-6);
+  // Alignments (potential dM1) should not decrease.
+  EXPECT_GE(r.final.objective.alignments, r.init.objective.alignments);
+}
+
+TEST(Flow, EndToEndOpenM1) {
+  FlowResult r = run_flow(fast_flow(CellArch::kOpenM1));
+  EXPECT_GT(r.init.route.rwl_dbu, 0);
+  EXPECT_LE(r.final.objective.value, r.init.objective.value + 1e-6);
+}
+
+TEST(Flow, BaselineOnlySkipsOptimization) {
+  FlowOptions f = fast_flow(CellArch::kClosedM1);
+  f.run_vm1 = false;
+  FlowResult r = run_flow(f);
+  EXPECT_EQ(r.init.route.rwl_dbu, r.final.route.rwl_dbu);
+  EXPECT_EQ(r.opt.outer_iterations, 0);
+}
+
+TEST(Flow, MeasureIsDeterministic) {
+  FlowOptions f = fast_flow(CellArch::kClosedM1);
+  double place_s = 0;
+  Design d = prepare_design(f, &place_s);
+  QoR a = measure(d, f.router, f.vm1.params);
+  QoR b = measure(d, f.router, f.vm1.params);
+  EXPECT_EQ(a.hpwl, b.hpwl);
+  EXPECT_EQ(a.route.rwl_dbu, b.route.rwl_dbu);
+  EXPECT_EQ(a.route.num_dm1, b.route.num_dm1);
+  EXPECT_DOUBLE_EQ(a.power.total_mw(), b.power.total_mw());
+}
+
+TEST(Flow, ClosedM1HasDm1Potential) {
+  FlowOptions f = fast_flow(CellArch::kClosedM1);
+  f.run_vm1 = false;
+  std::optional<Design> d;
+  FlowResult r = run_flow(f, &d);
+  // Even unoptimized, some pins align by chance (Table 2 "Init" columns).
+  EXPECT_GT(r.init.objective.alignments, 0);
+  (void)d;
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,138 @@
+#include "netlist/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "cells/library_builder.h"
+
+namespace vm1 {
+namespace {
+
+TEST(Generator, ProducesRequestedSize) {
+  Library lib = build_library(CellArch::kClosedM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 400;
+  Netlist nl = generate_netlist(lib, cfg);
+  EXPECT_EQ(nl.num_instances(), 400);
+  EXPECT_GT(nl.num_nets(), 300);
+}
+
+TEST(Generator, ValidNetlist) {
+  Library lib = build_library(CellArch::kClosedM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 500;
+  Netlist nl = generate_netlist(lib, cfg);
+  auto problems = nl.validate();
+  EXPECT_TRUE(problems.empty())
+      << problems.size() << " problems, first: " << problems.front();
+}
+
+TEST(Generator, DeterministicInSeed) {
+  Library lib = build_library(CellArch::kOpenM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 300;
+  cfg.seed = 77;
+  Netlist a = generate_netlist(lib, cfg);
+  Netlist b = generate_netlist(lib, cfg);
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (int n = 0; n < a.num_nets(); ++n) {
+    ASSERT_EQ(a.net(n).pins.size(), b.net(n).pins.size());
+    for (std::size_t p = 0; p < a.net(n).pins.size(); ++p) {
+      EXPECT_EQ(a.net(n).pins[p], b.net(n).pins[p]);
+    }
+  }
+}
+
+TEST(Generator, FanoutCapRespected) {
+  Library lib = build_library(CellArch::kClosedM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 600;
+  cfg.max_fanout = 6;
+  Netlist nl = generate_netlist(lib, cfg);
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).is_clock) continue;  // clock tree fanout set separately
+    // pins = 1 driver + sinks (+ possibly one PO terminal).
+    EXPECT_LE(nl.net(n).num_pins(), cfg.max_fanout + 2) << nl.net(n).name;
+  }
+}
+
+TEST(Generator, CombinationalLogicIsAcyclic) {
+  Library lib = build_library(CellArch::kClosedM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 500;
+  Netlist nl = generate_netlist(lib, cfg);
+  // The generator guarantees combinational driver id < sink id, so walking
+  // instances in id order is a topological order: verify every
+  // combinational input's driver has a smaller id (or is sequential).
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Cell& c = nl.cell_of(i);
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      if (c.pins[p].dir != PinDir::kInput) continue;
+      int net = nl.net_at(i, static_cast<int>(p));
+      if (net < 0) continue;
+      if (nl.net(net).is_clock) continue;  // clock tree is not a comb path
+      for (const NetPin& np : nl.net(net).pins) {
+        if (np.is_io()) continue;
+        const Cell& dc = nl.cell_of(np.inst);
+        if (dc.pins[np.pin].dir != PinDir::kOutput) continue;
+        if (dc.sequential) continue;
+        EXPECT_LT(np.inst, i) << "combinational cycle risk";
+      }
+    }
+  }
+}
+
+TEST(Generator, DffsHaveClock) {
+  Library lib = build_library(CellArch::kClosedM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 400;
+  Netlist nl = generate_netlist(lib, cfg);
+  int dffs = 0;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Cell& c = nl.cell_of(i);
+    if (!c.sequential) continue;
+    ++dffs;
+    int ck = c.pin_index("CK");
+    ASSERT_GE(ck, 0);
+    int net = nl.net_at(i, ck);
+    ASSERT_GE(net, 0) << "DFF without clock";
+    EXPECT_TRUE(nl.net(net).is_clock);
+  }
+  EXPECT_GT(dffs, 0);
+}
+
+TEST(Generator, DesignConfigsScaleLikeTable2) {
+  // Instance ratios should follow m0 < aes << jpeg < vga.
+  auto m0 = design_config("m0").num_instances;
+  auto aes = design_config("aes").num_instances;
+  auto jpeg = design_config("jpeg").num_instances;
+  auto vga = design_config("vga").num_instances;
+  EXPECT_LT(m0, aes);
+  EXPECT_LT(aes, jpeg);
+  EXPECT_LT(jpeg, vga);
+  // Paper ratio jpeg/aes ~ 4.4.
+  EXPECT_NEAR(static_cast<double>(jpeg) / aes, 4.4, 0.6);
+  // Scale knob multiplies size.
+  EXPECT_NEAR(design_config("aes", 2.0).num_instances, 2 * aes, 2);
+}
+
+TEST(Generator, UnknownDesignThrows) {
+  EXPECT_THROW(design_config("nonexistent"), std::invalid_argument);
+}
+
+TEST(Generator, PrimaryIosPresent) {
+  Library lib = build_library(CellArch::kClosedM1);
+  GeneratorConfig cfg;
+  cfg.num_instances = 300;
+  cfg.num_primary_inputs = 10;
+  cfg.num_primary_outputs = 12;
+  Netlist nl = generate_netlist(lib, cfg);
+  int pis = 0, pos = 0;
+  for (int io = 0; io < nl.num_ios(); ++io) {
+    (nl.io(io).is_input ? pis : pos) += 1;
+  }
+  EXPECT_EQ(pis, 10 + 1);  // + clk
+  EXPECT_EQ(pos, 12);
+}
+
+}  // namespace
+}  // namespace vm1

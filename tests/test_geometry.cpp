@@ -1,0 +1,100 @@
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace vm1 {
+namespace {
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+  EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Geometry, RectBasics) {
+  Rect r(1, 2, 5, 9);
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 7);
+  EXPECT_EQ(r.half_perimeter(), 11);
+  EXPECT_EQ(r.center(), (Point{3, 5}));
+}
+
+TEST(Geometry, DegenerateRectIsValid) {
+  Rect pin(3, 3, 3, 11);  // 1D vertical pin shape
+  EXPECT_TRUE(pin.valid());
+  EXPECT_EQ(pin.width(), 0);
+  EXPECT_EQ(pin.half_perimeter(), 8);
+}
+
+TEST(Geometry, ContainsPoint) {
+  Rect r(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_FALSE(r.contains(Point{5, -1}));
+}
+
+TEST(Geometry, ContainsRect) {
+  Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.contains(Rect(2, 2, 8, 8)));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect(2, 2, 11, 8)));
+}
+
+TEST(Geometry, IntersectsClosed) {
+  Rect a(0, 0, 5, 5);
+  EXPECT_TRUE(a.intersects(Rect(5, 5, 9, 9)));  // corner touch counts
+  EXPECT_TRUE(a.intersects(Rect(3, 3, 4, 4)));
+  EXPECT_FALSE(a.intersects(Rect(6, 0, 9, 5)));
+}
+
+TEST(Geometry, OverlapsOpenExcludesSharedEdge) {
+  Rect a(0, 0, 5, 5);
+  EXPECT_FALSE(a.overlaps_open(Rect(5, 0, 9, 5)));  // abutting cells
+  EXPECT_TRUE(a.overlaps_open(Rect(4, 0, 9, 5)));
+}
+
+TEST(Geometry, ExpandPointAndRect) {
+  Rect r(2, 2, 3, 3);
+  r.expand(Point{0, 5});
+  EXPECT_EQ(r, Rect(0, 2, 3, 5));
+  r.expand(Rect(-1, -1, 7, 0));
+  EXPECT_EQ(r, Rect(-1, -1, 7, 5));
+}
+
+TEST(Geometry, ShiftedAndIntersection) {
+  Rect r(0, 0, 4, 4);
+  EXPECT_EQ(r.shifted(2, -1), Rect(2, -1, 6, 3));
+  Rect i = r.intersection(Rect(2, 2, 9, 9));
+  EXPECT_EQ(i, Rect(2, 2, 4, 4));
+  EXPECT_FALSE(r.intersection(Rect(5, 5, 6, 6)).valid());
+}
+
+TEST(Geometry, IntervalOverlap) {
+  EXPECT_EQ(interval_overlap(0, 4, 2, 6), 2);
+  EXPECT_EQ(interval_overlap(0, 4, 4, 6), 0);   // touching
+  EXPECT_EQ(interval_overlap(0, 4, 5, 6), -1);  // gap of 1
+  EXPECT_EQ(interval_overlap(0, 10, 2, 3), 1);
+}
+
+TEST(Geometry, BBoxAccumulation) {
+  BBox box;
+  EXPECT_TRUE(box.empty());
+  box.add(Point{3, 4});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.rect(), Rect(3, 4, 3, 4));
+  box.add(Point{0, 9});
+  box.add(Rect(5, 1, 6, 2));
+  EXPECT_EQ(box.rect(), Rect(0, 1, 6, 9));
+}
+
+TEST(Geometry, ToStringRoundtrip) {
+  EXPECT_EQ(to_string(Point{1, -2}), "(1,-2)");
+  EXPECT_EQ(to_string(Rect(0, 1, 2, 3)), "[0,1 .. 2,3]");
+}
+
+}  // namespace
+}  // namespace vm1

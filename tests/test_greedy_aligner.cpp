@@ -1,0 +1,76 @@
+#include "core/greedy_aligner.h"
+
+#include <gtest/gtest.h>
+
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+Design placed(CellArch arch = CellArch::kClosedM1) {
+  Design d = make_design("tiny", arch);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+TEST(GreedyAligner, PreservesLegality) {
+  Design d = placed();
+  GreedyAlignOptions opts;
+  opts.params.alpha = 30;
+  greedy_align(d, opts);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(GreedyAligner, IncreasesAlignments) {
+  Design d = placed();
+  GreedyAlignOptions opts;
+  opts.params.alpha = 40;
+  GreedyAlignStats s = greedy_align(d, opts);
+  EXPECT_GE(s.alignments_after, s.alignments_before);
+  EXPECT_GT(s.moves + s.flips, 0);
+}
+
+TEST(GreedyAligner, AlphaZeroReducesHpwlOnly) {
+  Design d = placed();
+  GreedyAlignOptions opts;
+  opts.params.alpha = 0;
+  GreedyAlignStats s = greedy_align(d, opts);
+  EXPECT_LE(s.hpwl_after, s.hpwl_before);
+}
+
+TEST(GreedyAligner, WorksOnOpenM1) {
+  Design d = placed(CellArch::kOpenM1);
+  GreedyAlignOptions opts;
+  opts.params.alpha = 25;
+  GreedyAlignStats s = greedy_align(d, opts);
+  EXPECT_GE(s.alignments_after, s.alignments_before);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(GreedyAligner, ObjectiveNotWorse) {
+  Design d = placed();
+  GreedyAlignOptions opts;
+  opts.params.alpha = 30;
+  double before = evaluate_objective(d, opts.params).value;
+  greedy_align(d, opts);
+  double after = evaluate_objective(d, opts.params).value;
+  EXPECT_LE(after, before + 1e-6);
+}
+
+TEST(GreedyAligner, DeterministicAcrossRuns) {
+  Design d1 = placed();
+  Design d2 = placed();
+  GreedyAlignOptions opts;
+  opts.params.alpha = 30;
+  greedy_align(d1, opts);
+  greedy_align(d2, opts);
+  for (int i = 0; i < d1.netlist().num_instances(); ++i) {
+    EXPECT_EQ(d1.placement(i), d2.placement(i));
+  }
+}
+
+}  // namespace
+}  // namespace vm1

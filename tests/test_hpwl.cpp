@@ -1,0 +1,105 @@
+#include "place/hpwl.h"
+
+#include <gtest/gtest.h>
+
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+TEST(Hpwl, MatchesManualBoundingBox) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  const Netlist& nl = d.netlist();
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    if (!nl.net(n).routable()) continue;
+    Coord lx = 0, hx = 0, ly = 0, hy = 0;
+    bool first = true;
+    for (const NetPin& p : nl.net(n).pins) {
+      Point pos = d.pin_position(p);
+      if (first) {
+        lx = hx = pos.x;
+        ly = hy = pos.y;
+        first = false;
+      } else {
+        lx = std::min(lx, pos.x);
+        hx = std::max(hx, pos.x);
+        ly = std::min(ly, pos.y);
+        hy = std::max(hy, pos.y);
+      }
+    }
+    EXPECT_EQ(net_hpwl(d, n), (hx - lx) + (hy - ly)) << nl.net(n).name;
+  }
+}
+
+TEST(Hpwl, UnroutableNetIsZero) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  const Netlist& nl = d.netlist();
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    if (!nl.net(n).routable()) EXPECT_EQ(net_hpwl(d, n), 0);
+  }
+}
+
+TEST(Hpwl, TotalIsSumOfNets) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  Coord sum = 0;
+  for (int n = 0; n < d.netlist().num_nets(); ++n) sum += net_hpwl(d, n);
+  EXPECT_EQ(total_hpwl(d), sum);
+}
+
+TEST(Hpwl, HpwlOfNetsSubset) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  std::vector<int> nets = {0, 1, 2};
+  Coord expect = net_hpwl(d, 0) + net_hpwl(d, 1) + net_hpwl(d, 2);
+  EXPECT_EQ(hpwl_of_nets(d, nets), expect);
+}
+
+TEST(Hpwl, NetsOfInstanceUniqueAndComplete) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  const Netlist& nl = d.netlist();
+  for (int i = 0; i < std::min(20, nl.num_instances()); ++i) {
+    auto nets = nets_of_instance(d, i);
+    // No duplicates.
+    for (std::size_t a = 0; a < nets.size(); ++a) {
+      for (std::size_t b = a + 1; b < nets.size(); ++b) {
+        EXPECT_NE(nets[a], nets[b]);
+      }
+    }
+    // Every connected pin's net is present.
+    const Cell& c = nl.cell_of(i);
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      int n = nl.net_at(i, static_cast<int>(p));
+      if (n < 0) continue;
+      EXPECT_NE(std::find(nets.begin(), nets.end(), n), nets.end());
+    }
+  }
+}
+
+TEST(Hpwl, MovingCellChangesOnlyItsNets) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  int inst = 0;
+  auto nets = nets_of_instance(d, inst);
+  ASSERT_FALSE(nets.empty());
+  std::vector<Coord> before(d.netlist().num_nets());
+  for (int n = 0; n < d.netlist().num_nets(); ++n) before[n] = net_hpwl(d, n);
+  Placement p = d.placement(inst);
+  p.x = (p.x + 11) % (d.sites_per_row() - 8);
+  d.set_placement(inst, p);
+  for (int n = 0; n < d.netlist().num_nets(); ++n) {
+    bool is_mine = std::find(nets.begin(), nets.end(), n) != nets.end();
+    if (!is_mine) {
+      EXPECT_EQ(net_hpwl(d, n), before[n]) << "net " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vm1

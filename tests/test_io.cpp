@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cells/library_builder.h"
+#include "io/def_io.h"
+#include "io/lef_writer.h"
+#include "io/report.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+TEST(LefWriter, ContainsMacrosAndLayers) {
+  Tech tech = Tech::make_7nm();
+  Library lib = build_library(CellArch::kClosedM1);
+  std::string lef = write_lef(tech, lib);
+  EXPECT_NE(lef.find("MACRO INV_X1_SVT"), std::string::npos);
+  EXPECT_NE(lef.find("LAYER M1"), std::string::npos);
+  EXPECT_NE(lef.find("DIRECTION VERTICAL"), std::string::npos);
+  EXPECT_NE(lef.find("PIN ZN"), std::string::npos);
+  EXPECT_NE(lef.find("CLASS CORE SPACER"), std::string::npos);  // fillers
+}
+
+TEST(DefIo, RoundTripPlacement) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  std::string def = write_def(d);
+  EXPECT_NE(def.find("COMPONENTS"), std::string::npos);
+
+  // Scramble, then restore from DEF.
+  Design d2 = make_design("tiny", CellArch::kClosedM1);
+  auto problems = read_def_placement(def, d2);
+  EXPECT_TRUE(problems.empty());
+  for (int i = 0; i < d.netlist().num_instances(); ++i) {
+    EXPECT_EQ(d.placement(i), d2.placement(i)) << "instance " << i;
+  }
+}
+
+TEST(DefIo, ReportsUnknownInstances) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  std::string def =
+      "COMPONENTS 1 ;\n- ghost INV_X1_SVT + PLACED ( 3 2 ) N ;\n"
+      "END COMPONENTS\n";
+  auto problems = read_def_placement(def, d);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ghost"), std::string::npos);
+}
+
+TEST(DefIo, OrientationPreserved) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  d.set_placement(0, Placement{4, 1, true});
+  d.set_placement(1, Placement{9, 0, false});
+  std::string def = write_def(d);
+  Design d2 = make_design("tiny", CellArch::kClosedM1);
+  read_def_placement(def, d2);
+  EXPECT_TRUE(d2.placement(0).flipped);
+  EXPECT_FALSE(d2.placement(1).flipped);
+}
+
+TEST(Report, TableRendering) {
+  Table t({"design", "RWL", "delta%"});
+  t.add_row({"aes", "32560", "-6.4"});
+  t.add_row({"jpeg", "96621", "-6.2"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("design"), std::string::npos);
+  EXPECT_NE(out.find("aes"), std::string::npos);
+  EXPECT_NE(out.find("-6.4"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Rows align: every line has the same length.
+  std::size_t first_nl = out.find('\n');
+  std::size_t second_nl = out.find('\n', first_nl + 1);
+  std::size_t third_nl = out.find('\n', second_nl + 1);
+  EXPECT_EQ(first_nl, third_nl - second_nl - 1);
+}
+
+}  // namespace
+}  // namespace vm1

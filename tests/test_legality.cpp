@@ -1,0 +1,76 @@
+#include "design/legality.h"
+
+#include <gtest/gtest.h>
+
+namespace vm1 {
+namespace {
+
+class LegalityTest : public ::testing::Test {
+ protected:
+  LegalityTest() : d_(make_design("tiny", CellArch::kClosedM1)) {
+    // Spread cells legally: one per stretch of sites, row-major.
+    const Netlist& nl = d_.netlist();
+    int x = 0, row = 0;
+    for (int i = 0; i < nl.num_instances(); ++i) {
+      int w = nl.cell_of(i).width_sites;
+      if (x + w > d_.sites_per_row()) {
+        x = 0;
+        ++row;
+      }
+      EXPECT_LT(row, d_.num_rows()) << "test fixture overflow";
+      d_.set_placement(i, Placement{x, row, false});
+      x += w;
+    }
+  }
+  Design d_;
+};
+
+TEST_F(LegalityTest, CleanPlacementPasses) {
+  EXPECT_TRUE(is_legal(d_));
+  EXPECT_TRUE(check_legality(d_).empty());
+}
+
+TEST_F(LegalityTest, DetectsOverlap) {
+  d_.set_placement(1, d_.placement(0));  // stack two cells
+  auto v = check_legality(d_);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].what.find("overlaps"), std::string::npos);
+}
+
+TEST_F(LegalityTest, DetectsRowOutOfRange) {
+  d_.set_placement(0, Placement{0, d_.num_rows(), false});
+  auto v = check_legality(d_);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].inst, 0);
+  EXPECT_NE(v[0].what.find("row"), std::string::npos);
+}
+
+TEST_F(LegalityTest, DetectsXOverflow) {
+  d_.set_placement(0, Placement{d_.sites_per_row() - 1, 0, false});
+  auto v = check_legality(d_);
+  bool found = false;
+  for (const auto& viol : v) {
+    if (viol.inst == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LegalityTest, AbuttingCellsAreLegal) {
+  // Fixture already packs cells shoulder to shoulder: shared boundary
+  // sites must not be flagged.
+  EXPECT_TRUE(is_legal(d_));
+}
+
+TEST_F(LegalityTest, OccupancyGridMatchesPlacement) {
+  auto grid = occupancy_grid(d_);
+  const Netlist& nl = d_.netlist();
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d_.placement(i);
+    for (int s = p.x; s < p.x + nl.cell_of(i).width_sites; ++s) {
+      EXPECT_EQ(grid[p.row][s], i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,124 @@
+#include "route/maze_router.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cells/library_builder.h"
+
+namespace vm1 {
+namespace {
+
+/// Empty design: free routing fabric with no cells (OpenM1 so no PG
+/// staples when disabled via options, and no pin blockage).
+Design empty_design(int rows, int sites) {
+  auto lib = std::make_unique<Library>(build_library(CellArch::kOpenM1));
+  auto nl = std::make_unique<Netlist>(lib.get());
+  return Design("empty", Tech::make_7nm(), std::move(lib), std::move(nl),
+                rows, sites);
+}
+
+class MazeTest : public ::testing::Test {
+ protected:
+  MazeTest()
+      : d_(empty_design(4, 40)),
+        graph_(d_, no_staples()),
+        state_(graph_, MazeCostOptions{}) {}
+
+  static TrackGraphOptions no_staples() {
+    TrackGraphOptions o;
+    o.staple_pitch = 0;
+    return o;
+  }
+
+  std::vector<GNode> search(GNode from, GNode to) {
+    return state_.search({from}, {to}, /*net=*/0, 0, 0, graph_.width(),
+                         graph_.height());
+  }
+
+  Design d_;
+  TrackGraph graph_;
+  MazeState state_;
+};
+
+TEST_F(MazeTest, StraightM1Path) {
+  auto path = search({kM1, 5, 2}, {kM1, 5, 9});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (GNode{kM1, 5, 2}));
+  EXPECT_EQ(path.back(), (GNode{kM1, 5, 9}));
+  for (const GNode& n : path) {
+    EXPECT_EQ(n.layer, kM1);  // no reason to leave M1
+    EXPECT_EQ(n.gx, 5);
+  }
+  EXPECT_EQ(path.size(), 8u);
+}
+
+TEST_F(MazeTest, LShapedPathUsesViaAndM2) {
+  auto path = search({kM1, 5, 2}, {kM1, 15, 2});
+  ASSERT_FALSE(path.empty());
+  bool used_m2 = false;
+  for (const GNode& n : path) used_m2 |= (n.layer == kM2);
+  EXPECT_TRUE(used_m2);  // horizontal motion requires a horizontal layer
+}
+
+TEST_F(MazeTest, SourceEqualsTargetIsTrivial) {
+  auto path = search({kM1, 7, 3}, {kM1, 7, 3});
+  ASSERT_EQ(path.size(), 1u);
+}
+
+TEST_F(MazeTest, MultiSourceMultiTargetPicksNearest) {
+  std::vector<GNode> sources = {{kM1, 2, 2}, {kM1, 30, 2}};
+  std::vector<GNode> targets = {{kM1, 31, 5}, {kM1, 20, 12}};
+  auto path = state_.search(sources, targets, 0, 0, 0, graph_.width(),
+                            graph_.height());
+  ASSERT_FALSE(path.empty());
+  // Nearest pairing is (30,2) -> (31,5).
+  EXPECT_EQ(path.front().gx, 30);
+  EXPECT_EQ(path.back().gx, 31);
+}
+
+TEST_F(MazeTest, BboxRestrictsSearch) {
+  // Target outside the bbox: unreachable.
+  auto path = state_.search({{kM1, 5, 2}}, {{kM1, 5, 9}}, 0, 0, 0,
+                            graph_.width(), 5);
+  EXPECT_TRUE(path.empty());
+}
+
+TEST_F(MazeTest, CongestionDivertsSecondNet) {
+  // Saturate the cheap M1 column with net 1, then route net 2 in parallel:
+  // it should avoid the used edges (capacity 1).
+  auto p1 = search({kM1, 10, 2}, {kM1, 10, 10});
+  ASSERT_FALSE(p1.empty());
+  for (std::size_t i = 0; i + 1 < p1.size(); ++i) {
+    int fy = std::min(p1[i].gy, p1[i + 1].gy);
+    state_.add_wire(graph_.node_id(kM1, 10, fy), 1);
+  }
+  auto p2 = state_.search({{kM1, 10, 2}}, {{kM1, 10, 10}}, /*net=*/2, 0, 0,
+                          graph_.width(), graph_.height());
+  ASSERT_FALSE(p2.empty());
+  bool left_column = false;
+  for (const GNode& n : p2) left_column |= (n.gx != 10 || n.layer != kM1);
+  EXPECT_TRUE(left_column) << "second net should detour off the used column";
+}
+
+TEST_F(MazeTest, OverflowTrackingAndHistory) {
+  std::size_t edge = graph_.node_id(kM1, 4, 4);
+  EXPECT_EQ(state_.total_overflow(), 0);
+  state_.add_wire(edge, 2);  // capacity 1 -> overflow 1
+  EXPECT_EQ(state_.total_overflow(), 1);
+  auto over = state_.overused_edges();
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], edge);
+  state_.accumulate_history();
+  state_.reset_usage();
+  EXPECT_EQ(state_.total_overflow(), 0);
+}
+
+TEST_F(MazeTest, ViaCostDiscouragesLayerHopping) {
+  // A short vertical run should stay on M1 rather than hop M1->M3.
+  auto path = search({kM1, 8, 3}, {kM1, 8, 6});
+  for (const GNode& n : path) EXPECT_EQ(n.layer, kM1);
+}
+
+}  // namespace
+}  // namespace vm1

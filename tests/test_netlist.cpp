@@ -1,0 +1,110 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "cells/library_builder.h"
+
+namespace vm1 {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : lib_(build_library(CellArch::kClosedM1)), nl_(&lib_) {}
+  Library lib_;
+  Netlist nl_;
+};
+
+TEST_F(NetlistTest, AddInstanceAndLookup) {
+  int inv = lib_.find("INV_X1_SVT");
+  int u0 = nl_.add_instance("u0", inv);
+  EXPECT_EQ(u0, 0);
+  EXPECT_EQ(nl_.num_instances(), 1);
+  EXPECT_EQ(nl_.instance(u0).name, "u0");
+  EXPECT_EQ(&nl_.cell_of(u0), &lib_.cell(inv));
+}
+
+TEST_F(NetlistTest, ConnectTracksBothDirections) {
+  int inv = lib_.find("INV_X1_SVT");
+  int u0 = nl_.add_instance("u0", inv);
+  int u1 = nl_.add_instance("u1", inv);
+  int n = nl_.add_net("n0");
+  const Cell& c = lib_.cell(inv);
+  nl_.connect(n, NetPin{u0, c.pin_index("ZN")});
+  nl_.connect(n, NetPin{u1, c.pin_index("A")});
+  EXPECT_EQ(nl_.net(n).num_pins(), 2);
+  EXPECT_EQ(nl_.net_at(u0, c.pin_index("ZN")), n);
+  EXPECT_EQ(nl_.net_at(u1, c.pin_index("A")), n);
+  EXPECT_EQ(nl_.net_at(u1, c.pin_index("ZN")), -1);
+}
+
+TEST_F(NetlistTest, IoTerminalsInNets) {
+  int inv = lib_.find("INV_X1_SVT");
+  int u0 = nl_.add_instance("u0", inv);
+  int pi = nl_.add_io("in0", true);
+  int n = nl_.add_net("n0");
+  nl_.connect(n, NetPin{-1, pi});
+  nl_.connect(n, NetPin{u0, lib_.cell(inv).pin_index("A")});
+  EXPECT_TRUE(nl_.net(n).pins[0].is_io());
+  EXPECT_TRUE(nl_.net(n).routable());
+}
+
+TEST_F(NetlistTest, RoutableRequiresTwoPins) {
+  int inv = lib_.find("INV_X1_SVT");
+  int u0 = nl_.add_instance("u0", inv);
+  int n = nl_.add_net("n0");
+  EXPECT_FALSE(nl_.net(n).routable());
+  nl_.connect(n, NetPin{u0, lib_.cell(inv).pin_index("ZN")});
+  EXPECT_FALSE(nl_.net(n).routable());
+}
+
+TEST_F(NetlistTest, TotalSitesExcludesFillers) {
+  int inv = lib_.find("INV_X1_SVT");  // width 3
+  int fill = lib_.find("FILL4");
+  nl_.add_instance("u0", inv);
+  nl_.add_instance("u1", inv);
+  nl_.add_instance("f0", fill);
+  EXPECT_EQ(nl_.total_sites(), 6);
+}
+
+TEST_F(NetlistTest, ValidateCleanNetlist) {
+  int inv = lib_.find("INV_X1_SVT");
+  int u0 = nl_.add_instance("u0", inv);
+  int u1 = nl_.add_instance("u1", inv);
+  int pi = nl_.add_io("in", true);
+  const Cell& c = lib_.cell(inv);
+  int n0 = nl_.add_net("n0");
+  nl_.connect(n0, NetPin{-1, pi});
+  nl_.connect(n0, NetPin{u0, c.pin_index("A")});
+  int n1 = nl_.add_net("n1");
+  nl_.connect(n1, NetPin{u0, c.pin_index("ZN")});
+  nl_.connect(n1, NetPin{u1, c.pin_index("A")});
+  int n2 = nl_.add_net("n2");
+  nl_.connect(n2, NetPin{u1, c.pin_index("ZN")});
+  int po = nl_.add_io("out", false);
+  nl_.connect(n2, NetPin{-1, po});
+  EXPECT_TRUE(nl_.validate().empty());
+}
+
+TEST_F(NetlistTest, ValidateFlagsMultipleDrivers) {
+  int inv = lib_.find("INV_X1_SVT");
+  int u0 = nl_.add_instance("u0", inv);
+  int u1 = nl_.add_instance("u1", inv);
+  const Cell& c = lib_.cell(inv);
+  int n = nl_.add_net("n");
+  nl_.connect(n, NetPin{u0, c.pin_index("ZN")});
+  nl_.connect(n, NetPin{u1, c.pin_index("ZN")});
+  auto problems = nl_.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("multiple drivers"), std::string::npos);
+}
+
+TEST_F(NetlistTest, ValidateFlagsUnconnectedInput) {
+  int inv = lib_.find("INV_X1_SVT");
+  nl_.add_instance("u0", inv);
+  auto problems = nl_.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unconnected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vm1

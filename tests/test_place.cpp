@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "design/legality.h"
+#include "util/rng.h"
+#include "place/detailed_placer.h"
+#include "place/global_placer.h"
+#include "place/hpwl.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+class PlaceFlow : public ::testing::TestWithParam<CellArch> {};
+
+TEST_P(PlaceFlow, GlobalPlaceKeepsCellsInCore) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  const Netlist& nl = d.netlist();
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    const Placement& p = d.placement(i);
+    EXPECT_GE(p.row, 0);
+    EXPECT_LT(p.row, d.num_rows());
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x + nl.cell_of(i).width_sites, d.sites_per_row());
+  }
+}
+
+TEST_P(PlaceFlow, LegalizeProducesLegalPlacement) {
+  Design d = make_design("tiny", GetParam());
+  global_place(d);
+  legalize(d);
+  EXPECT_TRUE(is_legal(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, PlaceFlow,
+                         ::testing::Values(CellArch::kClosedM1,
+                                           CellArch::kOpenM1,
+                                           CellArch::kConventional12T));
+
+TEST(Place, GlobalPlaceBeatsRandomPlacement) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  // Random-but-legal baseline: row-major packing in *shuffled* order (the
+  // generator's id order carries cluster locality, which would not be a
+  // random placement).
+  {
+    const Netlist& nl = d.netlist();
+    std::vector<int> order(nl.num_instances());
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(123);
+    rng.shuffle(order);
+    int x = 0, row = 0;
+    for (int i : order) {
+      int w = nl.cell_of(i).width_sites;
+      if (x + w > d.sites_per_row()) {
+        x = 0;
+        ++row;
+      }
+      d.set_placement(i, Placement{x, row, false});
+      x += w;
+    }
+  }
+  Coord packed = total_hpwl(d);
+  global_place(d);
+  legalize(d);
+  Coord placed = total_hpwl(d);
+  EXPECT_LT(placed, packed);
+}
+
+TEST(Place, LegalizeAtHighUtilization) {
+  DesignOptions opts;
+  opts.utilization = 0.92;
+  Design d = make_design("tiny", CellArch::kClosedM1, opts);
+  global_place(d);
+  legalize(d);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(Place, DetailedPlaceImprovesHpwlAndStaysLegal) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  Coord before = total_hpwl(d);
+  Coord after = detailed_place(d);
+  EXPECT_LE(after, before);
+  EXPECT_EQ(after, total_hpwl(d));  // returned value is accurate
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(Place, DetailedPlaceIdempotentWhenConverged) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  DetailedPlaceOptions opts;
+  opts.max_passes = 8;
+  Coord first = detailed_place(d, opts);
+  Coord second = detailed_place(d, opts);
+  // A converged placement can improve only marginally on a second run.
+  EXPECT_LE(second, first);
+  EXPECT_GT(static_cast<double>(second),
+            0.98 * static_cast<double>(first));
+}
+
+TEST(Place, DeterministicAcrossRuns) {
+  auto run = [] {
+    Design d = make_design("tiny", CellArch::kClosedM1);
+    global_place(d);
+    legalize(d);
+    detailed_place(d);
+    return total_hpwl(d);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Place, FlipEnabledHelpsOrEqual) {
+  Design base = make_design("tiny", CellArch::kClosedM1);
+  global_place(base);
+  legalize(base);
+
+  Design with_flip = make_design("tiny", CellArch::kClosedM1);
+  global_place(with_flip);
+  legalize(with_flip);
+
+  DetailedPlaceOptions no_flip;
+  no_flip.allow_flip = false;
+  DetailedPlaceOptions flip;
+  flip.allow_flip = true;
+  Coord a = detailed_place(base, no_flip);
+  Coord b = detailed_place(with_flip, flip);
+  EXPECT_LE(b, a);
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,67 @@
+#include "timing/power.h"
+
+#include <gtest/gtest.h>
+
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+Design placed() {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+TEST(Power, PositiveComponents) {
+  Design d = placed();
+  PowerResult p = compute_power(d);
+  EXPECT_GT(p.dynamic_mw, 0);
+  EXPECT_GT(p.leakage_mw, 0);
+  EXPECT_NEAR(p.total_mw(), p.dynamic_mw + p.leakage_mw, 1e-12);
+}
+
+TEST(Power, ShorterNetsLowerDynamicPower) {
+  Design d = placed();
+  PowerOptions with_routes;
+  with_routes.net_lengths.assign(d.netlist().num_nets(), 10);
+  PowerOptions longer;
+  longer.net_lengths.assign(d.netlist().num_nets(), 50);
+  EXPECT_LT(compute_power(d, with_routes).dynamic_mw,
+            compute_power(d, longer).dynamic_mw);
+}
+
+TEST(Power, ActivityScalesDynamic) {
+  Design d = placed();
+  PowerOptions lo, hi;
+  lo.activity = 0.1;
+  hi.activity = 0.3;
+  double pl = compute_power(d, lo).dynamic_mw;
+  double ph = compute_power(d, hi).dynamic_mw;
+  EXPECT_GT(ph, pl);
+  // Clock nets toggle at activity 1.0 in both, so the ratio is below 3.
+  EXPECT_LT(ph / pl, 3.0 + 1e-9);
+}
+
+TEST(Power, VddQuadratic) {
+  Design d = placed();
+  PowerOptions v1, v2;
+  v1.vdd = 0.7;
+  v2.vdd = 1.4;
+  EXPECT_NEAR(compute_power(d, v2).dynamic_mw,
+              4 * compute_power(d, v1).dynamic_mw, 1e-9);
+}
+
+TEST(Power, LeakageIndependentOfRouting) {
+  Design d = placed();
+  PowerOptions a, b;
+  a.net_lengths.assign(d.netlist().num_nets(), 10);
+  b.net_lengths.assign(d.netlist().num_nets(), 99);
+  EXPECT_DOUBLE_EQ(compute_power(d, a).leakage_mw,
+                   compute_power(d, b).leakage_mw);
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,213 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vm1::lp {
+namespace {
+
+Result solve(const Problem& p) {
+  SimplexSolver s;
+  return s.solve(p);
+}
+
+TEST(Simplex, EmptyProblem) {
+  Problem p;
+  Result r = solve(p);
+  EXPECT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, 0);
+}
+
+TEST(Simplex, UnconstrainedBoxMinimum) {
+  Problem p;
+  p.add_variable(-2, 5, 3.0, "x");   // cost 3 -> sits at lower bound
+  p.add_variable(-4, 7, -2.0, "y");  // cost -2 -> sits at upper bound
+  Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[0], -2, 1e-7);
+  EXPECT_NEAR(r.x[1], 7, 1e-7);
+  EXPECT_NEAR(r.objective, 3 * -2 + -2 * 7, 1e-7);
+}
+
+TEST(Simplex, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+  // => min -3x - 5y; optimum x=2, y=6, z=-36.
+  Problem p;
+  int x = p.add_variable(0, kInf, -3, "x");
+  int y = p.add_variable(0, kInf, -5, "y");
+  p.add_constraint({{x, 1}}, Sense::kLe, 4);
+  p.add_constraint({{y, 2}}, Sense::kLe, 12);
+  p.add_constraint({{x, 3}, {y, 2}}, Sense::kLe, 18);
+  Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -36, 1e-6);
+  EXPECT_NEAR(r.x[0], 2, 1e-6);
+  EXPECT_NEAR(r.x[1], 6, 1e-6);
+}
+
+TEST(Simplex, GreaterEqualAndEquality) {
+  // min x + 2y s.t. x + y >= 3, x - y == 1, 0 <= x,y <= 10.
+  // From x = y + 1: x + y >= 3 -> y >= 1; objective 3y + 1 -> y = 1, x = 2.
+  Problem p;
+  int x = p.add_variable(0, 10, 1, "x");
+  int y = p.add_variable(0, 10, 2, "y");
+  p.add_constraint({{x, 1}, {y, 1}}, Sense::kGe, 3);
+  p.add_constraint({{x, 1}, {y, -1}}, Sense::kEq, 1);
+  Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[0], 2, 1e-6);
+  EXPECT_NEAR(r.x[1], 1, 1e-6);
+  EXPECT_NEAR(r.objective, 4, 1e-6);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Problem p;
+  int x = p.add_variable(0, 1, 1, "x");
+  p.add_constraint({{x, 1}}, Sense::kGe, 2);  // x >= 2 but x <= 1
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, InfeasibleEqualityPair) {
+  Problem p;
+  int x = p.add_variable(0, 10, 0, "x");
+  int y = p.add_variable(0, 10, 0, "y");
+  p.add_constraint({{x, 1}, {y, 1}}, Sense::kEq, 4);
+  p.add_constraint({{x, 1}, {y, 1}}, Sense::kEq, 5);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p;
+  int x = p.add_variable(0, kInf, -1, "x");  // minimize -x, x unbounded
+  p.add_variable(0, 1, 0, "y");
+  p.add_constraint({{x, -1}}, Sense::kLe, 0);  // -x <= 0, no upper limit
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y s.t. x + y >= -3, bounds [-5, 5].
+  Problem p;
+  int x = p.add_variable(-5, 5, 1, "x");
+  int y = p.add_variable(-5, 5, 1, "y");
+  p.add_constraint({{x, 1}, {y, 1}}, Sense::kGe, -3);
+  Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -3, 1e-6);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple redundant constraints through one vertex.
+  Problem p;
+  int x = p.add_variable(0, kInf, -1, "x");
+  int y = p.add_variable(0, kInf, -1, "y");
+  p.add_constraint({{x, 1}, {y, 1}}, Sense::kLe, 2);
+  p.add_constraint({{x, 2}, {y, 2}}, Sense::kLe, 4);
+  p.add_constraint({{x, 1}}, Sense::kLe, 2);
+  p.add_constraint({{y, 1}}, Sense::kLe, 2);
+  Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, -2, 1e-6);
+}
+
+TEST(Simplex, EqualityWithBoundedVarsBigM) {
+  // Alignment-style big-M rows as emitted by the window MILP builder.
+  Problem p;
+  int d = p.add_variable(0, 1, -10, "d");
+  int xa = p.add_variable(0, 30, 0.1, "xa");
+  int xb = p.add_variable(5, 20, 0.1, "xb");
+  double G = 40;
+  p.add_constraint({{xa, 1}, {xb, -1}, {d, G}}, Sense::kLe, G);
+  p.add_constraint({{xb, 1}, {xa, -1}, {d, G}}, Sense::kLe, G);
+  Result r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  // d=1 requires xa == xb; cheapest alignment at xa=xb=5.
+  EXPECT_NEAR(r.x[0], 1, 1e-6);
+  EXPECT_NEAR(r.x[1], r.x[2], 1e-6);
+}
+
+TEST(Simplex, ObjectiveValueAndViolationHelpers) {
+  Problem p;
+  int x = p.add_variable(0, 4, 2, "x");
+  p.add_constraint({{x, 1}}, Sense::kLe, 3);
+  EXPECT_DOUBLE_EQ(p.objective_value({2.0}), 4.0);
+  EXPECT_DOUBLE_EQ(p.max_violation({2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(p.max_violation({3.5}), 0.5);
+  EXPECT_DOUBLE_EQ(p.max_violation({-1.0}), 1.0);  // bound violation
+}
+
+TEST(Simplex, TimeLimitTruncates) {
+  // A generous problem with an absurdly small time budget must return
+  // kIterLimit rather than wrong answers.
+  Rng rng(3);
+  Problem p;
+  const int n = 40;
+  for (int j = 0; j < n; ++j) {
+    p.add_variable(0, 10, static_cast<double>(rng.uniform_int(-5, 5)));
+  }
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.chance(0.5)) {
+        terms.emplace_back(j, static_cast<double>(rng.uniform_int(1, 4)));
+      }
+    }
+    if (!terms.empty()) {
+      p.add_constraint(terms, Sense::kLe,
+                       static_cast<double>(rng.uniform_int(10, 60)));
+    }
+  }
+  SimplexSolver::Options opts;
+  opts.time_limit_sec = 1e-9;
+  Result r = SimplexSolver(opts).solve(p);
+  EXPECT_EQ(r.status, Status::kIterLimit);
+}
+
+class SimplexRandom : public ::testing::TestWithParam<int> {};
+
+// Property: on randomly generated feasible LPs, the solver returns optimal,
+// the solution is feasible, and its objective is no worse than the known
+// interior feasible point used to construct the instance.
+TEST_P(SimplexRandom, FeasibleInstancesSolveToFeasibleOptimum) {
+  Rng rng(1000 + GetParam());
+  const int n = 2 + static_cast<int>(rng.uniform(6));
+  const int m = 1 + static_cast<int>(rng.uniform(6));
+
+  Problem p;
+  std::vector<double> x0(n);
+  for (int j = 0; j < n; ++j) {
+    double lo = rng.uniform_int(-5, 0);
+    double hi = lo + 1 + rng.uniform(10);
+    double cost = rng.uniform_int(-5, 5);
+    p.add_variable(lo, hi, cost);
+    x0[j] = lo + (hi - lo) * rng.uniform_real();
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    double lhs = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.chance(0.3)) continue;
+      double a = rng.uniform_int(-4, 4);
+      if (a == 0) continue;
+      terms.emplace_back(j, a);
+      lhs += a * x0[j];
+    }
+    if (terms.empty()) continue;
+    // Slack keeps x0 strictly feasible for <= / >=.
+    if (rng.chance(0.5)) {
+      p.add_constraint(terms, Sense::kLe, lhs + rng.uniform_real() * 3);
+    } else {
+      p.add_constraint(terms, Sense::kGe, lhs - rng.uniform_real() * 3);
+    }
+  }
+
+  Result r = SimplexSolver().solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal) << "instance " << GetParam();
+  EXPECT_LT(p.max_violation(r.x), 1e-5);
+  EXPECT_LE(r.objective, p.objective_value(x0) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLp, SimplexRandom, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace vm1::lp

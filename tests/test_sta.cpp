@@ -1,0 +1,102 @@
+#include "timing/sta.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cells/library_builder.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+/// Builds an inverter chain of `n` stages: pi -> INV -> INV ... -> po.
+Design make_chain(int n) {
+  auto lib = std::make_unique<Library>(build_library(CellArch::kClosedM1));
+  auto nl = std::make_unique<Netlist>(lib.get());
+  int inv = lib->find("INV_X1_SVT");
+  const Cell& c = lib->cell(inv);
+  int pi = nl->add_io("pi", true);
+  int prev = nl->add_net("n_in");
+  nl->connect(prev, NetPin{-1, pi});
+  for (int i = 0; i < n; ++i) {
+    int u = nl->add_instance("u" + std::to_string(i), inv);
+    nl->connect(prev, NetPin{u, c.pin_index("A")});
+    prev = nl->add_net("n" + std::to_string(i));
+    nl->connect(prev, NetPin{u, c.pin_index("ZN")});
+  }
+  int po = nl->add_io("po", false);
+  nl->connect(prev, NetPin{-1, po});
+  Design d("chain", Tech::make_7nm(), std::move(lib), std::move(nl), 2, 64);
+  for (int i = 0; i < n; ++i) {
+    d.set_placement(i, Placement{i * 4, 0, false});
+  }
+  return d;
+}
+
+TEST(Sta, ChainDelayGrowsWithLength) {
+  Design d3 = make_chain(3);
+  Design d6 = make_chain(6);
+  StaResult r3 = run_sta(d3);
+  StaResult r6 = run_sta(d6);
+  EXPECT_GT(r3.max_delay, 0);
+  EXPECT_GT(r6.max_delay, 1.5 * r3.max_delay);
+}
+
+TEST(Sta, WnsZeroWhenPeriodAuto) {
+  Design d = make_chain(4);
+  StaResult r = run_sta(d);
+  EXPECT_DOUBLE_EQ(r.wns, 0);
+}
+
+TEST(Sta, WnsNegativeForTightPeriod) {
+  Design d = make_chain(4);
+  StaResult base = run_sta(d);
+  StaOptions opts;
+  opts.clock_period = base.max_delay * 0.5;
+  StaResult r = run_sta(d, opts);
+  EXPECT_LT(r.wns, 0);
+  EXPECT_NEAR(r.wns, opts.clock_period - base.max_delay, 1e-9);
+}
+
+TEST(Sta, LongerRoutedNetsIncreaseDelay) {
+  Design d = make_chain(4);
+  StaResult base = run_sta(d);
+  StaOptions opts;
+  opts.net_lengths.assign(d.netlist().num_nets(), 200);  // long routes
+  StaResult slow = run_sta(d, opts);
+  EXPECT_GT(slow.max_delay, base.max_delay);
+}
+
+TEST(Sta, FullDesignHasEndpoints) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  StaResult r = run_sta(d);
+  EXPECT_GT(r.num_endpoints, 0);
+  EXPECT_GT(r.max_delay, 0);
+}
+
+TEST(Sta, NetCapacitanceParts) {
+  Design d = make_chain(2);
+  // Net n0 connects u0.ZN to u1.A: cap = wire + A's input cap.
+  int net = -1;
+  for (int n = 0; n < d.netlist().num_nets(); ++n) {
+    if (d.netlist().net(n).name == "n0") net = n;
+  }
+  ASSERT_GE(net, 0);
+  double c0 = net_capacitance(d, net, 0);
+  double c100 = net_capacitance(d, net, 100);
+  EXPECT_GT(c0, 0);        // pin cap alone
+  EXPECT_GT(c100, c0);     // wire adds cap
+  EXPECT_NEAR(c100 - c0, 100 * 0.19, 1e-9);
+}
+
+TEST(Sta, DeterministicOnFixedDesign) {
+  Design d = make_chain(5);
+  EXPECT_DOUBLE_EQ(run_sta(d).max_delay, run_sta(d).max_delay);
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,40 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace vm1 {
+namespace {
+
+TEST(Stats, SummaryEmpty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0);
+  EXPECT_EQ(s.min(), 0);
+  EXPECT_EQ(s.max(), 0);
+}
+
+TEST(Stats, SummaryAccumulates) {
+  Summary s;
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, PctDelta) {
+  EXPECT_DOUBLE_EQ(pct_delta(100, 94), -6.0);
+  EXPECT_DOUBLE_EQ(pct_delta(50, 75), 50.0);
+  EXPECT_DOUBLE_EQ(pct_delta(0, 10), 0.0);  // guarded division
+}
+
+TEST(Stats, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_delta(100, 93.6, 1), "-6.4");
+  EXPECT_EQ(fmt_delta(100, 104, 1), "+4.0");
+}
+
+}  // namespace
+}  // namespace vm1

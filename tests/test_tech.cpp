@@ -1,0 +1,56 @@
+#include "tech/tech.h"
+
+#include <gtest/gtest.h>
+
+namespace vm1 {
+namespace {
+
+TEST(Tech, Default7nmStack) {
+  Tech t = Tech::make_7nm();
+  EXPECT_EQ(t.site_width(), 1);
+  EXPECT_EQ(t.row_height(), 15);
+  EXPECT_EQ(t.num_layers(), 5);
+  EXPECT_EQ(t.layer(LayerId::kM1).dir, Dir::kVertical);
+  EXPECT_EQ(t.layer(LayerId::kM2).dir, Dir::kHorizontal);
+  EXPECT_EQ(t.layer(LayerId::kM3).dir, Dir::kVertical);
+}
+
+TEST(Tech, M1PitchEqualsSiteWidth) {
+  // The ClosedM1 enabling property from Section 1.1 of the paper.
+  Tech t = Tech::make_7nm();
+  EXPECT_EQ(t.layer(LayerId::kM1).pitch, t.site_width());
+}
+
+TEST(Tech, ResistanceDecreasesGoingUp) {
+  Tech t = Tech::make_7nm();
+  for (int l = 1; l < t.num_layers(); ++l) {
+    EXPECT_LE(t.layers()[l].r_per_dbu, t.layers()[l - 1].r_per_dbu);
+  }
+}
+
+TEST(Tech, GammaDeltaDefaults) {
+  Tech t = Tech::make_7nm();
+  EXPECT_EQ(t.gamma(), 3);  // paper's choice
+  EXPECT_EQ(t.delta(), 1);
+  t.set_gamma(2);
+  t.set_delta(3);
+  EXPECT_EQ(t.gamma(), 2);
+  EXPECT_EQ(t.delta(), 3);
+}
+
+TEST(Tech, ViaParasitics) {
+  Tech t = Tech::make_7nm();
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_GT(t.via_resistance(l), 0);
+    EXPECT_GT(t.via_capacitance(l), 0);
+  }
+}
+
+TEST(Tech, ArchNames) {
+  EXPECT_STREQ(to_string(CellArch::kClosedM1), "ClosedM1");
+  EXPECT_STREQ(to_string(CellArch::kOpenM1), "OpenM1");
+  EXPECT_STREQ(to_string(CellArch::kConventional12T), "Conventional12T");
+}
+
+}  // namespace
+}  // namespace vm1

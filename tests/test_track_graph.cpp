@@ -1,0 +1,185 @@
+#include "route/track_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+Design placed_design(CellArch arch) {
+  Design d = make_design("tiny", arch);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+TEST(TrackGraph, DimensionsMatchCore) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  EXPECT_EQ(g.width(), d.core().hx);
+  EXPECT_EQ(g.height(), d.core().hy / 2);
+  EXPECT_EQ(g.num_nodes(),
+            static_cast<std::size_t>(kNumRouteLayers) * (g.width() + 1) *
+                (g.height() + 1));
+}
+
+TEST(TrackGraph, LatticeValidity) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  EXPECT_TRUE(g.valid(kM1, 3, 5));
+  EXPECT_TRUE(g.valid(kM2, 3, 5));
+  EXPECT_TRUE(g.valid(kM3, 4, 5));   // even gx only
+  EXPECT_FALSE(g.valid(kM3, 3, 5));
+  EXPECT_TRUE(g.valid(kM4, 3, 4));   // even gy only
+  EXPECT_FALSE(g.valid(kM4, 3, 5));
+  EXPECT_FALSE(g.valid(kM1, -1, 0));
+  EXPECT_FALSE(g.valid(kM1, g.width() + 1, 0));
+}
+
+TEST(TrackGraph, ClosedM1SignalPinsOwnTheirNodes) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  const Netlist& nl = d.netlist();
+  int checked = 0;
+  for (int i = 0; i < nl.num_instances() && checked < 25; ++i) {
+    const Cell& c = nl.cell_of(i);
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      int net = nl.net_at(i, static_cast<int>(p));
+      if (net < 0) continue;
+      for (const GNode& n : g.pin_access_nodes(i, static_cast<int>(p))) {
+        EXPECT_EQ(g.owner(n.layer, n.gx, n.gy), net);
+        EXPECT_TRUE(g.passable(n.layer, n.gx, n.gy, net));
+        EXPECT_FALSE(g.passable(n.layer, n.gx, n.gy, net + 1));
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(TrackGraph, ClosedM1CellBoundariesBlocked) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  const Netlist& nl = d.netlist();
+  // The left-boundary M1 column of every cell is PG-blocked in its row.
+  const Placement& p = d.placement(0);
+  Coord y0 = static_cast<Coord>(p.row) * d.tech().row_height();
+  auto [lo, hi] = TrackGraph::track_range(y0, y0 + d.tech().row_height());
+  bool any = false;
+  for (int gy = lo; gy <= std::min(hi, g.height()); ++gy) {
+    EXPECT_EQ(g.owner(kM1, p.x, gy), kBlocked);
+    any = true;
+  }
+  EXPECT_TRUE(any);
+  (void)nl;
+}
+
+TEST(TrackGraph, OpenM1DoesNotBlockM1OverCells) {
+  Design d = placed_design(CellArch::kOpenM1);
+  TrackGraphOptions opts;
+  opts.staple_pitch = 0;  // isolate the pin-blockage rule
+  TrackGraph g(d, opts);
+  // With no staples, all M1 is free in OpenM1 (pins live on M0).
+  for (int gx = 0; gx <= g.width(); gx += 3) {
+    for (int gy = 0; gy <= g.height(); gy += 5) {
+      EXPECT_EQ(g.owner(kM1, gx, gy), kFree);
+    }
+  }
+}
+
+TEST(TrackGraph, OpenM1StaplesReserveColumns) {
+  Design d = placed_design(CellArch::kOpenM1);
+  TrackGraphOptions opts;
+  opts.staple_pitch = 10;
+  TrackGraph g(d, opts);
+  for (int gx = 0; gx <= g.width(); gx += 10) {
+    EXPECT_EQ(g.owner(kM1, gx, 3), kBlocked);
+  }
+  EXPECT_EQ(g.owner(kM1, 5, 3), kFree);
+}
+
+TEST(TrackGraph, ConventionalBlocksInterRowM1) {
+  Design d = placed_design(CellArch::kConventional12T);
+  TrackGraph g(d);
+  // An M1 edge crossing the row-0/row-1 boundary (y = 15) must be
+  // forbidden; edges within a row are allowed where no cell blocks them.
+  // Track gy=7 spans y [14,16] which contains the boundary.
+  // Use a net id that owns nothing (-100 => treated as ordinary net).
+  EXPECT_FALSE(g.edge_allowed(kM1, 1, 7, /*net=*/1 << 20));
+}
+
+TEST(TrackGraph, M2PgStrapsBlockBoundaryTracks) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  // Row boundary at y=15 -> gy ~ 7 or 8 depending on rounding.
+  int gy = static_cast<int>(std::llround(15.0 / 2.0));
+  EXPECT_EQ(g.owner(kM2, 4, gy), kBlocked);
+}
+
+TEST(TrackGraph, PinAccessNodesNonEmptyForPlacedPins) {
+  for (CellArch arch : {CellArch::kClosedM1, CellArch::kOpenM1}) {
+    Design d = placed_design(arch);
+    TrackGraph g(d);
+    const Netlist& nl = d.netlist();
+    for (int i = 0; i < std::min(40, nl.num_instances()); ++i) {
+      const Cell& c = nl.cell_of(i);
+      for (std::size_t p = 0; p < c.pins.size(); ++p) {
+        EXPECT_FALSE(g.pin_access_nodes(i, static_cast<int>(p)).empty())
+            << to_string(arch) << " " << nl.instance(i).name << "/"
+            << c.pins[p].name;
+      }
+    }
+  }
+}
+
+TEST(TrackGraph, IoAccessAvoidsBlockedTrack) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  for (int io = 0; io < d.netlist().num_ios(); ++io) {
+    auto nodes = g.io_access_nodes(io);
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0].layer, kM2);
+  }
+}
+
+TEST(TrackGraph, TrackRangeHelper) {
+  // DBU [3, 11] covers tracks at y = 4, 6, 8, 10 -> gy 2..5.
+  auto [lo, hi] = TrackGraph::track_range(3, 11);
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 5);
+  // Exact track endpoints are inclusive.
+  auto [lo2, hi2] = TrackGraph::track_range(4, 8);
+  EXPECT_EQ(lo2, 2);
+  EXPECT_EQ(hi2, 4);
+}
+
+TEST(TrackGraph, RebuildAfterMoveUpdatesOwnership) {
+  Design d = placed_design(CellArch::kClosedM1);
+  TrackGraph g(d);
+  const Netlist& nl = d.netlist();
+  int inst = -1;
+  for (int i = 0; i < nl.num_instances(); ++i) {
+    if (!nl.cell_of(i).pins.empty() && nl.net_at(i, 0) >= 0) {
+      inst = i;
+      break;
+    }
+  }
+  ASSERT_GE(inst, 0);
+  auto before = g.pin_access_nodes(inst, 0);
+  Placement p = d.placement(inst);
+  p.x += 2;
+  d.set_placement(inst, p);
+  g.rebuild_blockage();
+  auto after = g.pin_access_nodes(inst, 0);
+  ASSERT_FALSE(before.empty());
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].gx, before[0].gx + 2);
+}
+
+}  // namespace
+}  // namespace vm1

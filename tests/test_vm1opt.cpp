@@ -1,0 +1,107 @@
+#include "core/vm1opt.h"
+
+#include <gtest/gtest.h>
+
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+Design placed(CellArch arch = CellArch::kClosedM1) {
+  Design d = make_design("tiny", arch);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+VM1OptOptions fast_opts() {
+  VM1OptOptions o;
+  o.sequence = {ParamSet{16, 2, 3, 1}};
+  o.max_inner_iters = 2;
+  o.threads = 2;
+  o.mip.max_nodes = 60;
+  o.mip.time_limit_sec = 2.0;
+  return o;
+}
+
+TEST(VM1Opt, ObjectiveMonotoneNonIncreasing) {
+  Design d = placed();
+  VM1OptStats stats = vm1opt(d, fast_opts());
+  EXPECT_LE(stats.final.value, stats.initial.value + 1e-6);
+  for (std::size_t i = 1; i < stats.objective_trajectory.size(); ++i) {
+    EXPECT_LE(stats.objective_trajectory[i],
+              stats.objective_trajectory[i - 1] + 1e-6)
+        << "iteration " << i;
+  }
+}
+
+TEST(VM1Opt, PreservesLegality) {
+  Design d = placed();
+  vm1opt(d, fast_opts());
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(VM1Opt, AlignmentsIncreaseOnClosedM1) {
+  Design d = placed();
+  VM1OptOptions opts = fast_opts();
+  opts.params.alpha = 40;
+  VM1OptStats stats = vm1opt(d, opts);
+  EXPECT_GE(stats.final.alignments, stats.initial.alignments);
+}
+
+TEST(VM1Opt, OverlapsIncreaseOnOpenM1) {
+  Design d = placed(CellArch::kOpenM1);
+  VM1OptOptions opts = fast_opts();
+  opts.params.alpha = 30;
+  opts.params.epsilon = 2;
+  VM1OptStats stats = vm1opt(d, opts);
+  EXPECT_GE(stats.final.alignments, stats.initial.alignments);
+}
+
+TEST(VM1Opt, MultiSetSequenceRuns) {
+  Design d = placed();
+  VM1OptOptions opts = fast_opts();
+  opts.sequence = {ParamSet{10, 2, 3, 1}, ParamSet{16, 2, 3, 0}};
+  VM1OptStats stats = vm1opt(d, opts);
+  EXPECT_GE(stats.outer_iterations, 2);
+  EXPECT_LE(stats.final.value, stats.initial.value + 1e-6);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(VM1Opt, ThetaStopsIteration) {
+  Design d = placed();
+  VM1OptOptions opts = fast_opts();
+  opts.theta = 1e9;  // impossible improvement requirement: one pass only
+  opts.max_inner_iters = 5;
+  VM1OptStats stats = vm1opt(d, opts);
+  EXPECT_EQ(stats.outer_iterations, 1);
+}
+
+TEST(VM1Opt, ParamSetDerivedRows) {
+  ParamSet p{20, 0, 4, 1};
+  EXPECT_EQ(p.rows(), 3);
+  ParamSet q{40, 0, 4, 1};
+  EXPECT_EQ(q.rows(), 6);
+  ParamSet r{5, 0, 2, 1};
+  EXPECT_EQ(r.rows(), 2);
+  ParamSet s{20, 7, 4, 1};
+  EXPECT_EQ(s.rows(), 7);  // explicit override wins
+}
+
+TEST(VM1Opt, HigherAlphaNeverFewerAlignments) {
+  Design d_lo = placed();
+  Design d_hi = placed();
+  VM1OptOptions lo = fast_opts(), hi = fast_opts();
+  lo.params.alpha = 1;
+  hi.params.alpha = 80;
+  VM1OptStats sl = vm1opt(d_lo, lo);
+  VM1OptStats sh = vm1opt(d_hi, hi);
+  // Not strictly guaranteed per-instance, but with identical inputs and a
+  // 80x alpha gap the high-alpha run must not lose alignments.
+  EXPECT_GE(sh.final.alignments, sl.final.alignments);
+}
+
+}  // namespace
+}  // namespace vm1

@@ -1,0 +1,132 @@
+#include "core/window.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+Design placed() {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  return d;
+}
+
+TEST(WindowPartition, TilesTheCore) {
+  Design d = placed();
+  WindowGrid grid = partition_windows(d, 0, 0, 20, 3);
+  EXPECT_EQ(static_cast<int>(grid.windows.size()),
+            grid.grid_x * grid.grid_y);
+  // Every site of every row belongs to exactly one window.
+  for (int row = 0; row < d.num_rows(); row += 2) {
+    for (int s = 0; s < d.sites_per_row(); s += 3) {
+      int covering = 0;
+      for (const Window& w : grid.windows) {
+        if (row >= w.row0 && row <= w.row1 && s >= w.x0 && s < w.x1) {
+          ++covering;
+        }
+      }
+      EXPECT_EQ(covering, 1) << "site " << s << " row " << row;
+    }
+  }
+}
+
+TEST(WindowPartition, MovableCellsFullyInside) {
+  Design d = placed();
+  WindowGrid grid = partition_windows(d, 0, 0, 16, 2);
+  const Netlist& nl = d.netlist();
+  for (std::size_t w = 0; w < grid.windows.size(); ++w) {
+    for (int inst : grid.movable[w]) {
+      const Placement& p = d.placement(inst);
+      EXPECT_TRUE(grid.windows[w].contains_footprint(
+          p.x, p.row, nl.cell_of(inst).width_sites));
+    }
+  }
+}
+
+TEST(WindowPartition, EachCellMovableInAtMostOneWindow) {
+  Design d = placed();
+  WindowGrid grid = partition_windows(d, 0, 0, 16, 2);
+  std::set<int> seen;
+  for (const auto& cells : grid.movable) {
+    for (int inst : cells) {
+      EXPECT_TRUE(seen.insert(inst).second) << "instance " << inst;
+    }
+  }
+}
+
+TEST(WindowPartition, ShiftMakesBoundaryCellsMovable) {
+  Design d = placed();
+  WindowGrid a = partition_windows(d, 0, 0, 16, 2);
+  WindowGrid b = partition_windows(d, 8, 1, 16, 2);
+  std::set<int> ma, mb;
+  for (const auto& cells : a.movable) ma.insert(cells.begin(), cells.end());
+  for (const auto& cells : b.movable) mb.insert(cells.begin(), cells.end());
+  // The union should cover more cells than either partition alone (the
+  // boundary-straddling cells of one are interior in the other).
+  std::set<int> both = ma;
+  both.insert(mb.begin(), mb.end());
+  EXPECT_GT(both.size(), ma.size());
+  EXPECT_GT(both.size(), mb.size());
+}
+
+TEST(DiagonalBatches, CoverEveryWindowOnce) {
+  Design d = placed();
+  WindowGrid grid = partition_windows(d, 0, 0, 12, 2);
+  auto batches = diagonal_batches(grid);
+  std::set<int> seen;
+  std::size_t total = 0;
+  for (const auto& batch : batches) {
+    for (int w : batch) {
+      EXPECT_TRUE(seen.insert(w).second) << "window repeated";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, grid.windows.size());
+}
+
+TEST(DiagonalBatches, DisjointProjectionsWithinBatch) {
+  Design d = placed();
+  WindowGrid grid = partition_windows(d, 0, 0, 12, 2);
+  auto batches = diagonal_batches(grid);
+  for (const auto& batch : batches) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (std::size_t j = i + 1; j < batch.size(); ++j) {
+        const Window& a = grid.windows[batch[i]];
+        const Window& b = grid.windows[batch[j]];
+        bool x_disjoint = a.x1 <= b.x0 || b.x1 <= a.x0;
+        bool y_disjoint = a.row1 < b.row0 || b.row1 < a.row0;
+        EXPECT_TRUE(x_disjoint) << "x projections intersect";
+        EXPECT_TRUE(y_disjoint) << "y projections intersect";
+      }
+    }
+  }
+}
+
+TEST(DiagonalBatches, CountIsMaxGridDimension) {
+  Design d = placed();
+  WindowGrid grid = partition_windows(d, 0, 0, 12, 2);
+  auto batches = diagonal_batches(grid);
+  EXPECT_EQ(static_cast<int>(batches.size()),
+            std::max(grid.grid_x, grid.grid_y));
+}
+
+TEST(WindowPartition, OffsetNormalizationHandlesLargeShifts) {
+  Design d = placed();
+  // Offsets beyond one window period must behave like their modulo.
+  WindowGrid a = partition_windows(d, 8, 1, 16, 2);
+  WindowGrid b = partition_windows(d, 8 + 32, 1 + 4, 16, 2);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].x0, b.windows[i].x0);
+    EXPECT_EQ(a.windows[i].row0, b.windows[i].row0);
+  }
+}
+
+}  // namespace
+}  // namespace vm1
