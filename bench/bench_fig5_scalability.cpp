@@ -29,6 +29,14 @@ int main() {
 
   Table t({"bw", "bh", "lx", "ly", "RWL", "RWL/init", "#dM1", "runtime_s"});
 
+  JsonWriter jw("BENCH_fig5.json");
+  jw.begin_object();
+  jw.field("bench", "fig5_scalability");
+  jw.field("design", base.design_name);
+  jw.field("scale", scale);
+  jw.field("initial_rwl_dbu", init.rwl_dbu);
+  jw.begin_array("rows");
+
   ThreadPool pool(env_threads());
   for (int bw : {5, 10, 20, 40, 80}) {
     for (int lx : {2, 4}) {
@@ -48,13 +56,13 @@ int main() {
         move.allow_flip = false;
         move.params = base.vm1.params;
         move.mip = base.vm1.mip;
-        dist_opt(d, move, &pool);
+        DistOptStats sm = dist_opt(d, move, &pool);
         DistOptOptions flip = move;
         flip.lx = 0;
         flip.ly = 0;
         flip.allow_move = false;
         flip.allow_flip = true;
-        dist_opt(d, flip, &pool);
+        DistOptStats sf = dist_opt(d, flip, &pool);
         double opt_seconds = timer.seconds();
 
         RouteMetrics m = Router(d, base.router).route();
@@ -62,9 +70,29 @@ int main() {
                    fmt(m.rwl_dbu, 0),
                    fmt(static_cast<double>(m.rwl_dbu) / init.rwl_dbu, 4),
                    fmt(m.num_dm1, 0), fmt(opt_seconds, 2)});
+
+        jw.begin_object();
+        jw.field("bw", bw);
+        jw.field("bh", u.rows());
+        jw.field("lx", lx);
+        jw.field("ly", ly);
+        jw.field("rwl_dbu", m.rwl_dbu);
+        jw.field("rwl_norm", static_cast<double>(m.rwl_dbu) / init.rwl_dbu);
+        jw.field("num_dm1", m.num_dm1);
+        jw.field("runtime_s", opt_seconds);
+        jw.field("objective", sf.objective);
+        jw.field("nodes", sm.total_nodes + sf.total_nodes);
+        jw.field("lp_iterations", sm.total_lp_iters + sf.total_lp_iters);
+        jw.field("dual_pivots", sm.dual_pivots + sf.dual_pivots);
+        jw.field("warm_start_hits", sm.warm_solves + sf.warm_solves);
+        jw.field("cold_restarts", sm.cold_restarts + sf.cold_restarts);
+        jw.field("rc_fixed", sm.rc_fixed + sf.rc_fixed);
+        jw.end_object();
       }
     }
   }
+  jw.end_array();
+  jw.end_object();
   std::printf("%s", t.render().c_str());
   std::printf("\npaper reference: larger windows -> lower RWL but runtime "
               "explodes (~5x at bw=40); pick (20, 4, 1).\n");

@@ -1,8 +1,16 @@
 // Infrastructure micro-benchmarks: simplex LP and branch-and-bound MILP
-// throughput on window-MILP-shaped instances (google-benchmark harness).
+// throughput on window-MILP-shaped instances (google-benchmark harness),
+// preceded by a warm-vs-cold branch-and-bound study that writes
+// BENCH_solver.json (total LP iterations, wall time, warm/cold counters)
+// for cross-commit trajectory tracking.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
 #include "milp/branch_and_bound.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace {
@@ -37,6 +45,175 @@ lp::Problem make_assignment_lp(int cells, int cands, std::uint64_t seed) {
   return p;
 }
 
+/// Window-MILP-shaped instance: per-cell candidate binaries (SCP lambdas)
+/// with exclusivity, shared-site coupling, and alignment-indicator binaries
+/// rewarded through big-M rows — the structure DistOpt hands to
+/// branch-and-bound thousands of times per pass.
+milp::Model make_window_milp(int cells, int cands, int pairs,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  milp::Model m;
+  std::vector<std::vector<int>> lam(cells);
+  std::vector<int> xpos(cells);  // continuous cell position
+  for (int c = 0; c < cells; ++c) {
+    for (int k = 0; k < cands; ++k) {
+      lam[c].push_back(
+          m.add_binary(0.1 * static_cast<double>(rng.uniform(40))));
+    }
+    xpos[c] = m.add_continuous(0, 30, 0);
+    // Position follows the chosen candidate: x = sum_k k * lambda_k.
+    std::vector<std::pair<int, double>> link{{xpos[c], 1.0}};
+    for (int k = 0; k < cands; ++k) {
+      link.emplace_back(lam[c][k], -static_cast<double>(rng.uniform(30)));
+    }
+    m.add_constraint(link, lp::Sense::kEq, 0);
+    std::vector<std::pair<int, double>> excl;
+    for (int v : lam[c]) excl.emplace_back(v, 1.0);
+    m.add_constraint(excl, lp::Sense::kEq, 1);
+  }
+  for (int r = 0; r < cells; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int c = 0; c < cells; ++c) {
+      row.emplace_back(lam[c][rng.uniform(cands)], 1.0);
+    }
+    m.add_constraint(row, lp::Sense::kLe, 1);
+  }
+  // Alignment indicators d_pq with big-M equality coupling (Eq. (4) shape).
+  const double big_m = 40;
+  for (int i = 0; i < pairs; ++i) {
+    int a = static_cast<int>(rng.uniform(cells));
+    int b = static_cast<int>(rng.uniform(cells));
+    if (a == b) continue;
+    int d = m.add_binary(-6.0 - static_cast<double>(rng.uniform(6)));
+    m.set_branch_priority(d, 1);
+    m.add_constraint({{xpos[a], 1.0}, {xpos[b], -1.0}, {d, big_m}},
+                     lp::Sense::kLe, big_m);
+    m.add_constraint({{xpos[b], 1.0}, {xpos[a], -1.0}, {d, big_m}},
+                     lp::Sense::kLe, big_m);
+  }
+  return m;
+}
+
+struct SuiteTotals {
+  long lp_iters = 0;
+  long dual_pivots = 0;
+  long nodes = 0;
+  long warm_solves = 0;
+  long cold_restarts = 0;
+  long rc_fixed = 0;
+  double wall_s = 0;
+  std::vector<double> objective;  // per instance
+  std::vector<bool> proved;       // per instance: optimality proved
+};
+
+/// Solves the same randomized window-MILP suite with basis reuse on or off.
+/// Wherever both modes prove optimality the objectives must match exactly —
+/// only the pivot accounting may differ.
+SuiteTotals run_suite(bool warm, int instances) {
+  SuiteTotals t;
+  Timer timer;
+  for (int i = 0; i < instances; ++i) {
+    milp::Model m = make_window_milp(6 + i % 5, 4 + i % 3, 8 + i % 6,
+                                     1000 + static_cast<std::uint64_t>(i));
+    milp::BranchAndBound::Options opts;
+    opts.max_nodes = 100000;
+    opts.use_warm_start = warm;
+    milp::MipResult r = milp::BranchAndBound(opts).solve(m);
+    t.lp_iters += r.lp_iterations;
+    t.dual_pivots += r.dual_pivots;
+    t.nodes += r.nodes_explored;
+    t.warm_solves += r.warm_solves;
+    t.cold_restarts += r.cold_restarts;
+    t.rc_fixed += r.rc_fixed;
+    t.objective.push_back(r.x.empty() ? 0.0 : r.objective);
+    t.proved.push_back(r.status == milp::MipStatus::kOptimal);
+  }
+  t.wall_s = timer.seconds();
+  return t;
+}
+
+void write_totals(benchutil::JsonWriter& jw, const char* key,
+                  const SuiteTotals& t) {
+  double obj_sum = 0;
+  long proved = 0;
+  for (std::size_t i = 0; i < t.objective.size(); ++i) {
+    obj_sum += t.objective[i];
+    proved += t.proved[i] ? 1 : 0;
+  }
+  jw.begin_object(key);
+  jw.field("lp_iterations", t.lp_iters);
+  jw.field("dual_pivots", t.dual_pivots);
+  jw.field("nodes", t.nodes);
+  jw.field("warm_start_hits", t.warm_solves);
+  jw.field("cold_restarts", t.cold_restarts);
+  jw.field("rc_fixed", t.rc_fixed);
+  jw.field("proved_optimal", proved);
+  jw.field("objective_sum", obj_sum);
+  jw.field("wall_s", t.wall_s);
+  jw.end_object();
+}
+
+/// Warm-vs-cold branch-and-bound study; prints a table and writes
+/// BENCH_solver.json. Returns nonzero on objective mismatch (exactness is
+/// part of the contract, not just speed).
+int warm_cold_study() {
+  const int instances = 40;
+  SuiteTotals cold = run_suite(false, instances);
+  SuiteTotals warm = run_suite(true, instances);
+
+  double iter_ratio = warm.lp_iters > 0
+                          ? static_cast<double>(cold.lp_iters) /
+                                static_cast<double>(warm.lp_iters)
+                          : 0;
+  std::printf("B&B warm-start study (%d window-shaped MILPs)\n", instances);
+  std::printf("  %-18s %12s %12s\n", "", "cold", "warm");
+  std::printf("  %-18s %12ld %12ld\n", "LP iterations", cold.lp_iters,
+              warm.lp_iters);
+  std::printf("  %-18s %12ld %12ld\n", "dual pivots", cold.dual_pivots,
+              warm.dual_pivots);
+  std::printf("  %-18s %12ld %12ld\n", "nodes", cold.nodes, warm.nodes);
+  std::printf("  %-18s %12ld %12ld\n", "warm-start hits", cold.warm_solves,
+              warm.warm_solves);
+  std::printf("  %-18s %12ld %12ld\n", "cold restarts", cold.cold_restarts,
+              warm.cold_restarts);
+  std::printf("  %-18s %12ld %12ld\n", "rc-fixed binaries", cold.rc_fixed,
+              warm.rc_fixed);
+  std::printf("  %-18s %12.3f %12.3f\n", "wall seconds", cold.wall_s,
+              warm.wall_s);
+  std::printf("  iteration reduction: %.2fx\n\n", iter_ratio);
+
+  // Exactness: wherever both searches proved optimality the incumbent
+  // objectives must be identical (node-limited searches may legitimately
+  // stop on different incumbents).
+  bool objectives_match = true;
+  int compared = 0;
+  for (int i = 0; i < instances; ++i) {
+    if (!cold.proved[i] || !warm.proved[i]) continue;
+    ++compared;
+    if (std::abs(cold.objective[i] - warm.objective[i]) > 1e-6) {
+      objectives_match = false;
+      std::fprintf(stderr,
+                   "ERROR: instance %d objective mismatch (%.12g vs %.12g)\n",
+                   i, cold.objective[i], warm.objective[i]);
+    }
+  }
+  std::printf("  exactness: %d/%d instances proved optimal by both modes, "
+              "objectives %s\n\n",
+              compared, instances, objectives_match ? "identical" : "DIFFER");
+
+  benchutil::JsonWriter jw("BENCH_solver.json");
+  jw.begin_object();
+  jw.field("bench", "solver");
+  jw.field("instances", instances);
+  write_totals(jw, "cold", cold);
+  write_totals(jw, "warm", warm);
+  jw.field("lp_iteration_reduction", iter_ratio);
+  jw.field("instances_compared", compared);
+  jw.field("objectives_match", objectives_match);
+  jw.end_object();
+  return objectives_match ? 0 : 1;
+}
+
 void BM_SimplexAssignment(benchmark::State& state) {
   int cells = static_cast<int>(state.range(0));
   int cands = static_cast<int>(state.range(1));
@@ -55,8 +232,36 @@ BENCHMARK(BM_SimplexAssignment)
     ->Args({15, 40})
     ->Unit(benchmark::kMillisecond);
 
+/// Dual-simplex warm re-solve after a bound change vs a cold re-solve —
+/// the per-node cost inside branch-and-bound.
+void BM_SimplexWarmResolve(benchmark::State& state) {
+  int cells = static_cast<int>(state.range(0));
+  int cands = static_cast<int>(state.range(1));
+  lp::Problem p = make_assignment_lp(cells, cands, 42);
+  lp::IncrementalSimplex inc(p, {});
+  inc.solve();
+  int v = 0;
+  for (auto _ : state) {
+    // Alternate fixing variable v to 0 and releasing it.
+    inc.set_bounds(v, 0, 0);
+    lp::Result r1 = inc.solve();
+    inc.set_bounds(v, 0, 1);
+    lp::Result r2 = inc.solve();
+    benchmark::DoNotOptimize(r1.objective + r2.objective);
+    v = (v + 1) % p.num_variables();
+  }
+  state.SetLabel("warm solves " + std::to_string(inc.warm_solves()) +
+                 ", cold " + std::to_string(inc.cold_solves()));
+}
+BENCHMARK(BM_SimplexWarmResolve)
+    ->Args({5, 10})
+    ->Args({10, 20})
+    ->Args({15, 40})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BranchAndBoundKnapsack(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  bool warm = state.range(1) != 0;
   Rng rng(7);
   milp::Model m;
   std::vector<std::pair<int, double>> cap;
@@ -67,18 +272,33 @@ void BM_BranchAndBoundKnapsack(benchmark::State& state) {
   m.add_constraint(cap, lp::Sense::kLe, 2.5 * n);
   milp::BranchAndBound::Options opts;
   opts.max_nodes = 5000;
+  opts.use_warm_start = warm;
   milp::BranchAndBound bnb(opts);
+  long iters = 0;
   for (auto _ : state) {
     milp::MipResult r = bnb.solve(m);
     benchmark::DoNotOptimize(r.objective);
+    iters = r.lp_iterations;
   }
+  state.SetLabel(std::string(warm ? "warm" : "cold") + ", " +
+                 std::to_string(iters) + " lp iters/solve");
 }
 BENCHMARK(BM_BranchAndBoundKnapsack)
-    ->Arg(12)
-    ->Arg(20)
-    ->Arg(28)
+    ->Args({12, 0})
+    ->Args({12, 1})
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Args({28, 0})
+    ->Args({28, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int rc = warm_cold_study();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

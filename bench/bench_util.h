@@ -3,17 +3,111 @@
 /// Environment knobs (all optional):
 ///   OPENVM1_SCALE    design-size multiplier (default from each bench)
 ///   OPENVM1_THREADS  worker threads for DistOpt (default 2)
+///
+/// Benches additionally emit machine-readable results as BENCH_<name>.json
+/// (JsonWriter below) so runs can be diffed across commits for trajectory
+/// tracking.
 #pragma once
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/flow.h"
 #include "io/report.h"
 #include "util/stats.h"
 
 namespace vm1::benchutil {
+
+/// Minimal streaming JSON emitter for bench result files. Usage:
+///   JsonWriter jw("BENCH_solver.json");
+///   jw.begin_object();
+///   jw.field("wall_s", 1.25);
+///   jw.begin_array("rows");
+///   jw.begin_object(); jw.field("bw", 20); jw.end_object();
+///   jw.end_array();
+///   jw.end_object();   // closes the file when the root closes
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path)
+      : f_(std::fopen(path.c_str(), "w")) {
+    if (!f_) std::fprintf(stderr, "JsonWriter: cannot open %s\n", path.c_str());
+  }
+  ~JsonWriter() {
+    if (f_) std::fclose(f_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() { open('{'); }
+  void begin_object(const char* key) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, double v) {
+    prefix(key);
+    put("%.10g", v);
+  }
+  void field(const char* key, long v) {
+    prefix(key);
+    put("%ld", v);
+  }
+  void field(const char* key, int v) { field(key, static_cast<long>(v)); }
+  void field(const char* key, bool v) {
+    prefix(key);
+    put("%s", v ? "true" : "false");
+  }
+  void field(const char* key, const char* v) {
+    prefix(key);
+    put_string(v);
+  }
+  void field(const char* key, const std::string& v) { field(key, v.c_str()); }
+
+ private:
+  void open(char c, const char* key = nullptr) {
+    prefix(key);
+    put("%c", c);
+    comma_.push_back(false);
+  }
+  void close(char c) {
+    assert(!comma_.empty());
+    comma_.pop_back();
+    put("%c\n", c);
+    if (f_ && comma_.empty()) {
+      std::fclose(f_);
+      f_ = nullptr;
+    }
+  }
+  void prefix(const char* key) {
+    if (!comma_.empty()) {
+      if (comma_.back()) put(",\n");
+      comma_.back() = true;
+    }
+    if (key) {
+      put_string(key);
+      put(": ");
+    }
+  }
+  void put_string(const char* s) {
+    if (!f_) return;
+    std::fputc('"', f_);
+    for (; *s; ++s) {
+      if (*s == '"' || *s == '\\') std::fputc('\\', f_);
+      std::fputc(*s, f_);
+    }
+    std::fputc('"', f_);
+  }
+  template <typename... Args>
+  void put(const char* fmt, Args... args) {
+    if (f_) std::fprintf(f_, fmt, args...);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> comma_;  ///< per open scope: "needs a comma first"
+};
 
 inline double env_scale(double fallback) {
   const char* s = std::getenv("OPENVM1_SCALE");

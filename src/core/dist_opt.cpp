@@ -1,6 +1,5 @@
 #include "core/dist_opt.h"
 
-#include <atomic>
 #include <memory>
 
 #include "core/window.h"
@@ -17,8 +16,8 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   std::vector<std::vector<int>> batches = diagonal_batches(grid);
 
   for (const std::vector<int>& batch : batches) {
-    // Build phase (serial): snapshot-consistent MILPs for this batch.
     struct Job {
+      int widx;
       BuiltMilp built;
       std::vector<double> warm;
       milp::MipResult result;
@@ -26,41 +25,49 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     std::vector<std::unique_ptr<Job>> jobs;
     for (int widx : batch) {
       if (grid.movable[widx].empty()) continue;
+      auto job = std::make_unique<Job>();
+      job->widx = widx;
+      jobs.push_back(std::move(job));
+    }
+
+    // Build + solve phase (parallel): windows in a batch touch disjoint
+    // cells and the design is read-only until the apply phase below, so
+    // MILP construction, warm-start extraction, and branch-and-bound all
+    // run inside the pool job.
+    auto run_one = [&](std::size_t j) {
+      Job& job = *jobs[j];
       WindowProblem wp;
       wp.design = &d;
-      wp.window = grid.windows[widx];
-      wp.movable = grid.movable[widx];
+      wp.window = grid.windows[job.widx];
+      wp.movable = grid.movable[job.widx];
       wp.lx = opts.lx;
       wp.ly = opts.ly;
       wp.allow_move = opts.allow_move;
       wp.allow_flip = opts.allow_flip;
       wp.params = opts.params;
-      auto job = std::make_unique<Job>();
-      job->built = build_window_milp(wp);
-      if (job->built.empty()) continue;
-      job->warm = job->built.warm_start(d);
-      jobs.push_back(std::move(job));
-      ++stats.windows;
-    }
-
-    // Solve phase (parallel): models are self-contained; the design is
-    // read-only until the apply phase below.
-    auto solve_one = [&](std::size_t j) {
-      Job& job = *jobs[j];
+      job.built = build_window_milp(wp);
+      if (job.built.empty()) return;
+      job.warm = job.built.warm_start(d);
       milp::BranchAndBound bnb(opts.mip);
       job.result =
           bnb.solve(job.built.model, job.built.make_heuristic(), &job.warm);
     };
     if (pool && jobs.size() > 1) {
-      pool->parallel_for(jobs.size(), solve_one);
+      pool->parallel_for(jobs.size(), run_one);
     } else {
-      for (std::size_t j = 0; j < jobs.size(); ++j) solve_one(j);
+      for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
     }
 
     // Apply phase (serial): windows in a batch touch disjoint cells.
     for (const auto& job : jobs) {
+      if (job->built.empty()) continue;
+      ++stats.windows;
       stats.total_nodes += job->result.nodes_explored;
       stats.total_lp_iters += job->result.lp_iterations;
+      stats.dual_pivots += job->result.dual_pivots;
+      stats.warm_solves += job->result.warm_solves;
+      stats.cold_restarts += job->result.cold_restarts;
+      stats.rc_fixed += job->result.rc_fixed;
       if (job->result.x.empty()) continue;
       ++stats.windows_solved;
       double warm_obj = job->built.model.objective_value(job->warm);

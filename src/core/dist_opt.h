@@ -3,9 +3,11 @@
 ///
 /// Partitions the layout into (bw x bh) windows offset by (tx, ty), walks
 /// the ~sqrt(|W|) diagonal batches, and inside each batch builds and solves
-/// every window's MILP in parallel, applying the solutions afterward. Each
-/// window's branch-and-bound is warm-started with the current placement, so
-/// a window's local objective never degrades.
+/// every window's MILP in parallel (both phases run in one pool job per
+/// window: windows in a batch are disjoint and the design is read-only
+/// until the serial apply phase). Each window's branch-and-bound is
+/// warm-started with the current placement, so a window's local objective
+/// never degrades.
 #pragma once
 
 #include "core/milp_builder.h"
@@ -32,7 +34,13 @@ struct DistOptStats {
   int windows_solved = 0;   ///< windows whose MILP produced a solution
   int windows_improved = 0; ///< windows whose solution changed placements
   long total_nodes = 0;     ///< branch-and-bound nodes across windows
-  long total_lp_iters = 0;
+  long total_lp_iters = 0;  ///< simplex pivots across windows (primal + dual)
+  // Warm-start observability, aggregated over window B&B solves
+  // (see DESIGN.md "LP/MILP solver internals").
+  long dual_pivots = 0;     ///< pivots spent in dual re-optimization
+  long warm_solves = 0;     ///< node LPs served from a parent basis
+  long cold_restarts = 0;   ///< node LPs that rebuilt the tableau (phase 1)
+  long rc_fixed = 0;        ///< binaries fixed by root reduced costs
   double objective = 0;     ///< full-design objective after this DistOpt
   double seconds = 0;
 };

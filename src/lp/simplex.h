@@ -1,12 +1,20 @@
 /// \file simplex.h
-/// Dense bounded-variable primal simplex LP solver.
+/// Dense bounded-variable simplex LP solver (primal two-phase + dual).
 ///
 /// This is the LP engine underneath the branch-and-bound MILP solver
 /// (src/milp) that OpenVM1 uses in place of the paper's CPLEX 12.6.3.
 /// Window MILP instances are small (hundreds of variables), so a dense
-/// two-phase tableau simplex with upper-bounded variables is both simple
-/// and fast enough; correctness is validated against brute-force vertex
+/// tableau simplex with upper-bounded variables is both simple and fast
+/// enough; correctness is validated against brute-force vertex
 /// enumeration in the test suite.
+///
+/// Two solve paths:
+///  * cold: two-phase primal from the slack basis (SimplexSolver::solve);
+///  * warm: dual simplex re-optimization from a previous optimal basis
+///    after bound changes — either via an exported Basis
+///    (SimplexSolver::solve(p, &basis)) or by keeping the tableau hot
+///    across a sequence of bound changes (IncrementalSimplex), which is
+///    how branch-and-bound dives without re-running phase 1 per node.
 ///
 /// Conventions:
 ///  * minimization;
@@ -16,6 +24,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -82,11 +91,36 @@ class Problem {
   std::vector<Constraint> rows_;
 };
 
+/// Status of one column in a basis snapshot. Columns live in the solver's
+/// normalized space: [0, n) structural variables, [n, n+m) row slacks.
+enum class BasisState : unsigned char { kBasic, kAtLower, kAtUpper };
+
+/// A reusable simplex basis: which column is basic in each row plus the
+/// bound each nonbasic column rests at. Captured from an optimal solve and
+/// fed back (after bound changes) to skip phase 1 entirely — the dual
+/// simplex repairs primal feasibility while reduced costs stay valid.
+struct Basis {
+  std::vector<int> basic;         ///< size m: basic column per row
+  std::vector<BasisState> state;  ///< size n + m
+
+  bool empty() const { return basic.empty(); }
+};
+
 struct Result {
   Status status = Status::kInfeasible;
   double objective = 0;
   std::vector<double> x;  ///< variable values (size = num_variables)
-  int iterations = 0;
+  int iterations = 0;       ///< total simplex pivots (primal + dual)
+  int dual_iterations = 0;  ///< pivots spent in the dual simplex
+  /// True when the solve re-optimized from a warm basis without phase 1.
+  bool warm_start_used = false;
+  /// Optimal basis (empty when not optimal or when an artificial variable
+  /// remained basic, which makes the basis non-reusable).
+  Basis basis;
+  /// Reduced costs of the structural variables at the optimum (empty when
+  /// not optimal). Nonnegative for variables at lower bound, nonpositive
+  /// at upper bound — used for reduced-cost fixing in branch-and-bound.
+  std::vector<double> reduced_cost;
 };
 
 /// Two-phase dense tableau simplex with bounded variables.
@@ -104,10 +138,64 @@ class SimplexSolver {
   SimplexSolver() : opts_() {}
   explicit SimplexSolver(const Options& opts) : opts_(opts) {}
 
+  /// Cold solve: two-phase primal from the slack basis.
   Result solve(const Problem& p) const;
+
+  /// Warm solve: refactorizes `warm` (a basis exported from a previous
+  /// optimal solve of a problem with the same rows/columns, possibly with
+  /// different variable bounds) and re-optimizes with the dual simplex.
+  /// Falls back to the primal (and ultimately to a cold start) when the
+  /// basis is singular or not dual feasible. `warm` may be null.
+  Result solve(const Problem& p, const Basis* warm) const;
 
  private:
   Options opts_;
+};
+
+/// Re-optimizing solver that owns a mutable copy of one Problem and keeps
+/// the dense tableau hot across a sequence of bound changes. This is the
+/// branch-and-bound workhorse: a child node differs from its parent by one
+/// integer-variable bound, so `set_bounds` + `solve` costs a handful of
+/// dual pivots instead of a full phase-1 + phase-2 rebuild.
+class IncrementalSimplex {
+ public:
+  IncrementalSimplex(const Problem& p, const SimplexSolver::Options& opts);
+  ~IncrementalSimplex();
+
+  IncrementalSimplex(const IncrementalSimplex&) = delete;
+  IncrementalSimplex& operator=(const IncrementalSimplex&) = delete;
+
+  /// The owned problem at its current bounds.
+  const Problem& problem() const { return prob_; }
+
+  /// Overwrites variable v's bounds (original, unshifted space). When the
+  /// tableau is hot this is an O(m) incremental update that preserves the
+  /// basis; otherwise it only records the new bounds.
+  void set_bounds(int v, double lo, double hi);
+
+  /// Re-optimizes at the current bounds: dual simplex from the previous
+  /// optimal basis when the tableau is hot, full two-phase primal
+  /// otherwise. A dual stall or a drifted solution triggers an automatic
+  /// cold restart, so results match a fresh solve.
+  Result solve();
+
+  /// Discards the hot tableau; the next solve is a cold start.
+  void invalidate();
+
+  // Observability counters (accumulated across solve() calls).
+  int warm_solves() const { return warm_solves_; }    ///< phase-1 solves avoided
+  int cold_solves() const { return cold_solves_; }    ///< full rebuilds
+  int dual_pivots() const { return dual_pivots_; }
+
+ private:
+  struct Impl;
+  Problem prob_;
+  SimplexSolver::Options opts_;
+  std::unique_ptr<Impl> impl_;
+  bool hot_ = false;
+  int warm_solves_ = 0;
+  int cold_solves_ = 0;
+  int dual_pivots_ = 0;
 };
 
 }  // namespace vm1::lp

@@ -28,11 +28,23 @@ struct BoundFix {
   int var;
   double lo;
   double hi;
+
+  bool operator==(const BoundFix& o) const {
+    return var == o.var && lo == o.lo && hi == o.hi;
+  }
 };
 
 struct Node {
   std::vector<BoundFix> fixes;  ///< full path of branching decisions
   double parent_bound;          ///< LP bound inherited from the parent
+};
+
+/// One applied branching decision plus the bounds it overwrote, so the
+/// search can unwind to any ancestor by popping in LIFO order.
+struct Applied {
+  BoundFix fix;
+  double prev_lo;
+  double prev_hi;
 };
 
 }  // namespace
@@ -42,16 +54,12 @@ MipResult BranchAndBound::solve(const Model& model,
                                 const std::vector<double>* warm_start) const {
   MipResult result;
   Timer timer;
-  lp::SimplexSolver lp_solver(opts_.lp_options);
 
-  // Working copy whose integer-variable bounds we rewrite per node.
-  lp::Problem work = model.lp();
+  // The incremental solver owns the working bounds. DFS dives reuse its hot
+  // tableau: switching nodes applies only the bound deltas between the two
+  // fix paths, and the dual simplex re-optimizes from the parent basis.
+  lp::IncrementalSimplex lp(model.lp(), opts_.lp_options);
   const auto& int_vars = model.integer_variables();
-  std::vector<std::pair<double, double>> orig_bounds;
-  orig_bounds.reserve(int_vars.size());
-  for (int v : int_vars) {
-    orig_bounds.emplace_back(work.lower_bound(v), work.upper_bound(v));
-  }
 
   const double inf = std::numeric_limits<double>::infinity();
   double incumbent_obj = inf;
@@ -69,8 +77,30 @@ MipResult BranchAndBound::solve(const Model& model,
 
   if (warm_start) try_incumbent(*warm_start);
 
+  // Branching decisions currently applied to `lp`, root-to-leaf.
+  std::vector<Applied> applied;
+  auto apply_path = [&](const std::vector<BoundFix>& fixes) {
+    std::size_t keep = 0;
+    while (keep < applied.size() && keep < fixes.size() &&
+           applied[keep].fix == fixes[keep]) {
+      ++keep;
+    }
+    while (applied.size() > keep) {
+      const Applied& a = applied.back();
+      lp.set_bounds(a.fix.var, a.prev_lo, a.prev_hi);
+      applied.pop_back();
+    }
+    for (std::size_t i = keep; i < fixes.size(); ++i) {
+      const BoundFix& f = fixes[i];
+      applied.push_back({f, lp.problem().lower_bound(f.var),
+                         lp.problem().upper_bound(f.var)});
+      lp.set_bounds(f.var, f.lo, f.hi);
+    }
+  };
+
   std::vector<Node> stack;
   stack.push_back(Node{{}, -inf});
+  bool root_fixing_pending = opts_.use_warm_start;
 
   while (!stack.empty()) {
     if (result.nodes_explored >= opts_.max_nodes ||
@@ -83,15 +113,17 @@ MipResult BranchAndBound::solve(const Model& model,
     if (node.parent_bound >= incumbent_obj - opts_.gap_tol) continue;
     ++result.nodes_explored;
 
-    // Apply this node's bound fixes.
-    for (std::size_t i = 0; i < int_vars.size(); ++i) {
-      work.set_bounds(int_vars[i], orig_bounds[i].first,
-                      orig_bounds[i].second);
-    }
-    for (const BoundFix& f : node.fixes) work.set_bounds(f.var, f.lo, f.hi);
+    apply_path(node.fixes);
+    if (!opts_.use_warm_start) lp.invalidate();
 
-    lp::Result rel = lp_solver.solve(work);
+    lp::Result rel = lp.solve();
     result.lp_iterations += rel.iterations;
+    result.dual_pivots += rel.dual_iterations;
+    if (rel.warm_start_used) {
+      ++result.warm_solves;
+    } else {
+      ++result.cold_restarts;
+    }
     if (rel.status == lp::Status::kInfeasible) continue;
     if (rel.status == lp::Status::kIterLimit) {
       truncated = true;
@@ -137,16 +169,43 @@ MipResult BranchAndBound::solve(const Model& model,
       if (auto hx = heuristic(model, rel.x)) try_incumbent(*hx);
     }
 
+    // Reduced-cost fixing at the root: an integer variable sitting on a
+    // bound whose reduced cost alone pushes the LP bound past the incumbent
+    // can never move in an improving solution, so its bounds collapse for
+    // the entire search. Any solution it would exclude has objective
+    // >= root bound + |rc| > incumbent - gap_tol, which try_incumbent
+    // rejects anyway — the search result is unchanged, just cheaper.
+    if (root_fixing_pending && node.fixes.empty() &&
+        std::isfinite(incumbent_obj) && !rel.reduced_cost.empty()) {
+      root_fixing_pending = false;
+      for (int v : int_vars) {
+        double lo = lp.problem().lower_bound(v);
+        double hi = lp.problem().upper_bound(v);
+        if (lo >= hi) continue;  // already fixed
+        double rc = rel.reduced_cost[v];
+        if (rel.x[v] <= lo + opts_.int_tol && rc > 0 &&
+            rel.objective + rc > incumbent_obj - opts_.gap_tol) {
+          lp.set_bounds(v, lo, lo);
+          ++result.rc_fixed;
+        } else if (std::isfinite(hi) && rel.x[v] >= hi - opts_.int_tol &&
+                   rc < 0 &&
+                   rel.objective - rc > incumbent_obj - opts_.gap_tol) {
+          lp.set_bounds(v, hi, hi);
+          ++result.rc_fixed;
+        }
+      }
+    }
+
     // Branch: floor child and ceil child. Push the child whose bound value is
     // farther from the LP value first so the nearer one is explored first
     // (DFS dive toward the relaxation).
     double fl = std::floor(branch_val);
     Node down{node.fixes, rel.objective};
     down.fixes.push_back(
-        {branch_var, work.lower_bound(branch_var), fl});
+        {branch_var, lp.problem().lower_bound(branch_var), fl});
     Node up{std::move(node.fixes), rel.objective};
     up.fixes.push_back(
-        {branch_var, fl + 1, work.upper_bound(branch_var)});
+        {branch_var, fl + 1, lp.problem().upper_bound(branch_var)});
     bool down_first = (branch_val - fl) < 0.5;
     if (down_first) {
       stack.push_back(std::move(up));

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <exception>
+
 namespace vm1 {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -37,10 +39,20 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, i] { fn(i); });
+    submit([&fn, &first_error, &error_mutex, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

@@ -34,6 +34,9 @@ class ThreadPool {
   void wait_idle();
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// If any invocation throws, the first exception (in completion order) is
+  /// rethrown on the calling thread after all n tasks have finished —
+  /// worker failures are never silently swallowed.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -101,6 +101,31 @@ TEST(DistOpt, StatsAreCoherent) {
   EXPECT_GE(s.windows_solved, s.windows_improved);
   EXPECT_GE(s.total_nodes, 0);
   EXPECT_GT(s.seconds, 0);
+  // Warm-start accounting: every node LP is either a basis reuse or a cold
+  // restart, iterations include the dual pivots, and each window's root
+  // solve is cold.
+  EXPECT_EQ(s.warm_solves + s.cold_restarts, s.total_nodes);
+  EXPECT_GE(s.total_lp_iters, s.dual_pivots);
+  EXPECT_GE(s.cold_restarts, s.windows_solved);
+  EXPECT_GE(s.rc_fixed, 0);
+}
+
+TEST(DistOpt, ResultIndependentOfThreadCount) {
+  DistOptOptions opts = fast_opts();
+  Design d1 = placed();
+  Design d3 = placed();
+  ThreadPool p1(1);
+  ThreadPool p3(3);
+  DistOptStats s1 = dist_opt(d1, opts, &p1);
+  DistOptStats s3 = dist_opt(d3, opts, &p3);
+  for (int i = 0; i < d1.netlist().num_instances(); ++i) {
+    EXPECT_EQ(d1.placement(i), d3.placement(i)) << "instance " << i;
+  }
+  EXPECT_EQ(s1.windows, s3.windows);
+  EXPECT_EQ(s1.windows_solved, s3.windows_solved);
+  EXPECT_EQ(s1.total_nodes, s3.total_nodes);
+  EXPECT_EQ(s1.total_lp_iters, s3.total_lp_iters);
+  EXPECT_DOUBLE_EQ(s1.objective, s3.objective);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/rng.h"
 
 namespace vm1::lp {
@@ -208,6 +210,153 @@ TEST_P(SimplexRandom, FeasibleInstancesSolveToFeasibleOptimum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomLp, SimplexRandom, ::testing::Range(0, 40));
+
+// ---- basis reuse / warm start ----
+
+/// Random feasible LP with a known interior point (same scheme as
+/// SimplexRandom above).
+Problem random_feasible_lp(Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.uniform(6));
+  const int m = 2 + static_cast<int>(rng.uniform(6));
+  Problem p;
+  std::vector<double> x0(n);
+  for (int j = 0; j < n; ++j) {
+    double lo = rng.uniform_int(-5, 0);
+    double hi = lo + 1 + rng.uniform(10);
+    p.add_variable(lo, hi, rng.uniform_int(-5, 5));
+    x0[j] = lo + (hi - lo) * rng.uniform_real();
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    double lhs = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.chance(0.3)) continue;
+      double a = rng.uniform_int(-4, 4);
+      if (a == 0) continue;
+      terms.emplace_back(j, a);
+      lhs += a * x0[j];
+    }
+    if (terms.empty()) continue;
+    if (rng.chance(0.5)) {
+      p.add_constraint(terms, Sense::kLe, lhs + rng.uniform_real() * 3);
+    } else {
+      p.add_constraint(terms, Sense::kGe, lhs - rng.uniform_real() * 3);
+    }
+  }
+  return p;
+}
+
+TEST(SimplexWarm, BasisExportedOnOptimal) {
+  Problem p;
+  int x = p.add_variable(0, kInf, -3, "x");
+  int y = p.add_variable(0, kInf, -5, "y");
+  p.add_constraint({{x, 1}}, Sense::kLe, 4);
+  p.add_constraint({{y, 2}}, Sense::kLe, 12);
+  p.add_constraint({{x, 3}, {y, 2}}, Sense::kLe, 18);
+  Result r = SimplexSolver().solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  ASSERT_FALSE(r.basis.empty());
+  EXPECT_EQ(r.basis.basic.size(), 3u);   // one basic column per row
+  EXPECT_EQ(r.basis.state.size(), 5u);   // structural + slacks
+  EXPECT_EQ(r.reduced_cost.size(), 2u);  // structural prefix only
+  // Reduced costs of an optimal basis: at-lower vars have rc >= 0.
+  for (int v = 0; v < 2; ++v) {
+    if (r.basis.state[v] == BasisState::kAtLower) {
+      EXPECT_GE(r.reduced_cost[v], -1e-7);
+    }
+  }
+}
+
+class SimplexWarmBasis : public ::testing::TestWithParam<int> {};
+
+// Property: re-solving from a parent basis after bound tightening gives the
+// same status and objective as a fresh cold solve.
+TEST_P(SimplexWarmBasis, ReoptimizeMatchesFreshAfterBoundChange) {
+  Rng rng(4000 + GetParam());
+  Problem p = random_feasible_lp(rng);
+  Result root = SimplexSolver().solve(p);
+  ASSERT_EQ(root.status, Status::kOptimal);
+  ASSERT_FALSE(root.basis.empty());
+
+  // Tighten bounds of a few variables around / away from the LP optimum,
+  // the same kind of change branching makes.
+  Problem q = p;
+  int changes = 1 + static_cast<int>(rng.uniform(3));
+  for (int k = 0; k < changes; ++k) {
+    int v = static_cast<int>(rng.uniform(p.num_variables()));
+    double lo = q.lower_bound(v);
+    double hi = q.upper_bound(v);
+    double xv = root.x[v];
+    if (rng.chance(0.5) && xv - 0.5 >= lo) {
+      hi = std::min(hi, xv - 0.5);  // cut off the current optimum
+    } else if (xv + 0.5 <= hi) {
+      lo = std::max(lo, xv + 0.5);
+    }
+    if (lo <= hi) q.set_bounds(v, lo, hi);
+  }
+
+  Result fresh = SimplexSolver().solve(q);
+  Result warm = SimplexSolver().solve(q, &root.basis);
+  ASSERT_EQ(warm.status, fresh.status) << "instance " << GetParam();
+  if (fresh.status == Status::kOptimal) {
+    EXPECT_NEAR(warm.objective, fresh.objective, 1e-6)
+        << "instance " << GetParam();
+    EXPECT_LT(q.max_violation(warm.x), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLp, SimplexWarmBasis, ::testing::Range(0, 40));
+
+class SimplexIncremental : public ::testing::TestWithParam<int> {};
+
+// Property: a persistent IncrementalSimplex driven through a random walk of
+// bound changes (the branch-and-bound dive pattern) agrees with a fresh
+// cold solve after every step.
+TEST_P(SimplexIncremental, MatchesFreshSolveUnderBoundWalk) {
+  Rng rng(5000 + GetParam());
+  Problem p = random_feasible_lp(rng);
+  IncrementalSimplex inc(p, {});
+  Problem q = p;  // mirror of inc's internal problem
+
+  Result r0 = inc.solve();
+  Result f0 = SimplexSolver().solve(q);
+  ASSERT_EQ(r0.status, f0.status);
+
+  // Remember original bounds so the walk can both tighten and restore.
+  std::vector<std::pair<double, double>> orig;
+  for (int v = 0; v < p.num_variables(); ++v) {
+    orig.emplace_back(p.lower_bound(v), p.upper_bound(v));
+  }
+  for (int step = 0; step < 12; ++step) {
+    int v = static_cast<int>(rng.uniform(p.num_variables()));
+    auto [olo, ohi] = orig[v];
+    double lo = olo, hi = ohi;
+    if (rng.chance(0.7)) {
+      // Tighten to a random subinterval (upper bounds stay finite here).
+      double span = std::isfinite(ohi) ? ohi - olo : 10.0;
+      double a = olo + span * rng.uniform_real();
+      double b = olo + span * rng.uniform_real();
+      lo = std::min(a, b);
+      hi = std::max(a, b);
+    }  // else: restore the original bounds
+    inc.set_bounds(v, lo, hi);
+    q.set_bounds(v, lo, hi);
+
+    Result ri = inc.solve();
+    Result rf = SimplexSolver().solve(q);
+    ASSERT_EQ(ri.status, rf.status)
+        << "instance " << GetParam() << " step " << step;
+    if (rf.status == Status::kOptimal) {
+      EXPECT_NEAR(ri.objective, rf.objective, 1e-6)
+          << "instance " << GetParam() << " step " << step;
+      EXPECT_LT(q.max_violation(ri.x), 1e-5);
+    }
+  }
+  EXPECT_GT(inc.warm_solves() + inc.cold_solves(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLp, SimplexIncremental,
+                         ::testing::Range(0, 40));
 
 }  // namespace
 }  // namespace vm1::lp

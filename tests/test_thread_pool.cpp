@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 namespace vm1 {
 namespace {
@@ -47,6 +48,48 @@ TEST(ThreadPool, SizeReflectsConstruction) {
   EXPECT_EQ(pool.size(), 3u);
   ThreadPool def(0);
   EXPECT_GE(def.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsAllTasksDespiteThrow) {
+  // A throwing task must not abort the batch: every other index still runs
+  // and the first exception is rethrown only after the batch drains.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  bool thrown = false;
+  try {
+    pool.parallel_for(32, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i % 2 == 0) throw std::runtime_error("x");
+    });
+  } catch (const std::runtime_error&) {
+    thrown = true;
+  }
+  EXPECT_TRUE(thrown);
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(4, [](std::size_t) {
+      throw std::runtime_error("first batch");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
 }
 
 }  // namespace
