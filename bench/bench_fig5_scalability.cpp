@@ -87,6 +87,7 @@ int main() {
         jw.field("warm_start_hits", sm.warm_solves + sf.warm_solves);
         jw.field("cold_restarts", sm.cold_restarts + sf.cold_restarts);
         jw.field("rc_fixed", sm.rc_fixed + sf.rc_fixed);
+        write_window_outcomes(jw, {&sm, &sf});
         jw.end_object();
       }
     }

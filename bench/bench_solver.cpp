@@ -10,6 +10,8 @@
 
 #include "bench_util.h"
 #include "milp/branch_and_bound.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -153,6 +155,30 @@ void write_totals(benchutil::JsonWriter& jw, const char* key,
   jw.end_object();
 }
 
+/// One real DistOpt pass on the tiny design so the solver JSON also tracks
+/// the guardrail outcome taxonomy — and, when VM1_FAULTS is set, how the
+/// fallback cascade absorbed the injected faults.
+void guardrail_study(benchutil::JsonWriter& jw) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  global_place(d);
+  legalize(d);
+  DistOptOptions o;
+  o.bw = 16;
+  o.bh = 2;
+  o.lx = 3;
+  o.ly = 1;
+  o.mip.max_nodes = 60;
+  o.mip.time_limit_sec = 2.0;
+  ThreadPool pool(benchutil::env_threads());
+  DistOptStats s = dist_opt(d, o, &pool);
+  std::printf("guardrails (tiny, one move pass): %d windows -> %d solved, "
+              "%d rounding, %d greedy, %d audit-rejected, %d kept, "
+              "%d faulted (%ld faults injected)\n\n",
+              s.windows, s.solved, s.fallback_rounding, s.fallback_greedy,
+              s.rejected_audit, s.kept, s.faulted, s.faults_injected);
+  benchutil::write_window_outcomes(jw, {&s});
+}
+
 /// Warm-vs-cold branch-and-bound study; prints a table and writes
 /// BENCH_solver.json. Returns nonzero on objective mismatch (exactness is
 /// part of the contract, not just speed).
@@ -210,6 +236,7 @@ int warm_cold_study() {
   jw.field("lp_iteration_reduction", iter_ratio);
   jw.field("instances_compared", compared);
   jw.field("objectives_match", objectives_match);
+  guardrail_study(jw);
   jw.end_object();
   return objectives_match ? 0 : 1;
 }

@@ -12,9 +12,11 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "core/dist_opt.h"
 #include "core/flow.h"
 #include "io/report.h"
 #include "util/stats.h"
@@ -108,6 +110,41 @@ class JsonWriter {
   std::FILE* f_;
   std::vector<bool> comma_;  ///< per open scope: "needs a comma first"
 };
+
+/// Emits the guardrail outcome counters (the WindowOutcome taxonomy of
+/// core/dist_opt.h) summed over one or more DistOpt passes, as a nested
+/// "window_outcomes" object — so bench JSON shows not just how fast the
+/// windows solved but how they terminated (fallbacks, audit rejections,
+/// faults, deadline cut-offs) across commits.
+inline void write_window_outcomes(
+    JsonWriter& jw, std::initializer_list<const DistOptStats*> passes) {
+  int windows = 0, solved = 0, fallback_rounding = 0, fallback_greedy = 0;
+  int rejected_audit = 0, kept = 0, faulted = 0;
+  long faults_injected = 0;
+  bool deadline_hit = false;
+  for (const DistOptStats* s : passes) {
+    windows += s->windows;
+    solved += s->solved;
+    fallback_rounding += s->fallback_rounding;
+    fallback_greedy += s->fallback_greedy;
+    rejected_audit += s->rejected_audit;
+    kept += s->kept;
+    faulted += s->faulted;
+    faults_injected += s->faults_injected;
+    deadline_hit = deadline_hit || s->deadline_hit;
+  }
+  jw.begin_object("window_outcomes");
+  jw.field("windows", windows);
+  jw.field("solved", solved);
+  jw.field("fallback_rounding", fallback_rounding);
+  jw.field("fallback_greedy", fallback_greedy);
+  jw.field("rejected_audit", rejected_audit);
+  jw.field("kept", kept);
+  jw.field("faulted", faulted);
+  jw.field("faults_injected", faults_injected);
+  jw.field("deadline_hit", deadline_hit);
+  jw.end_object();
+}
 
 inline double env_scale(double fallback) {
   const char* s = std::getenv("OPENVM1_SCALE");

@@ -1,65 +1,260 @@
 #include "core/dist_opt.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
+#include "core/greedy_aligner.h"
 #include "core/window.h"
+#include "core/window_audit.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace vm1 {
 
+const char* to_string(WindowOutcome o) {
+  switch (o) {
+    case WindowOutcome::kSolved:
+      return "solved";
+    case WindowOutcome::kFallbackRounding:
+      return "fallback_rounding";
+    case WindowOutcome::kFallbackGreedy:
+      return "fallback_greedy";
+    case WindowOutcome::kRejectedAudit:
+      return "rejected_audit";
+    case WindowOutcome::kKept:
+      return "kept";
+    case WindowOutcome::kFaulted:
+      return "faulted";
+  }
+  return "?";
+}
+
+void DistOptOptions::validate() const {
+  auto bad = [](const std::string& what) {
+    throw std::invalid_argument("DistOptOptions: " + what);
+  };
+  if (bw <= 0 || bh <= 0) {
+    bad("window size bw/bh must be positive, got " + std::to_string(bw) +
+        "x" + std::to_string(bh));
+  }
+  if (lx < 0 || ly < 0) {
+    bad("displacement bounds lx/ly must be >= 0, got " + std::to_string(lx) +
+        "/" + std::to_string(ly));
+  }
+  if (time_budget_sec < 0) {
+    bad("time_budget_sec must be >= 0, got " +
+        std::to_string(time_budget_sec));
+  }
+  if (min_window_time_sec < 0) {
+    bad("min_window_time_sec must be >= 0, got " +
+        std::to_string(min_window_time_sec));
+  }
+  mip.validate();
+}
+
+namespace {
+
+/// A solver answer is applied only when it is a full, finite, non-degrading
+/// solution — anything else (kNoSolution, truncated vector, NaN objective
+/// from a numerically sick LP) drops to the fallback cascade.
+bool usable_result(const milp::MipResult& r, const milp::Model& model,
+                   double warm_obj) {
+  if (r.x.size() != static_cast<std::size_t>(model.num_variables())) {
+    return false;
+  }
+  if (!std::isfinite(r.objective)) return false;
+  return r.objective <= warm_obj + 1e-9;
+}
+
+struct Job {
+  int widx = -1;
+  std::uint64_t key = 0;       ///< deterministic window key (fault seeding)
+  bool ran = false;            ///< run_one invoked (pool cancel can skip it)
+  bool skipped = false;        ///< saw cancellation/deadline before solving
+  bool failed = false;         ///< build or solve threw
+  bool usable = false;         ///< MILP result passed validation
+  bool has_fallback = false;   ///< rounding fallback produced a solution
+  int faults = 0;              ///< injected faults observed by this job
+  std::string error;
+  BuiltMilp built;
+  std::vector<double> warm;
+  double warm_obj = 0;
+  milp::MipResult result;
+  std::vector<double> fallback_x;
+};
+
+}  // namespace
+
 DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
                       ThreadPool* pool) {
+  opts.validate();
   Timer timer;
   DistOptStats stats;
+  const bool fault_on = fault::config().enabled();
 
   WindowGrid grid = partition_windows(d, opts.tx, opts.ty, opts.bw, opts.bh);
   std::vector<std::vector<int>> batches = diagonal_batches(grid);
 
+  // Pass-level cancellation token: set by the deadline, by an external
+  // opts.cancel, and observed by every window's branch-and-bound.
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> deadline_fired{false};
+
+  // Count of windows not yet started, for the adaptive time split.
+  long total_jobs = 0;
+  for (const std::vector<int>& m : grid.movable) {
+    if (!m.empty()) ++total_jobs;
+  }
+  std::atomic<long> not_started{total_jobs};
+
+  const double inf = std::numeric_limits<double>::infinity();
+  auto budget_remaining = [&]() -> double {
+    return opts.time_budget_sec > 0 ? opts.time_budget_sec - timer.seconds()
+                                    : inf;
+  };
+  const unsigned workers = pool ? std::max(1u, pool->size()) : 1u;
+
   for (const std::vector<int>& batch : batches) {
-    struct Job {
-      int widx;
-      BuiltMilp built;
-      std::vector<double> warm;
-      milp::MipResult result;
-    };
     std::vector<std::unique_ptr<Job>> jobs;
     for (int widx : batch) {
       if (grid.movable[widx].empty()) continue;
       auto job = std::make_unique<Job>();
       job->widx = widx;
+      const Window& w = grid.windows[widx];
+      job->key = fault::mix(
+          fault::mix(fault::mix(static_cast<std::uint64_t>(w.x0),
+                                static_cast<std::uint64_t>(w.row0)),
+                     static_cast<std::uint64_t>(w.x1)),
+          (static_cast<std::uint64_t>(w.row1) << 2) |
+              (opts.allow_move ? 2u : 0u) | (opts.allow_flip ? 1u : 0u));
       jobs.push_back(std::move(job));
     }
 
     // Build + solve phase (parallel): windows in a batch touch disjoint
     // cells and the design is read-only until the apply phase below, so
-    // MILP construction, warm-start extraction, and branch-and-bound all
-    // run inside the pool job.
+    // MILP construction, warm-start extraction, branch-and-bound, and the
+    // rounding fallback all run inside the pool job. Fault sites are keyed
+    // by the window, not the worker, so schedules are thread-invariant.
     auto run_one = [&](std::size_t j) {
       Job& job = *jobs[j];
-      WindowProblem wp;
-      wp.design = &d;
-      wp.window = grid.windows[job.widx];
-      wp.movable = grid.movable[job.widx];
-      wp.lx = opts.lx;
-      wp.ly = opts.ly;
-      wp.allow_move = opts.allow_move;
-      wp.allow_flip = opts.allow_flip;
-      wp.params = opts.params;
-      job.built = build_window_milp(wp);
-      if (job.built.empty()) return;
-      job.warm = job.built.warm_start(d);
-      milp::BranchAndBound bnb(opts.mip);
-      job.result =
-          bnb.solve(job.built.model, job.built.make_heuristic(), &job.warm);
+      job.ran = true;
+      const long left = not_started.fetch_sub(1, std::memory_order_relaxed);
+      if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+      double remaining = budget_remaining();
+      if (remaining <= 0) {
+        deadline_fired.store(true, std::memory_order_relaxed);
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+      if (cancelled.load(std::memory_order_relaxed)) {
+        job.skipped = true;
+        return;
+      }
+      try {
+        if (fault_on && fault::should_fire(fault::Site::kBuildThrow, job.key)) {
+          ++job.faults;
+          throw fault::InjectedFault("injected fault: build_throw");
+        }
+        WindowProblem wp;
+        wp.design = &d;
+        wp.window = grid.windows[job.widx];
+        wp.movable = grid.movable[job.widx];
+        wp.lx = opts.lx;
+        wp.ly = opts.ly;
+        wp.allow_move = opts.allow_move;
+        wp.allow_flip = opts.allow_flip;
+        wp.params = opts.params;
+        job.built = build_window_milp(wp);
+        if (job.built.empty()) return;
+        job.warm = job.built.warm_start(d);
+        job.warm_obj = job.built.model.objective_value(job.warm);
+
+        milp::BranchAndBound::Options mo = opts.mip;
+        mo.cancel = &cancelled;
+        if (opts.time_budget_sec > 0) {
+          // Adaptive deadline split: share the remaining budget over the
+          // windows not yet started; `workers` of them run concurrently, so
+          // each may spend about remaining / ceil(left / workers).
+          double share = remaining * workers / std::max<long>(1, left);
+          share = std::max(share, opts.min_window_time_sec);
+          mo.time_limit_sec = std::min(mo.time_limit_sec, share);
+          if (mo.lp_options.time_limit_sec <= 0 ||
+              mo.lp_options.time_limit_sec > share) {
+            mo.lp_options.time_limit_sec = share;
+          }
+        }
+        if (fault_on &&
+            fault::should_fire(fault::Site::kLpTimeout, job.key)) {
+          ++job.faults;
+          mo.time_limit_sec = 0;
+          mo.lp_options.time_limit_sec = 1e-9;
+        }
+        milp::BranchAndBound bnb(mo);
+        job.result =
+            bnb.solve(job.built.model, job.built.make_heuristic(), &job.warm);
+        if (fault_on &&
+            fault::should_fire(fault::Site::kNoSolution, job.key)) {
+          ++job.faults;
+          job.result = milp::MipResult{};
+        }
+        if (fault_on &&
+            fault::should_fire(fault::Site::kNanObjective, job.key)) {
+          ++job.faults;
+          job.result.objective = std::numeric_limits<double>::quiet_NaN();
+        }
+
+        job.usable = usable_result(job.result, job.built.model, job.warm_obj);
+        if (!job.usable && opts.rounding_fallback) {
+          // Standalone rounding: one root LP, rounded by the same repair
+          // heuristic the solver uses, accepted only when feasible, finite,
+          // and non-degrading — a cheap second chance that needs none of
+          // the branch-and-bound machinery that just failed.
+          lp::SimplexSolver lp_solver(opts.mip.lp_options);
+          lp::Result rel = lp_solver.solve(job.built.model.lp());
+          if (rel.status == lp::Status::kOptimal) {
+            if (auto hx = job.built.make_heuristic()(job.built.model, rel.x)) {
+              double hobj = job.built.model.objective_value(*hx);
+              if (std::isfinite(hobj) && hobj <= job.warm_obj + 1e-9 &&
+                  job.built.model.is_feasible(*hx, 1e-5)) {
+                job.fallback_x = std::move(*hx);
+                job.has_fallback = true;
+              }
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        job.failed = true;
+        job.error = e.what();
+      }
     };
     if (pool && jobs.size() > 1) {
-      pool->parallel_for(jobs.size(), run_one);
+      pool->parallel_for(jobs.size(), run_one, &cancelled);
     } else {
       for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
     }
 
-    // Apply phase (serial): windows in a batch touch disjoint cells.
+    // Apply phase (serial): windows in a batch touch disjoint cells. Every
+    // job is classified into exactly one WindowOutcome bucket here.
     for (const auto& job : jobs) {
+      stats.faults_injected += job->faults;
+      if (job->failed) {
+        ++stats.windows;
+        ++stats.faulted;
+        log_warn("dist_opt: window ", job->widx,
+                 " faulted during build/solve: ", job->error);
+        continue;
+      }
+      if (!job->ran || job->skipped) {
+        // Cancelled before solving (deadline or external token).
+        ++stats.windows;
+        ++stats.kept;
+        continue;
+      }
       if (job->built.empty()) continue;
       ++stats.windows;
       stats.total_nodes += job->result.nodes_explored;
@@ -68,16 +263,81 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       stats.warm_solves += job->result.warm_solves;
       stats.cold_restarts += job->result.cold_restarts;
       stats.rc_fixed += job->result.rc_fixed;
-      if (job->result.x.empty()) continue;
-      ++stats.windows_solved;
-      double warm_obj = job->built.model.objective_value(job->warm);
-      if (job->result.objective < warm_obj - 1e-9) {
-        ++stats.windows_improved;
+      if (!job->result.x.empty()) ++stats.windows_solved;
+
+      const std::vector<double>* sol = nullptr;
+      bool rounding = false;
+      if (job->usable) {
+        sol = &job->result.x;
+      } else if (job->has_fallback) {
+        sol = &job->fallback_x;
+        rounding = true;
       }
-      job->built.apply(d, job->result.x);
+
+      if (sol) {
+        // Snapshot, apply, audit; roll back on violation or exception so a
+        // bad window can never leak an illegal or degraded placement.
+        std::vector<Placement> before;
+        before.reserve(job->built.cells.size());
+        for (int inst : job->built.cells) before.push_back(d.placement(inst));
+        auto rollback = [&] {
+          for (std::size_t k = 0; k < job->built.cells.size(); ++k) {
+            d.set_placement(job->built.cells[k], before[k]);
+          }
+        };
+        try {
+          job->built.apply(d, *sol);
+          if (fault_on &&
+              fault::should_fire(fault::Site::kApplyThrow, job->key)) {
+            ++stats.faults_injected;
+            throw fault::InjectedFault("injected fault: apply_throw");
+          }
+          WindowAuditResult audit = audit_window_placement(
+              d, grid.windows[job->widx], job->built.cells, before, opts.lx,
+              opts.ly, opts.allow_move, opts.allow_flip);
+          if (!audit.ok) {
+            rollback();
+            ++stats.rejected_audit;
+            log_warn("dist_opt: window ", job->widx,
+                     " solution rejected by audit: ", audit.violation);
+          } else if (rounding) {
+            ++stats.fallback_rounding;
+          } else {
+            ++stats.solved;
+            if (job->result.objective < job->warm_obj - 1e-9) {
+              ++stats.windows_improved;
+            }
+          }
+        } catch (const std::exception& e) {
+          rollback();
+          ++stats.faulted;
+          log_warn("dist_opt: window ", job->widx,
+                   " faulted during apply, rolled back: ", e.what());
+        }
+      } else if (opts.greedy_fallback) {
+        // Last resort before keep-current: single-cell greedy moves inside
+        // the window, each legality-preserving and objective-improving.
+        GreedyAlignOptions go;
+        go.params = opts.params;
+        go.lx = opts.lx;
+        go.ly = opts.ly;
+        go.allow_flip = opts.allow_flip;
+        go.max_passes = 1;
+        GreedyAlignStats gs =
+            greedy_align_window(d, grid.windows[job->widx], job->built.cells,
+                                go, opts.allow_move);
+        if (gs.moves + gs.flips > 0) {
+          ++stats.fallback_greedy;
+        } else {
+          ++stats.kept;
+        }
+      } else {
+        ++stats.kept;
+      }
     }
   }
 
+  stats.deadline_hit = deadline_fired.load();
   stats.objective = evaluate_objective(d, opts.params).value;
   stats.seconds = timer.seconds();
   return stats;

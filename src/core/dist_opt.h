@@ -8,13 +8,37 @@
 /// until the serial apply phase). Each window's branch-and-bound is
 /// warm-started with the current placement, so a window's local objective
 /// never degrades.
+///
+/// Every window outcome is classified (WindowOutcome) and guarded — see
+/// DESIGN.md "Window-solve guardrails": solver results are validated and
+/// audited before being applied, failed windows degrade through a fallback
+/// cascade (MILP -> standalone LP rounding -> window-scoped greedy -> keep
+/// current), and an optional pass-level wall-clock budget adapts per-window
+/// time limits and cancels the batch cleanly when exhausted.
 #pragma once
+
+#include <atomic>
 
 #include "core/milp_builder.h"
 #include "milp/branch_and_bound.h"
 #include "util/thread_pool.h"
 
 namespace vm1 {
+
+/// Terminal classification of one window in a DistOpt pass. Every window
+/// with at least one movable cell lands in exactly one bucket, so the
+/// outcome counters in DistOptStats always sum to `windows` — a pass can
+/// degrade, but never lose track of a window.
+enum class WindowOutcome {
+  kSolved,            ///< MILP solution validated, audited, applied
+  kFallbackRounding,  ///< MILP failed; rounded root-LP solution applied
+  kFallbackGreedy,    ///< MILP+rounding failed; greedy moves applied
+  kRejectedAudit,     ///< solution failed the legality audit; rolled back
+  kKept,              ///< nothing applied (no fallback fired, or deadline)
+  kFaulted,           ///< build/solve/apply threw; window left untouched
+};
+
+const char* to_string(WindowOutcome o);
 
 struct DistOptOptions {
   int bw = 20;  ///< window width in sites
@@ -27,6 +51,29 @@ struct DistOptOptions {
   bool allow_flip = true;  ///< f=1 pass: flip orientations
   VM1Params params;
   milp::BranchAndBound::Options mip;
+
+  /// Wall-clock budget for the whole pass; 0 = unlimited. When set, each
+  /// window's MIP time limit shrinks adaptively (remaining budget spread
+  /// over the windows not yet started, scaled by the worker count) and the
+  /// pass cancels cleanly once the budget is gone — remaining windows are
+  /// classified kKept. Budgeted passes trade bitwise determinism across
+  /// machines/thread counts for a bounded runtime.
+  double time_budget_sec = 0;
+  /// Floor of the adaptive per-window time limit, so late windows still get
+  /// a useful (truncated, warm-started) solve instead of a guaranteed miss.
+  double min_window_time_sec = 0.05;
+  /// Fallback cascade kill switches (both on in production; tests disable
+  /// one to pin down the other's behaviour).
+  bool rounding_fallback = true;
+  bool greedy_fallback = true;
+  /// Optional external cancellation token: set it from another thread to
+  /// stop the pass at the next window boundary (same path as the deadline).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Throws std::invalid_argument on out-of-range fields (non-positive
+  /// bw/bh, negative lx/ly or budgets, invalid `mip`). dist_opt() validates
+  /// on entry.
+  void validate() const;
 };
 
 struct DistOptStats {
@@ -41,12 +88,28 @@ struct DistOptStats {
   long warm_solves = 0;     ///< node LPs served from a parent basis
   long cold_restarts = 0;   ///< node LPs that rebuilt the tableau (phase 1)
   long rc_fixed = 0;        ///< binaries fixed by root reduced costs
-  double objective = 0;     ///< full-design objective after this DistOpt
+  // Guardrail outcome taxonomy: one bucket per window, summing to
+  // `windows` (see WindowOutcome / DESIGN.md "Window-solve guardrails").
+  int solved = 0;            ///< kSolved (includes identity solutions)
+  int fallback_rounding = 0; ///< kFallbackRounding
+  int fallback_greedy = 0;   ///< kFallbackGreedy
+  int rejected_audit = 0;    ///< kRejectedAudit (rolled back)
+  int kept = 0;              ///< kKept
+  int faulted = 0;           ///< kFaulted (exception; window untouched)
+  long faults_injected = 0;  ///< fault-injection firings observed (VM1_FAULTS)
+  bool deadline_hit = false; ///< pass was cut off by time_budget_sec
+  double objective = 0;      ///< full-design objective after this DistOpt
   double seconds = 0;
+
+  /// Sum of the outcome buckets; always equals `windows`.
+  int outcome_total() const {
+    return solved + fallback_rounding + fallback_greedy + rejected_audit +
+           kept + faulted;
+  }
 };
 
 /// Runs one DistOpt pass over the whole design. `pool` may be null
-/// (sequential solving).
+/// (sequential solving). Throws std::invalid_argument on invalid options.
 DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
                       ThreadPool* pool);
 

@@ -103,4 +103,84 @@ GreedyAlignStats greedy_align(Design& d, const GreedyAlignOptions& opts) {
   return stats;
 }
 
+GreedyAlignStats greedy_align_window(Design& d, const Window& win,
+                                     const std::vector<int>& insts,
+                                     const GreedyAlignOptions& opts,
+                                     bool allow_move) {
+  Timer timer;
+  GreedyAlignStats stats;
+  const Netlist& nl = d.netlist();
+  const bool open = d.library().arch() == CellArch::kOpenM1;
+
+  auto grid = occupancy_grid(d);
+  auto free_span = [&](int row, int x, int w, int self) {
+    if (!win.contains_footprint(x, row, w)) return false;
+    for (int s = x; s < x + w; ++s) {
+      int occ = grid[row][s];
+      if (occ >= 0 && occ != self) return false;
+    }
+    return true;
+  };
+
+  // Displacement anchors: the placement at entry, so repeated passes can
+  // never drift a cell beyond (lx, ly) of where the DistOpt pass found it.
+  std::vector<Placement> entry;
+  entry.reserve(insts.size());
+  for (int i : insts) entry.push_back(d.placement(i));
+
+  const int lx = allow_move ? opts.lx : 0;
+  const int ly = allow_move ? opts.ly : 0;
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    int accepted = 0;
+    for (std::size_t k = 0; k < insts.size(); ++k) {
+      const int i = insts[k];
+      const Cell& c = nl.cell_of(i);
+      if (c.filler || c.pins.empty()) continue;
+      std::vector<int> nets = nets_of_instance(d, i);
+      if (nets.empty()) continue;
+
+      const Placement orig = d.placement(i);
+      const Placement& anchor = entry[k];
+      double base = local_objective(d, nets, opts.params, open);
+      Placement best = orig;
+      double best_gain = 1e-9;
+
+      for (int row = anchor.row - ly; row <= anchor.row + ly; ++row) {
+        for (int x = anchor.x - lx; x <= anchor.x + lx; ++x) {
+          for (bool flip : {false, true}) {
+            if (!opts.allow_flip && flip != orig.flipped) continue;
+            Placement cand{x, row, flip};
+            if (cand == orig) continue;
+            if (!free_span(row, x, c.width_sites, i)) continue;
+            d.set_placement(i, cand);
+            double gain = base - local_objective(d, nets, opts.params, open);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best = cand;
+            }
+          }
+        }
+      }
+      d.set_placement(i, orig);
+
+      if (!(best == orig)) {
+        for (int s = orig.x; s < orig.x + c.width_sites; ++s) {
+          grid[orig.row][s] = -1;
+        }
+        d.set_placement(i, best);
+        for (int s = best.x; s < best.x + c.width_sites; ++s) {
+          grid[best.row][s] = i;
+        }
+        ++accepted;
+        if (best.x != orig.x || best.row != orig.row) ++stats.moves;
+        if (best.flipped != orig.flipped) ++stats.flips;
+      }
+    }
+    if (accepted == 0) break;
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
 }  // namespace vm1

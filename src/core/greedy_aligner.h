@@ -37,4 +37,17 @@ struct GreedyAlignStats {
 /// (beta * dHPWL - alpha * d#alignments [- epsilon * d_overlap]) improves.
 GreedyAlignStats greedy_align(Design& d, const GreedyAlignOptions& opts);
 
+/// Window-scoped variant used as the DistOpt fallback when a window's MILP
+/// path fails (see DESIGN.md "Window-solve guardrails"): only `insts` may
+/// move, footprints stay inside `win`, and displacement is bounded by
+/// (lx, ly) from each cell's placement at entry — the same contract the
+/// window audit enforces on MILP solutions. With allow_move false only
+/// flips are tried (the f=1 pass). Only the moves/flips/seconds fields of
+/// the returned stats are populated; the full-design objective breakdown is
+/// skipped because this runs once per failed window.
+GreedyAlignStats greedy_align_window(Design& d, const Window& win,
+                                     const std::vector<int>& insts,
+                                     const GreedyAlignOptions& opts,
+                                     bool allow_move = true);
+
 }  // namespace vm1

@@ -16,10 +16,27 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
   int tx = 0, ty = 0;
   double obj = stats.initial.value;
 
+  auto accumulate = [&stats](const DistOptStats& s) {
+    stats.windows += s.windows;
+    stats.milp_nodes += s.total_nodes;
+    stats.solved += s.solved;
+    stats.fallback_rounding += s.fallback_rounding;
+    stats.fallback_greedy += s.fallback_greedy;
+    stats.rejected_audit += s.rejected_audit;
+    stats.kept += s.kept;
+    stats.faulted += s.faulted;
+    stats.faults_injected += s.faults_injected;
+    stats.deadline_hit = stats.deadline_hit || s.deadline_hit;
+  };
+  auto cancelled = [&opts] {
+    return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
+  };
+
   for (const ParamSet& u : opts.sequence) {
     double delta_obj = std::numeric_limits<double>::infinity();
     int inner = 0;
-    while (delta_obj >= opts.theta && inner < opts.max_inner_iters) {
+    while (delta_obj >= opts.theta && inner < opts.max_inner_iters &&
+           !cancelled()) {
       double pre_obj = obj;
 
       DistOptOptions move_pass;
@@ -33,20 +50,20 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       move_pass.allow_flip = false;
       move_pass.params = opts.params;
       move_pass.mip = opts.mip;
+      move_pass.time_budget_sec = opts.pass_time_budget_sec;
+      move_pass.cancel = opts.cancel;
       DistOptStats ms = dist_opt(d, move_pass, &pool);
-      stats.windows += ms.windows;
-      stats.milp_nodes += ms.total_nodes;
+      accumulate(ms);
       obj = ms.objective;
 
-      if (opts.flip_pass) {
+      if (opts.flip_pass && !cancelled()) {
         DistOptOptions flip_pass = move_pass;
         flip_pass.lx = 0;
         flip_pass.ly = 0;
         flip_pass.allow_move = false;
         flip_pass.allow_flip = true;
         DistOptStats fs = dist_opt(d, flip_pass, &pool);
-        stats.windows += fs.windows;
-        stats.milp_nodes += fs.total_nodes;
+        accumulate(fs);
         obj = fs.objective;
       }
 

@@ -35,6 +35,13 @@ struct VM1OptOptions {
   bool shift_windows = true;
   unsigned threads = 0;     ///< 0 = hardware concurrency
   milp::BranchAndBound::Options mip = default_mip();
+  /// Per-DistOpt-pass wall-clock budget forwarded to
+  /// DistOptOptions::time_budget_sec (0 = unlimited). See DESIGN.md
+  /// "Window-solve guardrails".
+  double pass_time_budget_sec = 0;
+  /// Optional external cancellation token, checked between windows and
+  /// between passes; the optimizer stops cleanly with coherent stats.
+  const std::atomic<bool>* cancel = nullptr;
 
   static milp::BranchAndBound::Options default_mip() {
     milp::BranchAndBound::Options o;
@@ -57,6 +64,16 @@ struct VM1OptStats {
   int outer_iterations = 0;  ///< total DistOpt pairs executed
   int windows = 0;
   long milp_nodes = 0;
+  // Window-outcome taxonomy aggregated over every DistOpt pass (see
+  // WindowOutcome); the six buckets sum to `windows`.
+  long solved = 0;
+  long fallback_rounding = 0;
+  long fallback_greedy = 0;
+  long rejected_audit = 0;
+  long kept = 0;
+  long faulted = 0;
+  long faults_injected = 0;  ///< VM1_FAULTS firings observed across passes
+  bool deadline_hit = false; ///< any pass cut off by its time budget
   double seconds = 0;
   std::vector<double> objective_trajectory;
 };

@@ -1,0 +1,73 @@
+#include "core/window_audit.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace vm1 {
+
+namespace {
+
+std::string describe(const Design& d, int inst, const Placement& p) {
+  std::ostringstream os;
+  os << "inst " << inst << " (" << d.netlist().cell_of(inst).name << ") at x="
+     << p.x << " row=" << p.row << (p.flipped ? " flipped" : "");
+  return os.str();
+}
+
+}  // namespace
+
+WindowAuditResult audit_window_placement(
+    const Design& d, const Window& win, const std::vector<int>& insts,
+    const std::vector<Placement>& before, int lx, int ly, bool allow_move,
+    bool allow_flip) {
+  WindowAuditResult res;
+  auto fail = [&res](std::string why) {
+    res.ok = false;
+    res.violation = std::move(why);
+    return res;
+  };
+
+  const Netlist& nl = d.netlist();
+  // Occupancy of the window region: fixed cells first, then each audited
+  // cell claims its run of sites.
+  std::vector<std::vector<bool>> used = fixed_site_mask(d, win, insts);
+
+  for (std::size_t k = 0; k < insts.size(); ++k) {
+    const int inst = insts[k];
+    const Placement& p = d.placement(inst);
+    const Placement& b = before[k];
+    const int w = nl.cell_of(inst).width_sites;
+
+    if (!win.contains_footprint(p.x, p.row, w)) {
+      return fail(describe(d, inst, p) + ": footprint escapes window [" +
+                  std::to_string(win.x0) + "," + std::to_string(win.x1) +
+                  ") rows " + std::to_string(win.row0) + ".." +
+                  std::to_string(win.row1));
+    }
+    const int dx = std::abs(p.x - b.x);
+    const int dr = std::abs(p.row - b.row);
+    if (!allow_move && (dx != 0 || dr != 0)) {
+      return fail(describe(d, inst, p) + ": moved in a flip-only pass");
+    }
+    if (dx > lx || dr > ly) {
+      return fail(describe(d, inst, p) + ": displacement (" +
+                  std::to_string(dx) + "," + std::to_string(dr) +
+                  ") exceeds bounds (" + std::to_string(lx) + "," +
+                  std::to_string(ly) + ")");
+    }
+    if (!allow_flip && p.flipped != b.flipped) {
+      return fail(describe(d, inst, p) + ": flipped in a move-only pass");
+    }
+    std::vector<bool>& row_used = used[static_cast<std::size_t>(p.row - win.row0)];
+    for (int s = p.x; s < p.x + w; ++s) {
+      if (row_used[static_cast<std::size_t>(s - win.x0)]) {
+        return fail(describe(d, inst, p) + ": overlaps at site " +
+                    std::to_string(s) + " row " + std::to_string(p.row));
+      }
+      row_used[static_cast<std::size_t>(s - win.x0)] = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace vm1

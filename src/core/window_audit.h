@@ -1,0 +1,44 @@
+/// \file window_audit.h
+/// Post-solve legality audit for one window solution (the "trust but
+/// verify" half of the window-solve guardrails, DESIGN.md "Window-solve
+/// guardrails").
+///
+/// A window MILP solution is applied to the design and then audited before
+/// it is accepted: every moved cell must stay inside the window, respect
+/// the pass's displacement bounds and move/flip permissions, and the
+/// window region must remain overlap-free (against both the window's own
+/// cells and fixed cells protruding into it). On violation the caller
+/// rolls the window back to its pre-apply snapshot — a wrong solution can
+/// cost a window's improvement, never corrupt the layout.
+///
+/// Objective non-degradation is checked separately by the caller against
+/// the warm-start objective (dist_opt validates the solver's reported
+/// objective before apply); this module owns the geometric checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace vm1 {
+
+struct WindowAuditResult {
+  bool ok = true;
+  std::string violation;  ///< first violation, human readable (empty if ok)
+};
+
+/// Audits the current placement of `insts` (a window's movable cells)
+/// against their pre-apply `before` snapshot (parallel to `insts`).
+/// Checks, in order:
+///  * footprint fully inside `win`;
+///  * |dx| <= lx and |drow| <= ly (both must be 0 when !allow_move);
+///  * orientation unchanged when !allow_flip;
+///  * no two audited cells overlap, and none overlaps a fixed cell
+///    occupying window sites.
+WindowAuditResult audit_window_placement(
+    const Design& d, const Window& win, const std::vector<int>& insts,
+    const std::vector<Placement>& before, int lx, int ly, bool allow_move,
+    bool allow_flip);
+
+}  // namespace vm1

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.h"
 
@@ -49,9 +51,33 @@ struct Applied {
 
 }  // namespace
 
+void BranchAndBound::Options::validate() const {
+  auto bad = [](const std::string& what) {
+    throw std::invalid_argument("BranchAndBound::Options: " + what);
+  };
+  // max_nodes == 0 is valid anytime usage: explore nothing, return the
+  // warm-start/heuristic incumbent.
+  if (max_nodes < 0) {
+    bad("max_nodes must be >= 0, got " + std::to_string(max_nodes));
+  }
+  if (time_limit_sec < 0) {
+    bad("time_limit_sec must be >= 0, got " +
+        std::to_string(time_limit_sec));
+  }
+  if (!(int_tol >= 0) || !(gap_tol >= 0)) {
+    bad("int_tol/gap_tol must be >= 0 (and not NaN), got " +
+        std::to_string(int_tol) + " / " + std::to_string(gap_tol));
+  }
+  if (lp_options.max_iterations <= 0) {
+    bad("lp_options.max_iterations must be positive, got " +
+        std::to_string(lp_options.max_iterations));
+  }
+}
+
 MipResult BranchAndBound::solve(const Model& model,
                                 const RoundingHeuristic& heuristic,
                                 const std::vector<double>* warm_start) const {
+  opts_.validate();
   MipResult result;
   Timer timer;
 
@@ -66,9 +92,19 @@ MipResult BranchAndBound::solve(const Model& model,
   std::vector<double> incumbent_x;
   bool truncated = false;
 
+  // Candidate incumbents (warm starts, heuristic solutions, rounded node
+  // LPs) are untrusted: a NaN/inf coordinate or objective from a numerically
+  // sick source must read as "no solution", never poison the incumbent —
+  // NaN compares false everywhere, so an unchecked NaN objective would make
+  // the bound pruning silently wrong.
   auto try_incumbent = [&](const std::vector<double>& x) {
+    if (x.size() != static_cast<std::size_t>(model.num_variables())) return;
+    for (double v : x) {
+      if (!std::isfinite(v)) return;
+    }
     if (!model.is_feasible(x, 1e-5)) return;
     double obj = model.objective_value(x);
+    if (!std::isfinite(obj)) return;
     if (obj < incumbent_obj - opts_.gap_tol) {
       incumbent_obj = obj;
       incumbent_x = x;
@@ -104,7 +140,8 @@ MipResult BranchAndBound::solve(const Model& model,
 
   while (!stack.empty()) {
     if (result.nodes_explored >= opts_.max_nodes ||
-        timer.seconds() > opts_.time_limit_sec) {
+        timer.seconds() > opts_.time_limit_sec ||
+        (opts_.cancel && opts_.cancel->load(std::memory_order_relaxed))) {
       truncated = true;
       break;
     }
@@ -132,6 +169,13 @@ MipResult BranchAndBound::solve(const Model& model,
     if (rel.status == lp::Status::kUnbounded) {
       // A bounded MILP relaxation cannot be unbounded unless the model has
       // unbounded continuous vars; treat as truncation.
+      truncated = true;
+      continue;
+    }
+    if (!std::isfinite(rel.objective)) {
+      // Numerically sick relaxation: pruning against a NaN/inf bound is
+      // meaningless, so abandon the node as a truncation instead of
+      // propagating garbage into the search.
       truncated = true;
       continue;
     }

@@ -19,6 +19,7 @@
 ///    runtime/quality trade-off study (ExptA) depends on this.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -68,7 +69,19 @@ class BranchAndBound {
     /// behaviour; results are identical either way, only the pivot counts
     /// differ — the solver tests assert exactly that.
     bool use_warm_start = true;
+    /// Optional cooperative cancellation: when non-null and set, the search
+    /// stops at the next node boundary and returns the best incumbent so
+    /// far (status kFeasible/kNoSolution, as for a time limit). The pointee
+    /// must outlive the solve; DistOpt points every window's solve at its
+    /// pass-level token so a deadline cuts a whole batch off cleanly.
+    const std::atomic<bool>* cancel = nullptr;
     lp::SimplexSolver::Options lp_options = {};
+
+    /// Throws std::invalid_argument when a field is out of range
+    /// (non-positive max_nodes, negative time limit / tolerances).
+    /// solve() validates on entry so misconfiguration fails fast instead
+    /// of looping forever or mis-pruning.
+    void validate() const;
   };
 
   BranchAndBound() : opts_() {}

@@ -39,10 +39,19 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, fn, nullptr);
+}
+
+std::size_t ThreadPool::parallel_for(std::size_t n,
+                                     const std::function<void(std::size_t)>& fn,
+                                     const std::atomic<bool>* cancel) {
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::atomic<std::size_t> invoked{0};
   for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, &first_error, &error_mutex, i] {
+    submit([&fn, &first_error, &error_mutex, &invoked, cancel, i] {
+      if (cancel && cancel->load(std::memory_order_relaxed)) return;
+      invoked.fetch_add(1, std::memory_order_relaxed);
       try {
         fn(i);
       } catch (...) {
@@ -53,6 +62,7 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   wait_idle();
   if (first_error) std::rethrow_exception(first_error);
+  return invoked.load();
 }
 
 void ThreadPool::worker_loop() {

@@ -4,6 +4,7 @@
 /// diagonally-adjacent, mutually independent windows in parallel.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -38,6 +39,16 @@ class ThreadPool {
   /// rethrown on the calling thread after all n tasks have finished —
   /// worker failures are never silently swallowed.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Cancellable variant: each task re-checks `cancel` (may be null) just
+  /// before invoking fn, so once the token is set the remaining queued
+  /// indices drain without running — the cooperative cut-off used by
+  /// DistOpt's pass deadline. Returns the number of indices actually
+  /// invoked (== n when never cancelled). In-flight invocations are not
+  /// interrupted; exceptions propagate as in the plain overload.
+  std::size_t parallel_for(std::size_t n,
+                           const std::function<void(std::size_t)>& fn,
+                           const std::atomic<bool>* cancel);
 
  private:
   void worker_loop();

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "util/rng.h"
 
@@ -149,6 +152,103 @@ TEST(BranchAndBound, NodeLimitReportsFeasible) {
   } else {
     EXPECT_EQ(r.status, MipStatus::kNoSolution);
   }
+}
+
+TEST(BranchAndBound, NanWarmStartIsRejected) {
+  Model m;
+  int a = m.add_binary(-1, "a");
+  m.add_constraint({{a, 1.0}}, lp::Sense::kLe, 1);
+  std::vector<double> warm = {std::nan("")};
+  BranchAndBound::Options opts;
+  opts.max_nodes = 0;  // incumbent can only come from the warm start
+  MipResult r = BranchAndBound(opts).solve(m, nullptr, &warm);
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_EQ(r.status, MipStatus::kNoSolution);
+}
+
+TEST(BranchAndBound, InfiniteWarmStartIsRejected) {
+  Model m;
+  int a = m.add_binary(-1, "a");
+  m.add_constraint({{a, 1.0}}, lp::Sense::kLe, 1);
+  std::vector<double> warm = {std::numeric_limits<double>::infinity()};
+  BranchAndBound::Options opts;
+  opts.max_nodes = 0;
+  MipResult r = BranchAndBound(opts).solve(m, nullptr, &warm);
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_EQ(r.status, MipStatus::kNoSolution);
+}
+
+TEST(BranchAndBound, WrongSizeWarmStartIsRejected) {
+  Model m;
+  int a = m.add_binary(-1, "a");
+  int b = m.add_binary(-1, "b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kLe, 1);
+  std::vector<double> warm = {1.0};  // missing b
+  BranchAndBound::Options opts;
+  opts.max_nodes = 0;
+  MipResult r = BranchAndBound(opts).solve(m, nullptr, &warm);
+  EXPECT_TRUE(r.x.empty());
+}
+
+TEST(BranchAndBound, NanHeuristicDoesNotPoisonSearch) {
+  // A heuristic that returns NaN coordinates must be ignored; the search
+  // still proves the true optimum.
+  Model m;
+  int a = m.add_binary(-2, "a");
+  int b = m.add_binary(-3, "b");
+  m.add_constraint({{a, 2.0}, {b, 2.0}}, lp::Sense::kLe, 3);
+  auto heuristic = [](const Model& model, const std::vector<double>& lpx)
+      -> std::optional<std::vector<double>> {
+    (void)model;
+    return std::vector<double>(lpx.size(), std::nan(""));
+  };
+  MipResult r = BranchAndBound().solve(m, heuristic);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -3, 1e-6);
+}
+
+TEST(BranchAndBound, OptionsValidationRejectsGarbage) {
+  Model m;
+  int a = m.add_binary(-1, "a");
+  m.add_constraint({{a, 1.0}}, lp::Sense::kLe, 1);
+
+  BranchAndBound::Options opts;
+  opts.max_nodes = -1;
+  EXPECT_THROW(BranchAndBound(opts).solve(m), std::invalid_argument);
+
+  opts = {};
+  opts.time_limit_sec = -0.5;
+  EXPECT_THROW(BranchAndBound(opts).solve(m), std::invalid_argument);
+
+  opts = {};
+  opts.int_tol = std::nan("");
+  EXPECT_THROW(BranchAndBound(opts).solve(m), std::invalid_argument);
+
+  opts = {};
+  opts.gap_tol = -1e-9;
+  EXPECT_THROW(BranchAndBound(opts).solve(m), std::invalid_argument);
+
+  opts = {};
+  opts.lp_options.max_iterations = 0;
+  EXPECT_THROW(BranchAndBound(opts).solve(m), std::invalid_argument);
+}
+
+TEST(BranchAndBound, CancelTokenStopsSearch) {
+  // A pre-set cancellation token means zero nodes are explored; with a warm
+  // start the incumbent still survives the truncated search.
+  Model m;
+  int a = m.add_binary(-3, "a");
+  int b = m.add_binary(-2, "b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kLe, 1);
+  std::vector<double> warm = {0.0, 1.0};  // feasible, objective -2
+  std::atomic<bool> cancel{true};
+  BranchAndBound::Options opts;
+  opts.cancel = &cancel;
+  MipResult r = BranchAndBound(opts).solve(m, nullptr, &warm);
+  EXPECT_EQ(r.nodes_explored, 0);
+  ASSERT_FALSE(r.x.empty());
+  EXPECT_NEAR(r.objective, -2, 1e-9);
+  EXPECT_EQ(r.status, MipStatus::kFeasible);  // truncated, not proven
 }
 
 class BnBExhaustive : public ::testing::TestWithParam<int> {};

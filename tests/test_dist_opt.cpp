@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "design/legality.h"
 #include "place/global_placer.h"
 #include "place/legalizer.h"
@@ -126,6 +129,74 @@ TEST(DistOpt, ResultIndependentOfThreadCount) {
   EXPECT_EQ(s1.total_nodes, s3.total_nodes);
   EXPECT_EQ(s1.total_lp_iters, s3.total_lp_iters);
   EXPECT_DOUBLE_EQ(s1.objective, s3.objective);
+}
+
+TEST(DistOpt, OptionsValidationRejectsGarbage) {
+  Design d = placed();
+  DistOptOptions o = fast_opts();
+  o.bw = 0;
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+
+  o = fast_opts();
+  o.bh = -2;
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+
+  o = fast_opts();
+  o.lx = -1;
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+
+  o = fast_opts();
+  o.time_budget_sec = -1;
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+
+  o = fast_opts();
+  o.min_window_time_sec = -0.1;
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+
+  o = fast_opts();
+  o.mip.max_nodes = -5;  // nested mip options validated too
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+}
+
+TEST(DistOpt, OutcomeCountersCoherentOnCleanRun) {
+  Design d = placed();
+  DistOptStats s = dist_opt(d, fast_opts(), nullptr);
+  EXPECT_EQ(s.outcome_total(), s.windows);
+  // No faults, no deadline: every window either solves or keeps; the
+  // fallback and failure buckets stay empty.
+  EXPECT_EQ(s.solved + s.kept, s.windows);
+  EXPECT_EQ(s.fallback_rounding, 0);
+  EXPECT_EQ(s.fallback_greedy, 0);
+  EXPECT_EQ(s.rejected_audit, 0);
+  EXPECT_EQ(s.faulted, 0);
+  EXPECT_EQ(s.faults_injected, 0);
+  EXPECT_FALSE(s.deadline_hit);
+  EXPECT_GT(s.solved, 0);
+}
+
+TEST(DistOpt, TinyBudgetHitsDeadlineButStaysSafe) {
+  Design d = placed();
+  double before = evaluate_objective(d, fast_opts().params).value;
+  DistOptOptions o = fast_opts();
+  o.time_budget_sec = 1e-6;  // expires before the first window starts
+  o.min_window_time_sec = 0;
+  DistOptStats s = dist_opt(d, o, nullptr);
+  EXPECT_TRUE(s.deadline_hit);
+  EXPECT_EQ(s.outcome_total(), s.windows);
+  EXPECT_LE(s.objective, before + 1e-6);
+  EXPECT_TRUE(is_legal(d));
+}
+
+TEST(DistOpt, PreSetCancelTokenKeepsEverything) {
+  Design d = placed();
+  std::vector<Placement> snap = d.placements();
+  std::atomic<bool> cancel{true};
+  DistOptOptions o = fast_opts();
+  o.cancel = &cancel;
+  DistOptStats s = dist_opt(d, o, nullptr);
+  EXPECT_EQ(s.kept, s.windows);
+  EXPECT_EQ(s.solved, 0);
+  EXPECT_EQ(d.placements(), snap);  // nothing applied
 }
 
 }  // namespace

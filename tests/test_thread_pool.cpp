@@ -79,6 +79,53 @@ TEST(ThreadPool, ParallelForRunsAllTasksDespiteThrow) {
   EXPECT_EQ(ran.load(), 32);
 }
 
+TEST(ThreadPool, ParallelForNullCancelRunsEverything) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::size_t invoked =
+      pool.parallel_for(40, [&](std::size_t) { ran.fetch_add(1); }, nullptr);
+  EXPECT_EQ(invoked, 40u);
+  EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(ThreadPool, ParallelForPreCancelledSkipsEverything) {
+  ThreadPool pool(3);
+  std::atomic<bool> cancel{true};
+  std::atomic<int> ran{0};
+  std::size_t invoked =
+      pool.parallel_for(40, [&](std::size_t) { ran.fetch_add(1); }, &cancel);
+  EXPECT_EQ(invoked, 0u);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForMidBatchCancelStopsRemainingTasks) {
+  // Single worker => tasks run in index order, so setting the token at
+  // i == 10 deterministically skips indices 11..n-1.
+  ThreadPool pool(1);
+  std::atomic<bool> cancel{false};
+  std::atomic<int> ran{0};
+  std::size_t invoked = pool.parallel_for(
+      64,
+      [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 10) cancel.store(true);
+      },
+      &cancel);
+  EXPECT_EQ(invoked, 11u);
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, CancelledBatchLeavesPoolReusable) {
+  ThreadPool pool(2);
+  std::atomic<bool> cancel{true};
+  pool.parallel_for(16, [](std::size_t) {}, &cancel);
+  std::atomic<int> ran{0};
+  std::size_t invoked = pool.parallel_for(
+      16, [&](std::size_t) { ran.fetch_add(1); }, nullptr);
+  EXPECT_EQ(invoked, 16u);
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ThreadPool, UsableAfterException) {
   ThreadPool pool(2);
   try {

@@ -1,0 +1,140 @@
+#include "core/window_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/window.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+
+namespace vm1 {
+namespace {
+
+struct AuditFixture {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  Window win;
+  std::vector<int> insts;
+  std::vector<Placement> before;
+
+  AuditFixture() {
+    global_place(d);
+    legalize(d);
+    // Pick the most populated window of a coarse grid so the overlap and
+    // displacement checks have real cells to work with.
+    WindowGrid grid = partition_windows(d, 0, 0, 16, 2);
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < grid.movable.size(); ++i) {
+      if (grid.movable[i].size() > grid.movable[best].size()) best = i;
+    }
+    win = grid.windows[best];
+    insts = grid.movable[best];
+    for (int i : insts) before.push_back(d.placement(i));
+  }
+};
+
+TEST(WindowAudit, CleanPlacementPasses) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 2u);
+  WindowAuditResult r = audit_window_placement(f.d, f.win, f.insts, f.before,
+                                               3, 1, true, true);
+  EXPECT_TRUE(r.ok) << r.violation;
+}
+
+TEST(WindowAudit, DetectsOverlap) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 2u);
+  // Stack the second cell on top of the first.
+  f.d.set_placement(f.insts[1], f.d.placement(f.insts[0]));
+  WindowAuditResult r = audit_window_placement(f.d, f.win, f.insts, f.before,
+                                               16, 2, true, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("overlap"), std::string::npos) << r.violation;
+}
+
+TEST(WindowAudit, DetectsDisplacementBeyondBounds) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 1u);
+  Placement p = f.before[0];
+  p.x += 5;  // beyond lx = 3 (may also escape the window; bounds check
+             // runs only if the footprint stays inside)
+  f.d.set_placement(f.insts[0], p);
+  WindowAuditResult r = audit_window_placement(f.d, f.win, f.insts, f.before,
+                                               3, 1, true, true);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(WindowAudit, DetectsWindowEscape) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 1u);
+  Placement p = f.before[0];
+  p.x = f.win.x1;  // first site past the right edge
+  f.d.set_placement(f.insts[0], p);
+  WindowAuditResult r = audit_window_placement(
+      f.d, f.win, f.insts, f.before, 1000, 1000, true, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("window"), std::string::npos) << r.violation;
+}
+
+TEST(WindowAudit, DetectsMoveInFlipOnlyPass) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 1u);
+  Placement p = f.before[0];
+  p.x += 1;
+  f.d.set_placement(f.insts[0], p);
+  WindowAuditResult r = audit_window_placement(f.d, f.win, f.insts, f.before,
+                                               3, 1, /*allow_move=*/false,
+                                               true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("flip-only"), std::string::npos) << r.violation;
+}
+
+TEST(WindowAudit, DetectsFlipInMoveOnlyPass) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 1u);
+  Placement p = f.before[0];
+  p.flipped = !p.flipped;
+  f.d.set_placement(f.insts[0], p);
+  WindowAuditResult r = audit_window_placement(f.d, f.win, f.insts, f.before,
+                                               3, 1, true,
+                                               /*allow_flip=*/false);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(WindowAudit, FlipAloneIsLegalWhenAllowed) {
+  AuditFixture f;
+  ASSERT_GE(f.insts.size(), 1u);
+  Placement p = f.before[0];
+  p.flipped = !p.flipped;
+  f.d.set_placement(f.insts[0], p);
+  WindowAuditResult r = audit_window_placement(f.d, f.win, f.insts, f.before,
+                                               0, 0, false, true);
+  EXPECT_TRUE(r.ok) << r.violation;
+}
+
+TEST(WindowAudit, DetectsCollisionWithFixedCell) {
+  AuditFixture f;
+  // Treat all but the first instance as fixed: moving the audited cell onto
+  // an occupied site (while its footprint stays inside the window) must
+  // collide with "fixed" occupancy.
+  ASSERT_GE(f.insts.size(), 2u);
+  const int inst = f.insts[0];
+  const int w = f.d.netlist().cell_of(inst).width_sites;
+  int target = -1;
+  for (std::size_t k = 1; k < f.insts.size(); ++k) {
+    const Placement& t = f.d.placement(f.insts[k]);
+    if (f.win.contains_footprint(t.x, t.row, w)) {
+      target = f.insts[k];
+      break;
+    }
+  }
+  ASSERT_GE(target, 0) << "no in-window landing spot among fixed cells";
+  std::vector<int> audited = {inst};
+  std::vector<Placement> before = {f.before[0]};
+  f.d.set_placement(inst, f.d.placement(target));
+  WindowAuditResult r = audit_window_placement(
+      f.d, f.win, audited, before, 1000, 1000, true, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("overlap"), std::string::npos) << r.violation;
+}
+
+}  // namespace
+}  // namespace vm1
