@@ -128,6 +128,7 @@ void ablation_timing_beta(double scale) {
 }  // namespace
 
 int main() {
+  print_run_header("bench_ablation");
   double scale = env_scale(1.0);
   std::printf("OpenVM1 ablations (scale=%.2f)\n", scale);
   ablation_arch(scale);

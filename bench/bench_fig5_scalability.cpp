@@ -15,6 +15,7 @@ using namespace vm1;
 using namespace vm1::benchutil;
 
 int main() {
+  print_run_header("bench_fig5_scalability");
   double scale = env_scale(0.25);
   std::printf("Figure 5 reproduction (aes, ClosedM1, scale=%.2f)\n", scale);
 
@@ -31,6 +32,7 @@ int main() {
 
   JsonWriter jw("BENCH_fig5.json");
   jw.begin_object();
+  write_run_metadata(jw);
   jw.field("bench", "fig5_scalability");
   jw.field("design", base.design_name);
   jw.field("scale", scale);
@@ -93,6 +95,7 @@ int main() {
     }
   }
   jw.end_array();
+  write_telemetry(jw);
   jw.end_object();
   std::printf("%s", t.render().c_str());
   std::printf("\npaper reference: larger windows -> lower RWL but runtime "

@@ -45,6 +45,7 @@ void sweep(CellArch arch, double scale) {
 }  // namespace
 
 int main() {
+  print_run_header("bench_fig6_alpha");
   double scale = env_scale(0.25);
   std::printf("Figure 6 reproduction (aes, scale=%.2f)\n", scale);
   sweep(CellArch::kClosedM1, scale);

@@ -17,6 +17,7 @@ using namespace vm1;
 using namespace vm1::benchutil;
 
 int main() {
+  print_run_header("bench_fig7_sequences");
   double scale = env_scale(0.25);
   std::printf("Figure 7 reproduction (aes, ClosedM1, scale=%.2f)\n", scale);
 

@@ -13,6 +13,7 @@ using namespace vm1;
 using namespace vm1::benchutil;
 
 int main() {
+  print_run_header("bench_fig8_drv");
   double scale = env_scale(0.25);
   std::printf("Figure 8 reproduction (aes, ClosedM1, scale=%.2f)\n", scale);
 

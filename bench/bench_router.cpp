@@ -2,6 +2,7 @@
 // architecture (google-benchmark harness).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/flow.h"
 #include "place/global_placer.h"
 #include "place/legalizer.h"
@@ -49,4 +50,12 @@ BENCHMARK(BM_PlaceAndLegalize)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared run header prints first.
+int main(int argc, char** argv) {
+  vm1::benchutil::print_run_header("bench_router");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -229,6 +229,7 @@ int warm_cold_study() {
 
   benchutil::JsonWriter jw("BENCH_solver.json");
   jw.begin_object();
+  benchutil::write_run_metadata(jw);
   jw.field("bench", "solver");
   jw.field("instances", instances);
   write_totals(jw, "cold", cold);
@@ -237,6 +238,7 @@ int warm_cold_study() {
   jw.field("instances_compared", compared);
   jw.field("objectives_match", objectives_match);
   guardrail_study(jw);
+  benchutil::write_telemetry(jw);
   jw.end_object();
   return objectives_match ? 0 : 1;
 }
@@ -322,6 +324,7 @@ BENCHMARK(BM_BranchAndBoundKnapsack)
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::print_run_header("bench_solver");
   int rc = warm_cold_study();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

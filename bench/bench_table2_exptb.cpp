@@ -49,6 +49,7 @@ void run_arch(CellArch arch, double alpha_nm, double scale) {
 }  // namespace
 
 int main() {
+  print_run_header("bench_table2_exptb");
   double scale = env_scale(0.25);
   std::printf("Table 2 reproduction (scale=%.2f; set OPENVM1_SCALE to "
               "grow toward paper-size designs)\n", scale);

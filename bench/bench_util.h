@@ -12,14 +12,25 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dist_opt.h"
 #include "core/flow.h"
 #include "io/report.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
+
+// Baked in per-binary by bench/CMakeLists.txt; fall back for ad-hoc builds.
+#ifndef VM1_GIT_SHA
+#define VM1_GIT_SHA "unknown"
+#endif
+#ifndef VM1_BUILD_TYPE
+#define VM1_BUILD_TYPE "unknown"
+#endif
 
 namespace vm1::benchutil {
 
@@ -143,6 +154,65 @@ inline void write_window_outcomes(
   jw.field("faulted", faulted);
   jw.field("faults_injected", faults_injected);
   jw.field("deadline_hit", deadline_hit);
+  jw.end_object();
+}
+
+inline std::string iso_timestamp_utc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%FT%TZ", &tm);
+  return buf;
+}
+
+/// Shared run-metadata block: every bench JSON carries the same provenance
+/// fields so result files can be diffed across commits and machines.
+inline void write_run_metadata(JsonWriter& jw) {
+  jw.begin_object("run_metadata");
+  jw.field("git_sha", VM1_GIT_SHA);
+  jw.field("timestamp_utc", iso_timestamp_utc());
+  jw.field("hardware_threads",
+           static_cast<long>(std::thread::hardware_concurrency()));
+  jw.field("build_type", VM1_BUILD_TYPE);
+  jw.end_object();
+}
+
+/// Stdout twin of write_run_metadata for benches without a JSON file, so
+/// every captured bench log is attributable too.
+inline void print_run_header(const char* bench) {
+  std::printf("%s: git %s, %s, %u hw threads, build %s\n", bench, VM1_GIT_SHA,
+              iso_timestamp_utc().c_str(), std::thread::hardware_concurrency(),
+              VM1_BUILD_TYPE);
+}
+
+/// Dumps the global metric registry (counters, gauges, latency histograms
+/// with p50/p95/p99) as a "telemetry" object. Called at the end of a bench
+/// so e.g. the window-solve latency distribution lands next to the figures
+/// it explains.
+inline void write_telemetry(JsonWriter& jw) {
+  obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  jw.begin_object("telemetry");
+  jw.begin_object("counters");
+  for (const auto& [name, v] : snap.counters) jw.field(name.c_str(), v);
+  jw.end_object();
+  jw.begin_object("gauges");
+  for (const auto& [name, v] : snap.gauges) jw.field(name.c_str(), v);
+  jw.end_object();
+  jw.begin_object("histograms");
+  for (const auto& [name, h] : snap.histograms) {
+    jw.begin_object(name.c_str());
+    jw.field("count", static_cast<long>(h.count));
+    jw.field("sum", h.sum);
+    jw.field("min", h.min);
+    jw.field("max", h.max);
+    jw.field("mean", h.mean());
+    jw.field("p50", h.p50);
+    jw.field("p95", h.p95);
+    jw.field("p99", h.p99);
+    jw.end_object();
+  }
+  jw.end_object();
   jw.end_object();
 }
 

@@ -10,6 +10,9 @@
 #include "core/greedy_aligner.h"
 #include "core/window.h"
 #include "core/window_audit.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 
@@ -70,6 +73,21 @@ bool usable_result(const milp::MipResult& r, const milp::Model& model,
   return r.objective <= warm_obj + 1e-9;
 }
 
+/// Registry counter for each outcome bucket, e.g. "dist_opt.outcome.solved".
+/// The registry is cumulative across passes; DistOptStats stays the per-pass
+/// view.
+obs::Counter& outcome_counter(WindowOutcome o) {
+  static obs::Counter* by_outcome[] = {
+      &obs::counter("dist_opt.outcome.solved"),
+      &obs::counter("dist_opt.outcome.fallback_rounding"),
+      &obs::counter("dist_opt.outcome.fallback_greedy"),
+      &obs::counter("dist_opt.outcome.rejected_audit"),
+      &obs::counter("dist_opt.outcome.kept"),
+      &obs::counter("dist_opt.outcome.faulted"),
+  };
+  return *by_outcome[static_cast<int>(o)];
+}
+
 struct Job {
   int widx = -1;
   std::uint64_t key = 0;       ///< deterministic window key (fault seeding)
@@ -96,6 +114,16 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   DistOptStats stats;
   const bool fault_on = fault::config().enabled();
 
+  obs::ObsSpan pass_span("dist_opt.pass");
+  pass_span.arg("bw", opts.bw).arg("bh", opts.bh);
+  static obs::Counter& passes_metric = obs::counter("dist_opt.passes");
+  static obs::Histogram& pass_sec_metric = obs::histogram("dist_opt.pass_sec");
+  static obs::Histogram& window_solve_sec_metric =
+      obs::histogram("dist_opt.window_solve_sec");
+  static obs::Gauge& objective_metric = obs::gauge("dist_opt.objective");
+  passes_metric.add();
+  obs::ScopedTimer pass_timer(pass_sec_metric);
+
   WindowGrid grid = partition_windows(d, opts.tx, opts.ty, opts.bw, opts.bh);
   std::vector<std::vector<int>> batches = diagonal_batches(grid);
 
@@ -110,6 +138,8 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     if (!m.empty()) ++total_jobs;
   }
   std::atomic<long> not_started{total_jobs};
+  pass_span.arg("windows", total_jobs);
+  obs::ProgressReporter progress("dist_opt", total_jobs);
 
   const double inf = std::numeric_limits<double>::infinity();
   auto budget_remaining = [&]() -> double {
@@ -153,8 +183,12 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       }
       if (cancelled.load(std::memory_order_relaxed)) {
         job.skipped = true;
+        progress.advance();
         return;
       }
+      obs::ObsSpan solve_span("dist_opt.window_solve");
+      solve_span.arg("window", job.widx);
+      obs::ScopedTimer solve_timer(window_solve_sec_metric);
       try {
         if (fault_on && fault::should_fire(fault::Site::kBuildThrow, job.key)) {
           ++job.faults;
@@ -170,7 +204,11 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         wp.allow_flip = opts.allow_flip;
         wp.params = opts.params;
         job.built = build_window_milp(wp);
-        if (job.built.empty()) return;
+        if (job.built.empty()) {
+          progress.advance();
+          return;
+        }
+        solve_span.arg("cells", job.built.cells.size());
         job.warm = job.built.warm_start(d);
         job.warm_obj = job.built.model.objective_value(job.warm);
 
@@ -210,6 +248,8 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
 
         job.usable = usable_result(job.result, job.built.model, job.warm_obj);
         if (!job.usable && opts.rounding_fallback) {
+          obs::ObsSpan fb_span("dist_opt.fallback_rounding");
+          fb_span.arg("window", job.widx);
           // Standalone rounding: one root LP, rounded by the same repair
           // heuristic the solver uses, accepted only when feasible, finite,
           // and non-degrading — a cheap second chance that needs none of
@@ -231,6 +271,7 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         job.failed = true;
         job.error = e.what();
       }
+      progress.advance();
     };
     if (pool && jobs.size() > 1) {
       pool->parallel_for(jobs.size(), run_one, &cancelled);
@@ -241,10 +282,17 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     // Apply phase (serial): windows in a batch touch disjoint cells. Every
     // job is classified into exactly one WindowOutcome bucket here.
     for (const auto& job : jobs) {
+      obs::ObsSpan apply_span("dist_opt.window_apply");
+      apply_span.arg("window", job->widx);
+      auto classify = [&](WindowOutcome o) {
+        outcome_counter(o).add();
+        apply_span.arg("outcome", to_string(o));
+      };
       stats.faults_injected += job->faults;
       if (job->failed) {
         ++stats.windows;
         ++stats.faulted;
+        classify(WindowOutcome::kFaulted);
         log_warn("dist_opt: window ", job->widx,
                  " faulted during build/solve: ", job->error);
         continue;
@@ -253,9 +301,13 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         // Cancelled before solving (deadline or external token).
         ++stats.windows;
         ++stats.kept;
+        classify(WindowOutcome::kKept);
         continue;
       }
-      if (job->built.empty()) continue;
+      if (job->built.empty()) {
+        apply_span.arg("outcome", "empty");
+        continue;
+      }
       ++stats.windows;
       stats.total_nodes += job->result.nodes_explored;
       stats.total_lp_iters += job->result.lp_iterations;
@@ -298,12 +350,15 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
           if (!audit.ok) {
             rollback();
             ++stats.rejected_audit;
+            classify(WindowOutcome::kRejectedAudit);
             log_warn("dist_opt: window ", job->widx,
                      " solution rejected by audit: ", audit.violation);
           } else if (rounding) {
             ++stats.fallback_rounding;
+            classify(WindowOutcome::kFallbackRounding);
           } else {
             ++stats.solved;
+            classify(WindowOutcome::kSolved);
             if (job->result.objective < job->warm_obj - 1e-9) {
               ++stats.windows_improved;
             }
@@ -311,12 +366,15 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         } catch (const std::exception& e) {
           rollback();
           ++stats.faulted;
+          classify(WindowOutcome::kFaulted);
           log_warn("dist_opt: window ", job->widx,
                    " faulted during apply, rolled back: ", e.what());
         }
       } else if (opts.greedy_fallback) {
         // Last resort before keep-current: single-cell greedy moves inside
         // the window, each legality-preserving and objective-improving.
+        obs::ObsSpan greedy_span("dist_opt.fallback_greedy");
+        greedy_span.arg("window", job->widx);
         GreedyAlignOptions go;
         go.params = opts.params;
         go.lx = opts.lx;
@@ -328,11 +386,14 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
                                 go, opts.allow_move);
         if (gs.moves + gs.flips > 0) {
           ++stats.fallback_greedy;
+          classify(WindowOutcome::kFallbackGreedy);
         } else {
           ++stats.kept;
+          classify(WindowOutcome::kKept);
         }
       } else {
         ++stats.kept;
+        classify(WindowOutcome::kKept);
       }
     }
   }
@@ -340,6 +401,7 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   stats.deadline_hit = deadline_fired.load();
   stats.objective = evaluate_objective(d, opts.params).value;
   stats.seconds = timer.seconds();
+  objective_metric.set(stats.objective);
   return stats;
 }
 

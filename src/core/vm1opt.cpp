@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vm1 {
@@ -11,6 +14,16 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
   VM1OptStats stats;
   stats.initial = evaluate_objective(d, opts.params);
   stats.objective_trajectory.push_back(stats.initial.value);
+
+  obs::ObsSpan run_span("vm1opt.run");
+  run_span.arg("sequence", opts.sequence.size())
+      .arg("initial", stats.initial.value);
+  static obs::Gauge& objective_metric = obs::gauge("vm1opt.objective");
+  objective_metric.set(stats.initial.value);
+  // Total iteration count is data-dependent (convergence test), so the
+  // reporter runs in open-ended mode and carries the objective instead.
+  obs::ProgressReporter progress("vm1opt");
+  progress.update_objective(stats.initial.value);
 
   ThreadPool pool(opts.threads);
   int tx = 0, ty = 0;
@@ -38,6 +51,8 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     while (delta_obj >= opts.theta && inner < opts.max_inner_iters &&
            !cancelled()) {
       double pre_obj = obj;
+      obs::ObsSpan iter_span("vm1opt.iteration");
+      iter_span.arg("bw", u.bw).arg("iter", inner);
 
       DistOptOptions move_pass;
       move_pass.bw = u.bw;
@@ -76,6 +91,10 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       ++stats.outer_iterations;
       ++inner;
       stats.objective_trajectory.push_back(obj);
+      objective_metric.set(obj);
+      progress.update_objective(obj);
+      progress.advance();
+      iter_span.arg("objective", obj);
       delta_obj = (pre_obj - obj) / std::max(1.0, std::abs(pre_obj));
       log_debug("vm1opt: u=(", u.bw, ",", u.lx, ",", u.ly, ") iter ", inner,
                 " obj ", pre_obj, " -> ", obj);
@@ -84,6 +103,8 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
 
   stats.final = evaluate_objective(d, opts.params);
   stats.seconds = timer.seconds();
+  objective_metric.set(stats.final.value);
+  run_span.arg("final", stats.final.value);
   return stats;
 }
 

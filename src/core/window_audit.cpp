@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vm1 {
 
 namespace {
@@ -20,8 +23,18 @@ WindowAuditResult audit_window_placement(
     const Design& d, const Window& win, const std::vector<int>& insts,
     const std::vector<Placement>& before, int lx, int ly, bool allow_move,
     bool allow_flip) {
+  static obs::Counter& calls_metric = obs::counter("audit.calls");
+  static obs::Counter& rejects_metric = obs::counter("audit.rejects");
+  static obs::Histogram& audit_sec_metric = obs::histogram("audit.sec");
+  calls_metric.add();
+  obs::ObsSpan span("dist_opt.window_audit");
+  span.arg("cells", insts.size());
+  obs::ScopedTimer audit_timer(audit_sec_metric);
+
   WindowAuditResult res;
-  auto fail = [&res](std::string why) {
+  auto fail = [&res, &span](std::string why) {
+    rejects_metric.add();
+    span.arg("rejected", 1);
     res.ok = false;
     res.violation = std::move(why);
     return res;

@@ -5,9 +5,27 @@
 #include <cstdlib>
 #include <optional>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace vm1::lp {
+
+namespace {
+
+/// Per-solve totals are bulk-added at the solve entry points; only the
+/// (rare) basis refactorization counts from inside the tableau.
+void record_solve(const Result& r, bool warm) {
+  static obs::Counter& solves = obs::counter("lp.solves");
+  static obs::Counter& pivots = obs::counter("lp.pivots");
+  static obs::Counter& dual_pivots = obs::counter("lp.dual_pivots");
+  static obs::Counter& warm_solves = obs::counter("lp.warm_solves");
+  solves.add();
+  pivots.add(r.iterations);
+  dual_pivots.add(r.dual_iterations);
+  if (warm) warm_solves.add();
+}
+
+}  // namespace
 
 const char* to_string(Status s) {
   switch (s) {
@@ -321,6 +339,8 @@ int Tableau::choose_entering(bool bland) const {
 }
 
 bool Tableau::refactorize(const Problem& p) {
+  static obs::Counter& refactorizations = obs::counter("lp.refactorizations");
+  refactorizations.add();
   // Rebuild the normalized system (with the *current* shifts, which track
   // bound changes) under the same row scaling build() chose.
   std::vector<double> rhs(m_);
@@ -898,16 +918,21 @@ Result SimplexSolver::solve(const Problem& p) const {
     return r;
   }
   Tableau t(p, opts_);
-  return t.run_cold(p);
+  Result r = t.run_cold(p);
+  record_solve(r, /*warm=*/false);
+  return r;
 }
 
 Result SimplexSolver::solve(const Problem& p, const Basis* warm) const {
   if (!warm || warm->empty() || p.num_variables() == 0) return solve(p);
   Tableau t(p, opts_);
   std::optional<Result> res = t.run_from_basis(p, *warm);
-  if (res) return *res;
+  if (res) {
+    record_solve(*res, /*warm=*/true);
+    return *res;
+  }
   int wasted = t.iterations();
-  Result cold = solve(p);
+  Result cold = solve(p);  // record_solve runs inside
   cold.iterations += wasted;
   return cold;
 }
@@ -947,6 +972,7 @@ Result IncrementalSimplex::solve() {
       // infeasible node's basis still warm-starts the sibling after its
       // bound fixes are undone.
       ++warm_solves_;
+      record_solve(r, /*warm=*/true);
       return r;
     }
     wasted = r.iterations;
@@ -958,6 +984,7 @@ Result IncrementalSimplex::solve() {
   r.dual_iterations += wasted_dual;
   ++cold_solves_;
   hot_ = (r.status == Status::kOptimal);
+  record_solve(r, /*warm=*/false);
   return r;
 }
 

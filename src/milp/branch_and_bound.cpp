@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vm1::milp {
@@ -80,6 +82,7 @@ MipResult BranchAndBound::solve(const Model& model,
   opts_.validate();
   MipResult result;
   Timer timer;
+  obs::ObsSpan solve_span("milp.solve");
 
   // The incremental solver owns the working bounds. DFS dives reuse its hot
   // tableau: switching nodes applies only the bound deltas between the two
@@ -108,6 +111,7 @@ MipResult BranchAndBound::solve(const Model& model,
     if (obj < incumbent_obj - opts_.gap_tol) {
       incumbent_obj = obj;
       incumbent_x = x;
+      obs::trace_instant("milp.incumbent", "objective", obj);
     }
   };
 
@@ -274,6 +278,25 @@ MipResult BranchAndBound::solve(const Model& model,
     result.status = truncated ? MipStatus::kNoSolution : MipStatus::kInfeasible;
     result.best_bound = open_bound;
   }
+
+  // Bulk-add the per-solve totals once; hot loops above stay metric-free.
+  static obs::Counter& solves_metric = obs::counter("milp.solves");
+  static obs::Counter& nodes_metric = obs::counter("milp.nodes");
+  static obs::Counter& lp_iters_metric = obs::counter("milp.lp_iterations");
+  static obs::Counter& warm_metric = obs::counter("milp.warm_solves");
+  static obs::Counter& cold_metric = obs::counter("milp.cold_restarts");
+  static obs::Counter& rc_fixed_metric = obs::counter("milp.rc_fixed");
+  static obs::Counter& incumbents_metric = obs::counter("milp.incumbents");
+  solves_metric.add();
+  nodes_metric.add(result.nodes_explored);
+  lp_iters_metric.add(result.lp_iterations);
+  warm_metric.add(result.warm_solves);
+  cold_metric.add(result.cold_restarts);
+  rc_fixed_metric.add(result.rc_fixed);
+  if (!result.x.empty()) incumbents_metric.add();
+  solve_span.arg("nodes", result.nodes_explored)
+      .arg("lp_iters", result.lp_iterations)
+      .arg("status", to_string(result.status));
   return result;
 }
 

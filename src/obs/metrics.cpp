@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace vm1::obs {
+
+namespace detail {
+
+unsigned thread_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace detail
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0)) return 0;  // zero, negative, NaN -> smallest bucket
+  int idx = static_cast<int>(std::floor(std::log2(v) * kSubBuckets)) + kBias;
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_lo(int i) {
+  return std::exp2(static_cast<double>(i - kBias) / kSubBuckets);
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  if (prev == 0) {
+    // First sample initializes min/max; racing observers fix it up below.
+    double z = 0;
+    min_.compare_exchange_strong(z, v, std::memory_order_relaxed);
+    z = 0;
+    max_.compare_exchange_strong(z, v, std::memory_order_relaxed);
+  }
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  s.count = total;
+  if (total == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+
+  auto quantile = [&](double q) {
+    double target = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (static_cast<double>(cum + counts[i]) >= target) {
+        double frac = (target - static_cast<double>(cum)) /
+                      static_cast<double>(counts[i]);
+        double v = bucket_lo(i) * std::exp2(frac / kSubBuckets);
+        return std::clamp(v, s.min, s.max);
+      }
+      cum += counts[i];
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Leaky singleton: metric handles must outlive every static destructor
+/// (trace flush and bench JSON emission run at exit).
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>>& m,
+                  const std::string& name) {
+  auto& p = m[name];
+  if (!p) p = std::make_unique<T>();
+  return *p;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  return find_or_create(r.counters, name);
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  return find_or_create(r.gauges, name);
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  return find_or_create(r.histograms, name);
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : r.counters) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : r.gauges) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : r.histograms) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+namespace {
+std::uint64_t now_ns_mono() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ScopedTimer::ScopedTimer(Histogram& h) : h_(h), start_ns_(now_ns_mono()) {}
+
+ScopedTimer::~ScopedTimer() {
+  h_.observe(static_cast<double>(now_ns_mono() - start_ns_) * 1e-9);
+}
+
+}  // namespace vm1::obs

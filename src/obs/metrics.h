@@ -1,0 +1,166 @@
+/// \file metrics.h
+/// Global metric registry: named counters, gauges, and log-scale latency
+/// histograms, safe to update from any thread.
+///
+/// Hot-path contract: updating a metric is a handful of relaxed atomic
+/// operations (counters are thread-sharded to avoid cache-line ping-pong).
+/// Callers on hot paths cache the handle once:
+///
+///   static obs::Counter& pivots = obs::counter("lp.pivots");
+///   pivots.add(r.iterations);
+///
+/// Handles returned by counter()/gauge()/histogram() are valid for the
+/// process lifetime; reset_metrics() zeroes values but never invalidates a
+/// handle. snapshot_metrics() reads everything with relaxed loads — values
+/// racing with concurrent updates are each individually coherent, which is
+/// all a telemetry dump needs.
+///
+/// Naming scheme (see DESIGN.md "Telemetry & tracing"):
+///   <layer>.<noun>[_<unit>]   e.g. "milp.nodes", "dist_opt.window_solve_sec"
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vm1::obs {
+
+namespace detail {
+
+/// Relaxed CAS add/min/max for atomic<double> (fetch_add on double is C++20
+/// but not universally lock-free; the CAS loop is portable and contention
+/// here is negligible).
+inline void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Stable small integer id per thread, for shard selection.
+unsigned thread_shard();
+
+}  // namespace detail
+
+/// Monotonic counter, sharded across cache lines so concurrent add() from
+/// many workers never contends on one atomic.
+class Counter {
+ public:
+  static constexpr unsigned kShards = 8;  // power of two
+
+  void add(long d = 1) {
+    shards_[detail::thread_shard() & (kShards - 1)].v.fetch_add(
+        d, std::memory_order_relaxed);
+  }
+  long value() const {
+    long t = 0;
+    for (const Shard& s : shards_) t += s.v.load(std::memory_order_relaxed);
+    return t;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<long> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+};
+
+/// Log-scale histogram: 4 buckets per power of two covering ~1e-9 .. ~1e10,
+/// so one shape serves both latencies in seconds and raw counts. Quantiles
+/// are estimated by geometric interpolation inside the landing bucket
+/// (resolution 2^(1/4) ~ 19%, plenty for p50/p95/p99 latency tracking).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 256;
+  static constexpr int kSubBuckets = 4;  ///< buckets per power of two
+  static constexpr int kBias = 120;      ///< bucket index of v = 2^-30
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  static int bucket_of(double v);
+  /// Lower value bound of bucket i.
+  static double bucket_lo(int i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};  // valid only when count_ > 0
+  std::atomic<double> max_{0};
+};
+
+/// Registry lookups: find-or-create by name. Thread-safe; the returned
+/// reference is stable forever.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, long>> counters;      // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;      // name-sorted
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Point-in-time view of every registered metric.
+MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every registered metric (handles stay valid). For tests and bench
+/// harnesses that want per-phase deltas.
+void reset_metrics();
+
+/// RAII latency sample: observes elapsed seconds into `h` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace vm1::obs

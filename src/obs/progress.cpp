@@ -1,0 +1,94 @@
+#include "obs/progress.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vm1::obs {
+
+namespace {
+
+double env_interval(double fallback) {
+  static const char* e = std::getenv("VM1_PROGRESS_SEC");
+  if (!e) return fallback;
+  double v = std::atof(e);
+  return v >= 0 ? v : fallback;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::string label, long total,
+                                   double interval_sec)
+    : label_(std::move(label)),
+      total_(total),
+      interval_sec_(env_interval(interval_sec)) {}
+
+void ProgressReporter::advance(long n) {
+  done_.fetch_add(n, std::memory_order_relaxed);
+  maybe_emit(false);
+}
+
+void ProgressReporter::update_objective(double obj) {
+  objective_.store(obj, std::memory_order_relaxed);
+  have_objective_.store(true, std::memory_order_relaxed);
+}
+
+void ProgressReporter::maybe_emit(bool force) {
+  double elapsed = timer_.seconds();
+  if (!force) {
+    // Racy pre-check; the authoritative check re-runs under the lock.
+    if (log_level() > LogLevel::kInfo) return;
+  }
+  std::unique_lock lock(emit_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (!force) return;  // someone else is emitting right now
+    lock.lock();
+  }
+  if (!force && elapsed - last_emit_sec_ < interval_sec_) return;
+  last_emit_sec_ = elapsed;
+
+  long done = done_.load(std::memory_order_relaxed);
+  char buf[256];
+  int len;
+  if (total_ > 0) {
+    double pct = 100.0 * static_cast<double>(done) /
+                 static_cast<double>(total_);
+    len = std::snprintf(buf, sizeof buf, "%s: %ld/%ld (%.0f%%), elapsed %.1fs",
+                        label_.c_str(), done, total_, pct, elapsed);
+    if (done > 0 && done < total_) {
+      double eta = elapsed / static_cast<double>(done) *
+                   static_cast<double>(total_ - done);
+      len += std::snprintf(buf + len, sizeof buf - static_cast<size_t>(len),
+                           ", eta %.1fs", eta);
+    }
+  } else {
+    len = std::snprintf(buf, sizeof buf, "%s: %ld steps, elapsed %.1fs",
+                        label_.c_str(), done, elapsed);
+  }
+  if (have_objective_.load(std::memory_order_relaxed) &&
+      len < static_cast<int>(sizeof buf)) {
+    double obj = objective_.load(std::memory_order_relaxed);
+    len += std::snprintf(buf + len, sizeof buf - static_cast<size_t>(len),
+                         ", objective %.6g", obj);
+    if (have_reported_obj_ && last_reported_obj_ != 0 &&
+        len < static_cast<int>(sizeof buf)) {
+      double delta = (obj - last_reported_obj_) /
+                     std::abs(last_reported_obj_) * 100.0;
+      std::snprintf(buf + len, sizeof buf - static_cast<size_t>(len),
+                    " (%+.2f%%)", delta);
+    }
+    last_reported_obj_ = obj;
+    have_reported_obj_ = true;
+  }
+  emitted_.store(true, std::memory_order_relaxed);
+  log_info(buf);
+}
+
+void ProgressReporter::finish() {
+  if (finished_.exchange(true, std::memory_order_relaxed)) return;
+  if (emitted_.load(std::memory_order_relaxed)) maybe_emit(true);
+}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+}  // namespace vm1::obs

@@ -1,0 +1,64 @@
+/// \file progress.h
+/// Rate-limited progress reporting for long optimization runs, emitted
+/// through the logging layer (so a custom log sink captures it too).
+///
+/// A ProgressReporter tracks work items done out of an (optionally known)
+/// total plus the latest objective value, and emits at most one log line
+/// per interval — so unit tests and short runs stay silent while an hour
+/// long Table-2 run shows windows done, ETA, and objective delta.
+///
+/// The interval defaults to 5 seconds and can be overridden globally with
+/// VM1_PROGRESS_SEC (e.g. VM1_PROGRESS_SEC=1 for chattier runs; 0 emits on
+/// every advance).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "util/logging.h"
+
+namespace vm1::obs {
+
+class ProgressReporter {
+ public:
+  /// `total` = expected advance() count (0 = unknown; no percentage/ETA).
+  explicit ProgressReporter(std::string label, long total = 0,
+                            double interval_sec = 5.0);
+
+  /// Thread-safe. Records `n` completed items and maybe emits a line.
+  void advance(long n = 1);
+
+  /// Thread-safe. Records the latest objective value (reported with a
+  /// delta against the previously *reported* value).
+  void update_objective(double obj);
+
+  /// Emits a final summary line iff a periodic line was emitted earlier
+  /// (quiet runs end quietly). Called by the destructor.
+  void finish();
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  long done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  void maybe_emit(bool force);
+
+  std::string label_;
+  long total_;
+  double interval_sec_;
+  Timer timer_;
+  std::atomic<long> done_{0};
+  std::atomic<double> objective_{0};
+  std::atomic<bool> have_objective_{false};
+  std::atomic<bool> emitted_{false};
+  std::atomic<bool> finished_{false};
+  std::mutex emit_mu_;          // serializes emission only
+  double last_emit_sec_ = 0;    // guarded by emit_mu_
+  double last_reported_obj_ = 0;  // guarded by emit_mu_
+  bool have_reported_obj_ = false;  // guarded by emit_mu_
+};
+
+}  // namespace vm1::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace vm1 {
 
 MazeState::MazeState(const TrackGraph& graph, const MazeCostOptions& opts)
@@ -106,9 +108,11 @@ std::vector<GNode> MazeState::search(const std::vector<GNode>& sources,
   };
 
   std::size_t found = static_cast<std::size_t>(-1);
+  long popped = 0;
   while (!pq.empty()) {
     auto [cost, id] = pq.top();
     pq.pop();
+    ++popped;
     if (stamp_[id] != cur_stamp_ || cost > dist_[id]) continue;
     if (target_stamp_[id] == cur_stamp_) {
       found = id;
@@ -158,6 +162,13 @@ std::vector<GNode> MazeState::search(const std::vector<GNode>& sources,
       relax(g.node_id(nl, nd.gx, nd.gy), c, static_cast<std::int64_t>(id));
     }
   }
+
+  // One bulk add per search keeps the pop loop metric-free.
+  static obs::Counter& searches_metric = obs::counter("route.maze_searches");
+  static obs::Counter& expansions_metric =
+      obs::counter("route.maze_expansions");
+  searches_metric.add();
+  expansions_metric.add(popped);
 
   std::vector<GNode> path;
   if (found == static_cast<std::size_t>(-1)) return path;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "place/hpwl.h"
 #include "util/logging.h"
 
@@ -195,6 +197,14 @@ RouteMetrics Router::route() {
   Timer timer;
   const Netlist& nl = design_->netlist();
 
+  obs::ObsSpan route_span("route.route");
+  static obs::Counter& nets_metric = obs::counter("route.nets");
+  static obs::Counter& ripup_rounds_metric = obs::counter("route.ripup_rounds");
+  static obs::Counter& ripup_victims_metric =
+      obs::counter("route.ripup_victims");
+  static obs::Histogram& route_sec_metric = obs::histogram("route.sec");
+  obs::ScopedTimer route_timer(route_sec_metric);
+
   std::vector<int> order;
   for (int n = 0; n < nl.num_nets(); ++n) {
     if (!nl.net(n).routable()) continue;
@@ -205,10 +215,16 @@ RouteMetrics Router::route() {
     return net_hpwl(*design_, a) < net_hpwl(*design_, b);
   });
 
+  nets_metric.add(static_cast<long>(order.size()));
+  route_span.arg("nets", order.size());
+
   for (int n : order) route_net(n);
 
   for (int iter = 1; iter < opts_.max_iterations; ++iter) {
     if (state_.total_overflow() == 0) break;
+    ripup_rounds_metric.add();
+    obs::ObsSpan ripup_span("route.ripup_iteration");
+    ripup_span.arg("iter", iter);
     state_.accumulate_history();
     // Rip up nets that currently use an overused edge, then reroute.
     std::vector<std::size_t> bad = state_.overused_edges();
@@ -222,11 +238,16 @@ RouteMetrics Router::route() {
         }
       }
     }
+    ripup_victims_metric.add(static_cast<long>(victims.size()));
+    ripup_span.arg("victims", victims.size());
     for (int n : victims) rip_up(n);
     for (int n : victims) route_net(n);
   }
 
   finalize_metrics(timer.seconds());
+  obs::gauge("route.drv").set(metrics_.drv);
+  obs::gauge("route.unrouted").set(metrics_.unrouted);
+  route_span.arg("drv", metrics_.drv).arg("unrouted", metrics_.unrouted);
   return metrics_;
 }
 

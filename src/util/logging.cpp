@@ -10,6 +10,13 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_io_mutex;
 
+/// Leaky singleton: log lines can be emitted from atexit handlers (trace
+/// flush), after a function-local static sink would have been destroyed.
+LogSink& sink_slot() {
+  static LogSink* s = new LogSink;
+  return *s;
+}
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -29,9 +36,19 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_io_mutex);
+  sink_slot() = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  const LogSink& sink = sink_slot();
+  if (sink) {
+    sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  }
 }
 
 }  // namespace vm1

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global log threshold; messages below it are dropped. Default: kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every emitted log line (already filtered by level).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the global sink; nullptr restores the default stderr sink.
+/// The sink is invoked under the logging mutex — lines are serialized, and
+/// the sink must not log recursively. Tests and bench harnesses use this to
+/// capture output instead of racing on stderr.
+void set_log_sink(LogSink sink);
 
 /// Emit one log line (thread-safe).
 void log_message(LogLevel level, const std::string& msg);

@@ -1,0 +1,143 @@
+#include "route/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cells/library_builder.h"
+
+namespace vm1 {
+namespace {
+
+/// A design with a library but zero instances and zero nets.
+Design empty_design() {
+  auto lib = std::make_unique<Library>(build_library(CellArch::kClosedM1));
+  auto nl = std::make_unique<Netlist>(lib.get());
+  return Design("empty", Tech::make_7nm(), std::move(lib), std::move(nl), 4,
+                24);
+}
+
+/// Two ClosedM1 INVs in adjacent rows, driver ZN vertically aligned with
+/// sink A, joined by a single two-pin net — the smallest routable design.
+Design single_net_design() {
+  auto lib = std::make_unique<Library>(build_library(CellArch::kClosedM1));
+  auto nl = std::make_unique<Netlist>(lib.get());
+  int inv = lib->find("INV_X1_SVT");
+  const Cell& c = lib->cell(inv);
+  int u0 = nl->add_instance("u0", inv);
+  int u1 = nl->add_instance("u1", inv);
+  int net = nl->add_net("n0");
+  nl->connect(net, NetPin{u0, c.pin_index("ZN")});
+  nl->connect(net, NetPin{u1, c.pin_index("A")});
+  Design d("one_net", Tech::make_7nm(), std::move(lib), std::move(nl), 4, 24);
+  // ZN of u0 sits at track x+2, A of u1 at track x+1: offset placements by
+  // one site so the pin tracks align vertically.
+  d.set_placement(u0, Placement{10, 1, false});
+  d.set_placement(u1, Placement{11, 2, false});
+  return d;
+}
+
+int render_line_count(const std::string& art) {
+  int lines = 0;
+  for (char ch : art) {
+    if (ch == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(RouteMetrics, EmptyDesignRoutesToAllZeroMetrics) {
+  Design d = empty_design();
+  Router router(d);
+  RouteMetrics m = router.route();
+  EXPECT_EQ(m.rwl_dbu, 0);
+  EXPECT_EQ(m.num_dm1, 0);
+  EXPECT_EQ(m.drv, 0);
+  EXPECT_EQ(m.unrouted, 0);
+  EXPECT_EQ(m.via12, 0);
+}
+
+TEST(RouteMetrics, EmptyDesignCongestionMapIsZeroButShaped) {
+  Design d = empty_design();
+  Router router(d);
+  router.route();
+  CongestionMap map = build_congestion_map(router);
+  EXPECT_GT(map.bins_x, 0);
+  EXPECT_GT(map.bins_y, 0);
+  EXPECT_EQ(map.total(), 0);
+  for (int by = 0; by < map.bins_y; ++by) {
+    for (int bx = 0; bx < map.bins_x; ++bx) {
+      EXPECT_EQ(map.at(bx, by), 0);
+    }
+  }
+  std::string art = render_congestion(map);
+  EXPECT_EQ(render_line_count(art), map.bins_y);
+}
+
+TEST(RouteMetrics, SingleNetCountsOneDm1AndNoOverflow) {
+  Design d = single_net_design();
+  Router router(d);
+  RouteMetrics m = router.route();
+  EXPECT_EQ(m.unrouted, 0);
+  EXPECT_GE(m.num_dm1, 1);
+  EXPECT_EQ(m.drv, 0);  // one net can't overflow unit-capacity edges
+  CongestionMap map = build_congestion_map(router);
+  EXPECT_EQ(map.total(), m.drv);
+}
+
+TEST(RouteMetrics, ZeroCapacityBinsAccountForEveryOverflowUnit) {
+  Design d = single_net_design();
+  RouterOptions opts;
+  opts.cost.wire_capacity = 0;  // every used wire edge overflows
+  opts.max_iterations = 1;      // rip-up can't help; keep the overflow
+  Router router(d, opts);
+  RouteMetrics m = router.route();
+  EXPECT_GT(m.drv, 0);
+  CongestionMap map = build_congestion_map(router);
+  EXPECT_EQ(map.total(), m.drv);
+  // The overflow is localized: at least one hot bin, not all bins hot.
+  int hot = 0;
+  for (int by = 0; by < map.bins_y; ++by) {
+    for (int bx = 0; bx < map.bins_x; ++bx) {
+      if (map.at(bx, by) > 0) ++hot;
+    }
+  }
+  EXPECT_GE(hot, 1);
+  EXPECT_LT(hot, map.bins_x * map.bins_y);
+  std::string art = render_congestion(map);
+  EXPECT_NE(art.find_first_not_of(" \n"), std::string::npos);
+}
+
+TEST(RouteMetrics, RenderIsRectangular) {
+  Design d = single_net_design();
+  RouterOptions opts;
+  opts.cost.wire_capacity = 0;
+  opts.max_iterations = 1;
+  Router router(d, opts);
+  router.route();
+  CongestionMap map = build_congestion_map(router, /*target_bins_x=*/8);
+  std::string art = render_congestion(map);
+  std::istringstream in(art);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(static_cast<int>(line.size()), map.bins_x);
+    ++lines;
+  }
+  EXPECT_EQ(lines, map.bins_y);
+}
+
+TEST(RouteMetrics, SummarizeMentionsEveryKeyMetric) {
+  Design d = single_net_design();
+  Router router(d);
+  RouteMetrics m = router.route();
+  std::string s = summarize(m);
+  for (const char* key :
+       {"RWL=", "M1WL=", "via12=", "dM1=", "DRV=", "unrouted="}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace vm1
