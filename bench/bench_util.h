@@ -130,8 +130,8 @@ class JsonWriter {
 inline void write_window_outcomes(
     JsonWriter& jw, std::initializer_list<const DistOptStats*> passes) {
   int windows = 0, solved = 0, fallback_rounding = 0, fallback_greedy = 0;
-  int rejected_audit = 0, kept = 0, faulted = 0;
-  long faults_injected = 0;
+  int rejected_audit = 0, kept = 0, faulted = 0, skipped = 0;
+  long faults_injected = 0, signature_hits = 0, signature_misses = 0;
   bool deadline_hit = false;
   for (const DistOptStats* s : passes) {
     windows += s->windows;
@@ -141,7 +141,10 @@ inline void write_window_outcomes(
     rejected_audit += s->rejected_audit;
     kept += s->kept;
     faulted += s->faulted;
+    skipped += s->skipped;
     faults_injected += s->faults_injected;
+    signature_hits += s->signature_hits;
+    signature_misses += s->signature_misses;
     deadline_hit = deadline_hit || s->deadline_hit;
   }
   jw.begin_object("window_outcomes");
@@ -152,8 +155,15 @@ inline void write_window_outcomes(
   jw.field("rejected_audit", rejected_audit);
   jw.field("kept", kept);
   jw.field("faulted", faulted);
+  jw.field("skipped", skipped);
   jw.field("faults_injected", faults_injected);
   jw.field("deadline_hit", deadline_hit);
+  // Incremental-engine accounting: signature hits either replayed a window
+  // (counted in `skipped`) or short-circuited an empty build.
+  jw.field("signature_hits", signature_hits);
+  jw.field("signature_misses", signature_misses);
+  jw.field("skip_rate",
+           windows > 0 ? static_cast<double>(skipped) / windows : 0.0);
   jw.end_object();
 }
 

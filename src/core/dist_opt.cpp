@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/greedy_aligner.h"
+#include "core/incremental.h"
 #include "core/window.h"
 #include "core/window_audit.h"
 #include "obs/metrics.h"
@@ -32,6 +33,8 @@ const char* to_string(WindowOutcome o) {
       return "kept";
     case WindowOutcome::kFaulted:
       return "faulted";
+    case WindowOutcome::kSkipped:
+      return "skipped";
   }
   return "?";
 }
@@ -55,6 +58,9 @@ void DistOptOptions::validate() const {
   if (min_window_time_sec < 0) {
     bad("min_window_time_sec must be >= 0, got " +
         std::to_string(min_window_time_sec));
+  }
+  if (!incremental && inc != nullptr) {
+    bad("inc state given but incremental mode is disabled");
   }
   mip.validate();
 }
@@ -84,6 +90,7 @@ obs::Counter& outcome_counter(WindowOutcome o) {
       &obs::counter("dist_opt.outcome.rejected_audit"),
       &obs::counter("dist_opt.outcome.kept"),
       &obs::counter("dist_opt.outcome.faulted"),
+      &obs::counter("dist_opt.outcome.skipped"),
   };
   return *by_outcome[static_cast<int>(o)];
 }
@@ -103,6 +110,13 @@ struct Job {
   double warm_obj = 0;
   milp::MipResult result;
   std::vector<double> fallback_x;
+  // Incremental engine: signature computed in the parallel phase; on a
+  // clean memo hit the entry is copied here (the table may rehash later)
+  // and build/solve are skipped entirely.
+  WindowSig sig;
+  bool sig_valid = false;
+  bool memo_hit = false;
+  WindowMemo memo;
 };
 
 }  // namespace
@@ -121,11 +135,27 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   static obs::Histogram& window_solve_sec_metric =
       obs::histogram("dist_opt.window_solve_sec");
   static obs::Gauge& objective_metric = obs::gauge("dist_opt.objective");
+  static obs::Counter& skipped_metric =
+      obs::counter("dist_opt.windows_skipped");
+  static obs::Counter& sig_hits_metric =
+      obs::counter("dist_opt.signature_hits");
+  static obs::Counter& sig_misses_metric =
+      obs::counter("dist_opt.signature_misses");
   passes_metric.add();
   obs::ScopedTimer pass_timer(pass_sec_metric);
 
   WindowGrid grid = partition_windows(d, opts.tx, opts.ty, opts.bw, opts.bh);
   std::vector<std::vector<int>> batches = diagonal_batches(grid);
+
+  // Incremental engine (see core/incremental.h). The state is owned by the
+  // caller (vm1opt or a test) so memo entries and dirty generations persist
+  // across passes; without one this pass degenerates to full re-solve.
+  IncrementalState* inc = opts.incremental ? opts.inc : nullptr;
+  std::vector<std::vector<int>> incident_nets;
+  if (inc) {
+    inc->bind(d);
+    incident_nets = window_incident_nets(grid, d.netlist());
+  }
 
   // Pass-level cancellation token: set by the deadline, by an external
   // opts.cancel, and observed by every window's branch-and-bound.
@@ -189,6 +219,27 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       obs::ObsSpan solve_span("dist_opt.window_solve");
       solve_span.arg("window", job.widx);
       obs::ScopedTimer solve_timer(window_solve_sec_metric);
+      if (inc) {
+        // Parallel-phase memo probe: the design and the incremental state
+        // are both read-only until the serial apply phase, so signature
+        // computation and the table lookup are race-free. A hit needs a
+        // full 128-bit signature match AND untouched cells/nets since the
+        // entry was recorded.
+        job.sig = window_signature(d, grid.windows[job.widx],
+                                   grid.movable[job.widx],
+                                   incident_nets[job.widx], opts);
+        job.sig_valid = true;
+        if (const WindowMemo* m = inc->lookup(job.sig)) {
+          if (inc->clean_since(grid.movable[job.widx],
+                               incident_nets[job.widx], m->recorded_gen)) {
+            job.memo_hit = true;
+            job.memo = *m;
+            solve_span.arg("window_skip", 1);
+            progress.advance();
+            return;
+          }
+        }
+      }
       try {
         if (fault_on && fault::should_fire(fault::Site::kBuildThrow, job.key)) {
           ++job.faults;
@@ -280,7 +331,10 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     }
 
     // Apply phase (serial): windows in a batch touch disjoint cells. Every
-    // job is classified into exactly one WindowOutcome bucket here.
+    // job is classified into exactly one WindowOutcome bucket here. This is
+    // also the only phase that mutates the incremental state: changed cells
+    // stamp dirty generations, and finished windows are memoized under the
+    // signature probed above.
     for (const auto& job : jobs) {
       obs::ObsSpan apply_span("dist_opt.window_apply");
       apply_span.arg("window", job->widx);
@@ -289,23 +343,91 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         apply_span.arg("outcome", to_string(o));
       };
       stats.faults_injected += job->faults;
+      if (inc && job->sig_valid && !job->memo_hit) {
+        ++stats.signature_misses;
+        sig_misses_metric.add();
+      }
+
+      // Counts the placement delta (both modes, so vm1opt's zero-change
+      // early exit is mode-independent), stamps dirty generations, and
+      // memoizes the outcome when it is a pure function of the signature.
+      // Wall-clock-dependent results never enter the table: budgeted
+      // passes adapt per-window limits to the remaining time, and genuine
+      // (non-injected) failures may not reproduce.
+      auto commit = [&](WindowOutcome o, double obj_delta,
+                        std::vector<std::pair<int, Placement>> changed,
+                        bool empty_build, bool memoizable) {
+        stats.cells_changed += static_cast<int>(changed.size());
+        if (!inc) return;
+        if (!changed.empty()) {
+          std::vector<int> insts;
+          insts.reserve(changed.size());
+          for (const auto& cp : changed) insts.push_back(cp.first);
+          stats.nets_dirtied += inc->mark_changed(insts, d.netlist());
+        }
+        if (!job->sig_valid || job->memo_hit || !memoizable ||
+            opts.time_budget_sec > 0) {
+          return;
+        }
+        WindowMemo m;
+        m.recorded_gen = inc->generation();
+        m.outcome = o;
+        m.empty_build = empty_build;
+        m.obj_delta = obj_delta;
+        m.changed = std::move(changed);
+        inc->store(job->sig, m);
+      };
+
       if (job->failed) {
         ++stats.windows;
         ++stats.faulted;
         classify(WindowOutcome::kFaulted);
         log_warn("dist_opt: window ", job->widx,
                  " faulted during build/solve: ", job->error);
+        commit(WindowOutcome::kFaulted, 0, {}, false,
+               /*memoizable=*/job->faults > 0);
         continue;
       }
       if (!job->ran || job->skipped) {
-        // Cancelled before solving (deadline or external token).
+        // Cancelled before solving (deadline or external token). Never
+        // memoized: where the cutoff lands is wall-clock-dependent.
         ++stats.windows;
         ++stats.kept;
         classify(WindowOutcome::kKept);
         continue;
       }
+      if (job->memo_hit) {
+        // Replay the recorded delta. No audit re-run: the entry was
+        // recorded from an audited (or no-op) application of the very same
+        // signed inputs, so this is the state a full re-solve would reach.
+        ++stats.signature_hits;
+        sig_hits_metric.add();
+        if (job->memo.empty_build) {
+          // Matches the uncounted "empty build" case below.
+          apply_span.arg("outcome", "empty");
+          apply_span.arg("window_skip", 1);
+          continue;
+        }
+        ++stats.windows;
+        ++stats.skipped;
+        skipped_metric.add();
+        classify(WindowOutcome::kSkipped);
+        stats.cells_changed += static_cast<int>(job->memo.changed.size());
+        if (!job->memo.changed.empty()) {
+          std::vector<int> insts;
+          insts.reserve(job->memo.changed.size());
+          for (const auto& [inst, pl] : job->memo.changed) {
+            d.set_placement(inst, pl);
+            insts.push_back(inst);
+          }
+          stats.nets_dirtied += inc->mark_changed(insts, d.netlist());
+        }
+        continue;
+      }
       if (job->built.empty()) {
         apply_span.arg("outcome", "empty");
+        commit(WindowOutcome::kKept, 0, {}, /*empty_build=*/true,
+               /*memoizable=*/true);
         continue;
       }
       ++stats.windows;
@@ -326,12 +448,18 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         rounding = true;
       }
 
+      // Snapshot for rollback and for the post-apply placement diff that
+      // feeds cells_changed / dirty marking / the memo entry.
+      std::vector<Placement> before;
+      before.reserve(job->built.cells.size());
+      for (int inst : job->built.cells) before.push_back(d.placement(inst));
+      WindowOutcome outcome = WindowOutcome::kKept;
+      double obj_delta = 0;
+      bool memoizable = true;
+
       if (sol) {
-        // Snapshot, apply, audit; roll back on violation or exception so a
-        // bad window can never leak an illegal or degraded placement.
-        std::vector<Placement> before;
-        before.reserve(job->built.cells.size());
-        for (int inst : job->built.cells) before.push_back(d.placement(inst));
+        // Apply and audit; roll back on violation or exception so a bad
+        // window can never leak an illegal or degraded placement.
         auto rollback = [&] {
           for (std::size_t k = 0; k < job->built.cells.size(); ++k) {
             d.set_placement(job->built.cells[k], before[k]);
@@ -350,15 +478,19 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
           if (!audit.ok) {
             rollback();
             ++stats.rejected_audit;
-            classify(WindowOutcome::kRejectedAudit);
+            outcome = WindowOutcome::kRejectedAudit;
+            classify(outcome);
             log_warn("dist_opt: window ", job->widx,
                      " solution rejected by audit: ", audit.violation);
           } else if (rounding) {
             ++stats.fallback_rounding;
-            classify(WindowOutcome::kFallbackRounding);
+            outcome = WindowOutcome::kFallbackRounding;
+            classify(outcome);
           } else {
             ++stats.solved;
-            classify(WindowOutcome::kSolved);
+            outcome = WindowOutcome::kSolved;
+            classify(outcome);
+            obj_delta = job->warm_obj - job->result.objective;
             if (job->result.objective < job->warm_obj - 1e-9) {
               ++stats.windows_improved;
             }
@@ -366,7 +498,12 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         } catch (const std::exception& e) {
           rollback();
           ++stats.faulted;
-          classify(WindowOutcome::kFaulted);
+          outcome = WindowOutcome::kFaulted;
+          classify(outcome);
+          // Injected apply faults are replayable (the schedule is part of
+          // the signature); anything else is not provably deterministic.
+          memoizable = dynamic_cast<const fault::InjectedFault*>(&e) !=
+                       nullptr;
           log_warn("dist_opt: window ", job->widx,
                    " faulted during apply, rolled back: ", e.what());
         }
@@ -386,15 +523,24 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
                                 go, opts.allow_move);
         if (gs.moves + gs.flips > 0) {
           ++stats.fallback_greedy;
-          classify(WindowOutcome::kFallbackGreedy);
+          outcome = WindowOutcome::kFallbackGreedy;
         } else {
           ++stats.kept;
-          classify(WindowOutcome::kKept);
+          outcome = WindowOutcome::kKept;
         }
+        classify(outcome);
       } else {
         ++stats.kept;
-        classify(WindowOutcome::kKept);
+        outcome = WindowOutcome::kKept;
+        classify(outcome);
       }
+
+      std::vector<std::pair<int, Placement>> changed;
+      for (std::size_t k = 0; k < job->built.cells.size(); ++k) {
+        const Placement& now = d.placement(job->built.cells[k]);
+        if (!(now == before[k])) changed.emplace_back(job->built.cells[k], now);
+      }
+      commit(outcome, obj_delta, std::move(changed), false, memoizable);
     }
   }
 

@@ -36,9 +36,12 @@ enum class WindowOutcome {
   kRejectedAudit,     ///< solution failed the legality audit; rolled back
   kKept,              ///< nothing applied (no fallback fired, or deadline)
   kFaulted,           ///< build/solve/apply threw; window left untouched
+  kSkipped,           ///< clean signature hit; memoized result replayed
 };
 
 const char* to_string(WindowOutcome o);
+
+class IncrementalState;  // core/incremental.h
 
 struct DistOptOptions {
   int bw = 20;  ///< window width in sites
@@ -69,6 +72,16 @@ struct DistOptOptions {
   /// Optional external cancellation token: set it from another thread to
   /// stop the pass at the next window boundary (same path as the deadline).
   const std::atomic<bool>* cancel = nullptr;
+  /// Incremental re-solve engine (see core/incremental.h). When `inc` is
+  /// non-null and `incremental` is true, windows whose canonical signature
+  /// matches a memo entry recorded while their cells/nets stayed clean are
+  /// skipped (classified kSkipped) and the recorded placement delta is
+  /// replayed — bit-identical to re-solving. With `incremental` false the
+  /// pass must not carry a state (validate() rejects it), so equivalence
+  /// tests can run both modes against each other. `inc` must outlive the
+  /// pass and be bound to the same design.
+  bool incremental = true;
+  IncrementalState* inc = nullptr;
 
   /// Throws std::invalid_argument on out-of-range fields (non-positive
   /// bw/bh, negative lx/ly or budgets, invalid `mip`). dist_opt() validates
@@ -96,15 +109,24 @@ struct DistOptStats {
   int rejected_audit = 0;    ///< kRejectedAudit (rolled back)
   int kept = 0;              ///< kKept
   int faulted = 0;           ///< kFaulted (exception; window untouched)
+  int skipped = 0;           ///< kSkipped (memoized replay; no MILP built)
   long faults_injected = 0;  ///< fault-injection firings observed (VM1_FAULTS)
   bool deadline_hit = false; ///< pass was cut off by time_budget_sec
+  // Incremental-engine observability (zero when no IncrementalState given).
+  long signature_hits = 0;   ///< memo lookups that skipped a window
+  long signature_misses = 0; ///< memo lookups that had to solve
+  long nets_dirtied = 0;     ///< net generation stamps from applied windows
+  /// Cells whose placement changed in this pass. Counted in both modes
+  /// (replays included), so vm1opt's zero-change early exit is
+  /// mode-independent.
+  int cells_changed = 0;
   double objective = 0;      ///< full-design objective after this DistOpt
   double seconds = 0;
 
   /// Sum of the outcome buckets; always equals `windows`.
   int outcome_total() const {
     return solved + fallback_rounding + fallback_greedy + rejected_audit +
-           kept + faulted;
+           kept + faulted + skipped;
   }
 };
 

@@ -1,0 +1,158 @@
+/// \file incremental.h
+/// Dirty-window incremental re-solve engine for DistOpt.
+///
+/// After the first sweep of a VM1Opt run most windows are untouched: their
+/// cells and incident nets have not moved, so re-building and re-solving
+/// their MILPs is pure waste. This module provides the two pieces that let
+/// dist_opt() skip that work *exactly*:
+///
+///  1. Net-level change tracking (IncrementalState): when a window's
+///     accepted solution moves or flips cells, every cell and every net
+///     incident to those cells gets the current generation stamp. A window
+///     is clean since generation g iff none of its movable cells nor any of
+///     its incident nets was stamped after g — this propagates dirtiness to
+///     every window whose cell set touches a dirty net, including
+///     diagonal-batch neighbors in later batches of the same pass.
+///
+///  2. A canonical window signature (window_signature): a stable 128-bit
+///     FNV-style hash over everything the window solve depends on — window
+///     geometry, movable cell ids/positions/orientations, the fixed-site
+///     mask, the parameter set and MIP configuration, per-net weights,
+///     boundary-pin terminals of incident nets, and the fault-injection
+///     config. No wall-clock or address-dependent input ever enters the
+///     hash, so signatures are reproducible across runs and platforms.
+///
+/// A memo entry (WindowMemo) records the outcome and the exact placement
+/// delta a signature produced. A later window whose signature matches and
+/// whose cells/nets are clean since the entry was recorded is *skipped*:
+/// the recorded delta is replayed without building the MILP, which is
+/// bit-identical to re-solving because the whole window pipeline is a
+/// deterministic function of the signed inputs (see DESIGN.md
+/// "Incremental re-solve & memoization" for the caveats around wall-clock
+/// truncated solves, which are excluded from memoization).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dist_opt.h"
+
+namespace vm1 {
+
+/// Streaming 2x64-bit FNV-1a-style hasher. Stable across platforms and
+/// runs: it consumes explicit integer words only — callers hash doubles by
+/// bit pattern, never pointers, clocks, or container addresses.
+class SignatureHasher {
+ public:
+  void add(std::uint64_t v) {
+    a_ = step(a_, v, kPrimeA);
+    b_ = step(b_, v ^ kTweak, kPrimeB);
+  }
+  void add_int(long long v) { add(static_cast<std::uint64_t>(v)); }
+  void add_double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+  void add_bool(bool v) { add(v ? 1u : 0u); }
+
+  std::uint64_t low() const { return a_; }
+  std::uint64_t high() const { return b_; }
+
+ private:
+  static std::uint64_t step(std::uint64_t h, std::uint64_t v,
+                            std::uint64_t prime) {
+    h ^= v;
+    h *= prime;
+    h ^= h >> 29;
+    return h;
+  }
+  static constexpr std::uint64_t kPrimeA = 1099511628211ULL;  // FNV-1a prime
+  static constexpr std::uint64_t kPrimeB = 0x9E3779B97F4A7C15ULL;
+  static constexpr std::uint64_t kTweak = 0xA5A5A5A55A5A5A5AULL;
+  std::uint64_t a_ = 14695981039346656037ULL;  // FNV-1a offset basis
+  std::uint64_t b_ = 0x6C62272E07BB0142ULL;
+};
+
+/// 128-bit window signature. `a` keys the memo table; `b` is stored in the
+/// entry and must also match on lookup, so a false skip needs a full
+/// 128-bit collision *and* a clean dirtiness check.
+struct WindowSig {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const WindowSig&, const WindowSig&) = default;
+};
+
+/// Recorded result of one window solve, replayable without the MILP.
+struct WindowMemo {
+  std::uint64_t sig2 = 0;         ///< WindowSig::b (collision guard)
+  std::uint64_t recorded_gen = 0; ///< generation when the entry was stored
+  WindowOutcome outcome = WindowOutcome::kKept;  ///< outcome when recorded
+  bool empty_build = false;       ///< build_window_milp() returned empty
+  double obj_delta = 0;           ///< window-local improvement when recorded
+  /// Exact placement delta the solve produced (empty for fixpoints, which
+  /// is the common case: a window that re-solves to identity).
+  std::vector<std::pair<int, Placement>> changed;
+};
+
+/// Cross-pass state of the incremental engine: per-cell and per-net dirty
+/// generations plus the signature-keyed memo table. One instance is owned
+/// by the vm1opt() driver (or a test) and shared by every DistOpt pass on
+/// the same design. All mutation happens in the serial apply phase of
+/// dist_opt(); the parallel solve phase only reads.
+class IncrementalState {
+ public:
+  /// Sizes the generation arrays for `d`. Re-binding to a design with a
+  /// different instance/net count resets all state.
+  void bind(const Design& d);
+
+  bool bound() const { return !cell_gen_.empty() || !net_gen_.empty(); }
+  std::uint64_t generation() const { return gen_; }
+
+  /// Bumps the generation and stamps `insts` and every net incident to
+  /// them. Returns the number of distinct nets stamped.
+  long mark_changed(const std::vector<int>& insts, const Netlist& nl);
+
+  /// True iff no cell in `cells` and no net in `nets` was stamped after
+  /// generation `gen`.
+  bool clean_since(const std::vector<int>& cells,
+                   const std::vector<int>& nets, std::uint64_t gen) const;
+
+  /// Memo entry for `sig`, or nullptr on miss (absent or secondary-hash
+  /// mismatch). The pointer is invalidated by store()/clear().
+  const WindowMemo* lookup(const WindowSig& sig) const;
+
+  /// Inserts or overwrites the entry for `sig`. The table is capped: when
+  /// it exceeds ~1M entries it is cleared wholesale (correctness is
+  /// unaffected — a lost entry is just a future miss).
+  void store(const WindowSig& sig, WindowMemo memo);
+
+  std::size_t memo_entries() const { return memo_.size(); }
+  void clear();
+
+ private:
+  static constexpr std::size_t kMaxEntries = 1u << 20;
+  std::uint64_t gen_ = 0;
+  std::vector<std::uint64_t> cell_gen_;
+  std::vector<std::uint64_t> net_gen_;
+  std::unordered_map<std::uint64_t, WindowMemo> memo_;
+};
+
+/// Canonical signature of one window solve under `opts`: hashes the window
+/// geometry, displacement bounds and pass flags, VM1Params (including
+/// per-net beta of every incident net), the MIP/LP configuration, the
+/// fault-injection config, the movable cells' ids and placements, the
+/// fixed-site mask, and — for every incident net — each pin *not* owned by
+/// a movable cell (boundary terminals: position, and span for instance
+/// pins). `movable` must be sorted ascending (partition_windows builds it
+/// that way).
+WindowSig window_signature(const Design& d, const Window& win,
+                           const std::vector<int>& movable,
+                           const std::vector<int>& incident_nets,
+                           const DistOptOptions& opts);
+
+}  // namespace vm1

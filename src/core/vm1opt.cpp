@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/incremental.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -29,6 +30,12 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
   int tx = 0, ty = 0;
   double obj = stats.initial.value;
 
+  // One incremental state for the whole run: memo entries recorded in one
+  // pass are hit in later iterations whenever the window grid repeats
+  // (shift period 2) and the window's neighborhood stayed clean.
+  IncrementalState inc_state;
+  if (opts.incremental) inc_state.bind(d);
+
   auto accumulate = [&stats](const DistOptStats& s) {
     stats.windows += s.windows;
     stats.milp_nodes += s.total_nodes;
@@ -38,8 +45,12 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     stats.rejected_audit += s.rejected_audit;
     stats.kept += s.kept;
     stats.faulted += s.faulted;
+    stats.skipped += s.skipped;
     stats.faults_injected += s.faults_injected;
     stats.deadline_hit = stats.deadline_hit || s.deadline_hit;
+    stats.signature_hits += s.signature_hits;
+    stats.signature_misses += s.signature_misses;
+    stats.cells_changed += s.cells_changed;
   };
   auto cancelled = [&opts] {
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
@@ -67,9 +78,14 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       move_pass.mip = opts.mip;
       move_pass.time_budget_sec = opts.pass_time_budget_sec;
       move_pass.cancel = opts.cancel;
+      move_pass.incremental = opts.incremental;
+      move_pass.inc = opts.incremental ? &inc_state : nullptr;
       DistOptStats ms = dist_opt(d, move_pass, &pool);
       accumulate(ms);
       obj = ms.objective;
+      int iter_windows = ms.windows;
+      int iter_skipped = ms.skipped;
+      int iter_changed = ms.cells_changed;
 
       if (opts.flip_pass && !cancelled()) {
         DistOptOptions flip_pass = move_pass;
@@ -80,7 +96,12 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
         DistOptStats fs = dist_opt(d, flip_pass, &pool);
         accumulate(fs);
         obj = fs.objective;
+        iter_windows += fs.windows;
+        iter_skipped += fs.skipped;
+        iter_changed += fs.cells_changed;
       }
+      stats.windows_per_iter.push_back(iter_windows);
+      stats.skipped_per_iter.push_back(iter_skipped);
 
       // Shift windows so last iteration's boundary cells become movable.
       if (opts.shift_windows) {
@@ -98,6 +119,16 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       delta_obj = (pre_obj - obj) / std::max(1.0, std::abs(pre_obj));
       log_debug("vm1opt: u=(", u.bw, ",", u.lx, ",", u.ly, ") iter ", inner,
                 " obj ", pre_obj, " -> ", obj);
+      // Sweep-level early termination: a full move+flip iteration that
+      // changed zero cells is a fixpoint of this parameter set — further
+      // iterations would dirty nothing and re-derive the same placements,
+      // so short-circuit the theta loop. cells_changed is counted
+      // identically with and without the incremental engine (replays
+      // included), so both modes exit here on the same iteration.
+      if (iter_changed == 0) {
+        stats.converged_early = true;
+        break;
+      }
     }
   }
 

@@ -33,6 +33,13 @@ struct VM1OptOptions {
   /// Shift window offsets (tx, ty) between iterations so boundary cells
   /// become movable (Algorithm 1 line 9). Disable only for ablations.
   bool shift_windows = true;
+  /// Dirty-window incremental re-solve (see core/incremental.h): one
+  /// IncrementalState is shared by every DistOpt pass of the run, so a
+  /// window whose signature recurs while its cells/nets stayed clean is
+  /// skipped and its memoized result replayed — bit-identical to full
+  /// re-solve. Disable to force every window through the MILP (equivalence
+  /// tests run both modes against each other).
+  bool incremental = true;
   unsigned threads = 0;     ///< 0 = hardware concurrency
   milp::BranchAndBound::Options mip = default_mip();
   /// Per-DistOpt-pass wall-clock budget forwarded to
@@ -65,15 +72,28 @@ struct VM1OptStats {
   int windows = 0;
   long milp_nodes = 0;
   // Window-outcome taxonomy aggregated over every DistOpt pass (see
-  // WindowOutcome); the six buckets sum to `windows`.
+  // WindowOutcome); the seven buckets sum to `windows`.
   long solved = 0;
   long fallback_rounding = 0;
   long fallback_greedy = 0;
   long rejected_audit = 0;
   long kept = 0;
   long faulted = 0;
+  long skipped = 0;          ///< kSkipped: memoized replays (no MILP built)
   long faults_injected = 0;  ///< VM1_FAULTS firings observed across passes
   bool deadline_hit = false; ///< any pass cut off by its time budget
+  // Incremental-engine observability, aggregated over every pass.
+  long signature_hits = 0;
+  long signature_misses = 0;
+  long cells_changed = 0;
+  /// True when a parameter set's inner loop exited because a full
+  /// move+flip iteration changed zero cells (sweep-level early
+  /// termination), rather than via theta or max_inner_iters.
+  bool converged_early = false;
+  /// Per outer iteration (one move+flip pair): windows visited / skipped.
+  /// Lets benches report the skip rate after the first sweep.
+  std::vector<int> windows_per_iter;
+  std::vector<int> skipped_per_iter;
   double seconds = 0;
   std::vector<double> objective_trajectory;
 };

@@ -74,4 +74,19 @@ std::vector<std::vector<int>> diagonal_batches(const WindowGrid& grid) {
   return batches;
 }
 
+std::vector<std::vector<int>> window_incident_nets(const WindowGrid& grid,
+                                                   const Netlist& nl) {
+  std::vector<std::vector<int>> incident(grid.windows.size());
+  for (std::size_t w = 0; w < grid.windows.size(); ++w) {
+    std::vector<int>& nets = incident[w];
+    for (int inst : grid.movable[w]) {
+      const std::vector<int>& in = nl.nets_of(inst);
+      nets.insert(nets.end(), in.begin(), in.end());
+    }
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  }
+  return incident;
+}
+
 }  // namespace vm1

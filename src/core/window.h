@@ -34,4 +34,11 @@ WindowGrid partition_windows(const Design& d, int tx, int ty, int bw,
 /// projections covering every window exactly once.
 std::vector<std::vector<int>> diagonal_batches(const WindowGrid& grid);
 
+/// Per window: sorted, de-duplicated nets incident to any movable cell.
+/// This is the dirtiness footprint used by the incremental engine — a
+/// window must be re-solved when any of these nets was touched by another
+/// window's accepted solution (including diagonal-batch neighbors).
+std::vector<std::vector<int>> window_incident_nets(const WindowGrid& grid,
+                                                   const Netlist& nl);
+
 }  // namespace vm1

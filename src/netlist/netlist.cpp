@@ -8,6 +8,7 @@ int Netlist::add_instance(const std::string& name, int cell) {
   assert(cell >= 0 && cell < lib_->num_cells());
   instances_.push_back(Instance{name, cell});
   pin_net_.emplace_back(lib_->cell(cell).pins.size(), -1);
+  inst_nets_.emplace_back();
   return num_instances() - 1;
 }
 
@@ -31,6 +32,15 @@ void Netlist::connect(int net, NetPin pin) {
     assert(pin.pin < static_cast<int>(cell_of(pin.inst).pins.size()));
     assert(pin_net_[pin.inst][pin.pin] == -1 && "pin already connected");
     pin_net_[pin.inst][pin.pin] = net;
+    std::vector<int>& incident = inst_nets_[pin.inst];
+    bool seen = false;
+    for (int n : incident) {
+      if (n == net) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) incident.push_back(net);
   }
   nets_[net].pins.push_back(pin);
 }

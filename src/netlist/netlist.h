@@ -69,6 +69,10 @@ class Netlist {
   /// Net connected at (inst, pin); -1 when unconnected.
   int net_at(int inst, int pin) const { return pin_net_[inst][pin]; }
 
+  /// Distinct nets incident to an instance, in first-connection order.
+  /// Maintained incrementally by connect(); O(1) query.
+  const std::vector<int>& nets_of(int inst) const { return inst_nets_[inst]; }
+
   /// Total cell area in sites (fillers excluded).
   long total_sites() const;
 
@@ -81,7 +85,8 @@ class Netlist {
   std::vector<Instance> instances_;
   std::vector<Net> nets_;
   std::vector<IoTerminal> ios_;
-  std::vector<std::vector<int>> pin_net_;  ///< [inst][pin] -> net or -1
+  std::vector<std::vector<int>> pin_net_;    ///< [inst][pin] -> net or -1
+  std::vector<std::vector<int>> inst_nets_;  ///< [inst] -> distinct nets
 };
 
 }  // namespace vm1

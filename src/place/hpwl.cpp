@@ -25,16 +25,7 @@ Coord hpwl_of_nets(const Design& d, const std::vector<int>& nets) {
 }
 
 std::vector<int> nets_of_instance(const Design& d, int inst) {
-  std::vector<int> nets;
-  const Netlist& nl = d.netlist();
-  const Cell& c = nl.cell_of(inst);
-  for (std::size_t p = 0; p < c.pins.size(); ++p) {
-    int n = nl.net_at(inst, static_cast<int>(p));
-    if (n >= 0 && std::find(nets.begin(), nets.end(), n) == nets.end()) {
-      nets.push_back(n);
-    }
-  }
-  return nets;
+  return d.netlist().nets_of(inst);
 }
 
 }  // namespace vm1

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "core/incremental.h"
 #include "design/legality.h"
 #include "place/global_placer.h"
 #include "place/legalizer.h"
@@ -185,6 +186,81 @@ TEST(DistOpt, TinyBudgetHitsDeadlineButStaysSafe) {
   EXPECT_EQ(s.outcome_total(), s.windows);
   EXPECT_LE(s.objective, before + 1e-6);
   EXPECT_TRUE(is_legal(d));
+}
+
+TEST(DistOptIncremental, ValidationRejectsStateWithoutFlag) {
+  Design d = placed();
+  IncrementalState state;
+  DistOptOptions o = fast_opts();
+  o.incremental = false;
+  o.inc = &state;
+  EXPECT_THROW(dist_opt(d, o, nullptr), std::invalid_argument);
+}
+
+TEST(DistOptIncremental, RepeatedPassesConvergeToAllSkipped) {
+  Design d_inc = placed();
+  Design d_full = placed();
+  IncrementalState state;
+  DistOptOptions oi = fast_opts();
+  oi.inc = &state;
+  DistOptOptions of = fast_opts();
+  of.incremental = false;
+
+  // Iterate the same pass: placements must track full mode bit-for-bit,
+  // and once a pass changes zero cells, every window of the next pass is a
+  // clean signature hit — the engine's steady state.
+  const int kMaxPasses = 10;
+  bool converged = false;
+  for (int p = 0; p < kMaxPasses; ++p) {
+    DistOptStats si = dist_opt(d_inc, oi, nullptr);
+    DistOptStats sf = dist_opt(d_full, of, nullptr);
+    ASSERT_EQ(d_inc.placements(), d_full.placements()) << "pass " << p;
+    EXPECT_DOUBLE_EQ(si.objective, sf.objective) << "pass " << p;
+    EXPECT_EQ(si.outcome_total(), si.windows) << "pass " << p;
+    EXPECT_EQ(sf.outcome_total(), sf.windows) << "pass " << p;
+    EXPECT_EQ(sf.skipped, 0) << "full mode must never skip";
+    EXPECT_EQ(si.cells_changed, sf.cells_changed) << "pass " << p;
+    if (converged) {
+      // Previous pass was a fixpoint: everything skips now.
+      EXPECT_EQ(si.skipped, si.windows) << "pass " << p;
+      EXPECT_GT(si.signature_hits, 0) << "pass " << p;
+      EXPECT_EQ(si.cells_changed, 0) << "pass " << p;
+      break;
+    }
+    converged = si.cells_changed == 0;
+  }
+  EXPECT_TRUE(converged) << "pass never reached a zero-change fixpoint";
+  EXPECT_TRUE(is_legal(d_inc));
+  EXPECT_GT(state.memo_entries(), 0u);
+}
+
+TEST(DistOptIncremental, StateSurvivesGridShift) {
+  // Alternating offsets (the vm1opt shift pattern, period 2): entries
+  // recorded at one offset must hit when that offset recurs, and must
+  // never corrupt results at the other offset.
+  Design d_inc = placed();
+  Design d_full = placed();
+  IncrementalState state;
+  long hits = 0;
+  int quiet_passes = 0;  // consecutive zero-change passes seen
+  for (int p = 0; p < 24 && quiet_passes < 3; ++p) {
+    DistOptOptions oi = fast_opts();
+    oi.tx = (p % 2) * (oi.bw / 2);
+    oi.ty = p % 2;
+    oi.inc = &state;
+    DistOptOptions of = oi;
+    of.incremental = false;
+    of.inc = nullptr;
+    DistOptStats si = dist_opt(d_inc, oi, nullptr);
+    dist_opt(d_full, of, nullptr);
+    ASSERT_EQ(d_inc.placements(), d_full.placements()) << "pass " << p;
+    hits += si.signature_hits;
+    quiet_passes = si.cells_changed == 0 ? quiet_passes + 1 : 0;
+  }
+  // Once both offsets went a full cycle without changes, their memo
+  // entries must have been hit.
+  EXPECT_EQ(quiet_passes, 3) << "alternating grids never settled";
+  EXPECT_GT(hits, 0) << "recurring grids should produce signature hits";
 }
 
 TEST(DistOpt, PreSetCancelTokenKeepsEverything) {

@@ -1,0 +1,153 @@
+/// Golden-run regression: the quickstart flow (tiny design, ClosedM1,
+/// alpha = 1200 nm, the paper's best sequence) is fully deterministic, so
+/// its integer quality metrics are checked into tests/golden/ and any
+/// unintended behavior change — solver, placer, router, or the
+/// incremental engine — shows up as a diff against the recorded values.
+///
+/// Regenerate after an *intended* change with:
+///   VM1_UPDATE_GOLDEN=1 ./build/tests/openvm1_tests \
+///       --gtest_filter='GoldenRun.*'
+/// and commit the rewritten tests/golden/quickstart.json.
+///
+/// The same flow also doubles as the acceptance check that the dirty-window
+/// engine is exact end-to-end: incremental on vs off must produce the
+/// identical placement and identical metrics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "core/flow.h"
+
+#ifndef VM1_GOLDEN_DIR
+#define VM1_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace vm1 {
+namespace {
+
+FlowOptions golden_flow(bool incremental) {
+  FlowOptions f;
+  f.design_name = "tiny";
+  f.arch = CellArch::kClosedM1;
+  f.vm1.params.alpha = paper_alpha(1200);
+  f.vm1.sequence = {ParamSet{20, 0, 4, 1}};  // quickstart configuration
+  f.vm1.incremental = incremental;
+  // The default per-window wall-clock caps make results load-dependent (a
+  // window truncating at 1.5s solves differently under a busy ctest -j).
+  // Golden runs must be governed by the deterministic node cap alone.
+  f.vm1.mip.time_limit_sec = 3600;
+  f.vm1.mip.lp_options.time_limit_sec = 3600;
+  return f;
+}
+
+/// Integer-only metric snapshot: every value below is a count or a Coord
+/// sum, so the comparison is exact and platform noise-free.
+std::map<std::string, long long> metrics_of(const FlowResult& r) {
+  std::map<std::string, long long> m;
+  m["init_hpwl"] = r.init.hpwl;
+  m["init_alignments"] = r.init.objective.alignments;
+  m["init_num_dm1"] = r.init.route.num_dm1;
+  m["init_via12"] = r.init.route.via12;
+  m["init_drv"] = r.init.route.drv;
+  m["init_rwl_dbu"] = r.init.route.rwl_dbu;
+  m["final_hpwl"] = r.final.hpwl;
+  m["final_alignments"] = r.final.objective.alignments;
+  m["final_num_dm1"] = r.final.route.num_dm1;
+  m["final_via12"] = r.final.route.via12;
+  m["final_drv"] = r.final.route.drv;
+  m["final_rwl_dbu"] = r.final.route.rwl_dbu;
+  m["outer_iterations"] = r.opt.outer_iterations;
+  m["windows"] = r.opt.windows;
+  m["solved"] = r.opt.solved;
+  m["fallback_rounding"] = r.opt.fallback_rounding;
+  m["fallback_greedy"] = r.opt.fallback_greedy;
+  m["rejected_audit"] = r.opt.rejected_audit;
+  m["kept"] = r.opt.kept;
+  m["faulted"] = r.opt.faulted;
+  m["skipped"] = r.opt.skipped;
+  return m;
+}
+
+std::string golden_path() {
+  return std::string(VM1_GOLDEN_DIR) + "/quickstart.json";
+}
+
+void write_golden(const std::map<std::string, long long>& m) {
+  std::ofstream out(golden_path());
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+  out << "{\n";
+  std::size_t i = 0;
+  for (const auto& [k, v] : m) {
+    out << "  \"" << k << "\": " << v
+        << (++i == m.size() ? "\n" : ",\n");
+  }
+  out << "}\n";
+}
+
+std::map<std::string, long long> read_golden() {
+  std::ifstream in(golden_path());
+  std::map<std::string, long long> m;
+  if (!in.good()) return m;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  std::regex entry("\"([a-z0-9_]+)\"\\s*:\\s*(-?[0-9]+)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), entry);
+       it != std::sregex_iterator(); ++it) {
+    m[(*it)[1]] = std::stoll((*it)[2]);
+  }
+  return m;
+}
+
+TEST(GoldenRun, QuickstartMatchesCheckedInMetrics) {
+  std::optional<Design> d_inc;
+  FlowResult r = run_flow(golden_flow(/*incremental=*/true), &d_inc);
+  std::map<std::string, long long> got = metrics_of(r);
+
+  if (std::getenv("VM1_UPDATE_GOLDEN")) {
+    write_golden(got);
+    GTEST_SKIP() << "golden file rewritten: " << golden_path();
+  }
+
+  std::map<std::string, long long> want = read_golden();
+  ASSERT_FALSE(want.empty())
+      << "missing golden file " << golden_path()
+      << " — run with VM1_UPDATE_GOLDEN=1 to create it";
+  // Compare key-by-key for readable failure messages.
+  for (const auto& [k, v] : want) {
+    ASSERT_TRUE(got.count(k)) << "golden key " << k << " not produced";
+    EXPECT_EQ(got[k], v) << "metric " << k << " drifted from golden";
+  }
+  EXPECT_EQ(got.size(), want.size()) << "metric set changed; regenerate";
+  // The flow must have actually optimized something, or the golden run
+  // degenerates into a no-op and stops guarding the solve path.
+  EXPECT_GT(r.opt.windows, 0);
+  EXPECT_GE(got["final_alignments"], got["init_alignments"]);
+}
+
+TEST(GoldenRun, QuickstartIncrementalMatchesFull) {
+  std::optional<Design> d_inc;
+  std::optional<Design> d_full;
+  FlowResult ri = run_flow(golden_flow(/*incremental=*/true), &d_inc);
+  FlowResult rf = run_flow(golden_flow(/*incremental=*/false), &d_full);
+  ASSERT_TRUE(d_inc.has_value());
+  ASSERT_TRUE(d_full.has_value());
+  ASSERT_EQ(d_inc->placements(), d_full->placements());
+  EXPECT_EQ(ri.final.hpwl, rf.final.hpwl);
+  EXPECT_EQ(ri.final.objective.alignments, rf.final.objective.alignments);
+  EXPECT_EQ(ri.final.route.num_dm1, rf.final.route.num_dm1);
+  EXPECT_EQ(ri.final.route.rwl_dbu, rf.final.route.rwl_dbu);
+  EXPECT_EQ(ri.opt.windows, rf.opt.windows);
+  EXPECT_EQ(ri.opt.cells_changed, rf.opt.cells_changed);
+  EXPECT_EQ(rf.opt.skipped, 0) << "full mode must not skip";
+}
+
+}  // namespace
+}  // namespace vm1

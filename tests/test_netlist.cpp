@@ -37,6 +37,24 @@ TEST_F(NetlistTest, ConnectTracksBothDirections) {
   EXPECT_EQ(nl_.net_at(u1, c.pin_index("ZN")), -1);
 }
 
+TEST_F(NetlistTest, NetsOfInstanceIsDeduplicated) {
+  // The per-instance net index feeds the incremental engine's dirtiness
+  // propagation: it must list each incident net exactly once, even when an
+  // instance has several pins on the same net, and stay empty for
+  // unconnected instances.
+  int nand = lib_.find("NAND2_X1_SVT");
+  int u0 = nl_.add_instance("u0", nand);
+  int u1 = nl_.add_instance("u1", nand);
+  const Cell& c = lib_.cell(nand);
+  int n0 = nl_.add_net("n0");
+  int n1 = nl_.add_net("n1");
+  nl_.connect(n0, NetPin{u0, c.pin_index("A1")});
+  nl_.connect(n0, NetPin{u0, c.pin_index("A2")});  // same net twice
+  nl_.connect(n1, NetPin{u0, c.pin_index("ZN")});
+  EXPECT_EQ(nl_.nets_of(u0), (std::vector<int>{n0, n1}));
+  EXPECT_TRUE(nl_.nets_of(u1).empty());
+}
+
 TEST_F(NetlistTest, IoTerminalsInNets) {
   int inv = lib_.find("INV_X1_SVT");
   int u0 = nl_.add_instance("u0", inv);

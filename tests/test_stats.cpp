@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dist_opt.h"
+#include "core/vm1opt.h"
+
 namespace vm1 {
 namespace {
 
@@ -27,6 +30,42 @@ TEST(Stats, PctDelta) {
   EXPECT_DOUBLE_EQ(pct_delta(100, 94), -6.0);
   EXPECT_DOUBLE_EQ(pct_delta(50, 75), 50.0);
   EXPECT_DOUBLE_EQ(pct_delta(0, 10), 0.0);  // guarded division
+}
+
+TEST(Stats, DistOptOutcomeTotalCoversEveryBucket) {
+  // Struct-level guard for the "buckets sum to windows" invariant: assign
+  // each outcome bucket a distinct value and check outcome_total() adds
+  // all seven — in particular the kSkipped bucket added with the
+  // incremental engine. A bucket forgotten here would silently break the
+  // accounting every runtime test relies on.
+  DistOptStats s;
+  s.solved = 1;
+  s.fallback_rounding = 2;
+  s.fallback_greedy = 4;
+  s.rejected_audit = 8;
+  s.kept = 16;
+  s.faulted = 32;
+  s.skipped = 64;
+  EXPECT_EQ(s.outcome_total(), 127);
+  s.windows = 127;
+  EXPECT_EQ(s.outcome_total(), s.windows);
+}
+
+TEST(Stats, VM1OptStatsDefaultsAreCoherent) {
+  // A freshly constructed stats block must satisfy the same invariant
+  // trivially (all buckets zero) and start with the incremental counters
+  // cleared, so accumulation across passes never inherits garbage.
+  VM1OptStats s;
+  EXPECT_EQ(s.solved + s.fallback_rounding + s.fallback_greedy +
+                s.rejected_audit + s.kept + s.faulted + s.skipped,
+            s.windows);
+  EXPECT_EQ(s.skipped, 0);
+  EXPECT_EQ(s.signature_hits, 0);
+  EXPECT_EQ(s.signature_misses, 0);
+  EXPECT_EQ(s.cells_changed, 0);
+  EXPECT_FALSE(s.converged_early);
+  EXPECT_TRUE(s.windows_per_iter.empty());
+  EXPECT_TRUE(s.skipped_per_iter.empty());
 }
 
 TEST(Stats, Formatting) {
