@@ -1,0 +1,32 @@
+/// \file vm1_worker.cpp
+/// Window-solve worker process (see DESIGN.md "Distributed window
+/// solving"). Spawned by dist::Coordinator with a Unix-domain socketpair
+/// end passed as --fd=N; serves kRequest frames until kShutdown/EOF.
+///
+/// Exit codes: 0 orderly shutdown, 1 dead peer, 2 unrecoverable stream
+/// corruption, 3 injected worker_kill drill, 64 bad usage, 127 exec
+/// failure (set by the spawning parent).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dist/worker.h"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fd=", 5) == 0) {
+      char* end = nullptr;
+      fd = static_cast<int>(std::strtol(argv[i] + 5, &end, 10));
+      if (end == argv[i] + 5 || *end != '\0') fd = -1;
+    }
+  }
+  if (fd < 0) {
+    std::fprintf(stderr,
+                 "usage: vm1_worker --fd=N\n"
+                 "Not a standalone tool: N is a socket inherited from the "
+                 "coordinator (dist/coordinator.h).\n");
+    return 64;
+  }
+  return vm1::dist::run_worker(fd);
+}

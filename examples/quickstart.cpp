@@ -2,11 +2,17 @@
 // routing-aware detailed placement optimization, and print before/after
 // metrics.
 //
-//   $ ./quickstart [design] [alpha_nm]
+//   $ ./quickstart [design] [alpha_nm] [--backend=threads|processes]
+//                  [--workers=N]
 //
 // design: tiny | m0 | aes | jpeg | vga   (default tiny)
 // alpha_nm: paper-style alpha in nm HPWL units (default 1200)
+// --backend=processes solves windows in vm1_worker subprocesses over the
+// src/dist wire protocol (bit-identical results to threads); --workers
+// sets the subprocess count (default 2).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/flow.h"
@@ -16,14 +22,38 @@ using namespace vm1;
 
 int main(int argc, char** argv) {
   FlowOptions flow;
-  flow.design_name = argc > 1 ? argv[1] : "tiny";
   flow.arch = CellArch::kClosedM1;
-  double alpha_nm = argc > 2 ? std::stod(argv[2]) : 1200.0;
+  double alpha_nm = 1200.0;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      std::string b = argv[i] + 10;
+      if (b == "processes") {
+        flow.vm1.backend = DistBackend::kProcesses;
+      } else if (b != "threads") {
+        std::fprintf(stderr, "unknown backend '%s' (threads|processes)\n",
+                     b.c_str());
+        return 64;
+      }
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      flow.vm1.dist_workers = std::atoi(argv[i] + 10);
+    } else if (pos == 0) {
+      flow.design_name = argv[i];
+      ++pos;
+    } else {
+      alpha_nm = std::stod(argv[i]);
+      ++pos;
+    }
+  }
+  if (flow.design_name.empty()) flow.design_name = "tiny";
   flow.vm1.params.alpha = paper_alpha(alpha_nm);
   flow.vm1.sequence = {ParamSet{20, 0, 4, 1}};  // the paper's best sequence
 
-  std::printf("OpenVM1 quickstart: design=%s arch=%s alpha=%.0fnm\n",
-              flow.design_name.c_str(), to_string(flow.arch), alpha_nm);
+  std::printf("OpenVM1 quickstart: design=%s arch=%s alpha=%.0fnm "
+              "backend=%s\n",
+              flow.design_name.c_str(), to_string(flow.arch), alpha_nm,
+              flow.vm1.backend == DistBackend::kProcesses ? "processes"
+                                                          : "threads");
 
   FlowResult r = run_flow(flow);
 
@@ -50,5 +80,13 @@ int main(int argc, char** argv) {
               "%.1fs\n",
               r.opt.outer_iterations, r.opt.windows, r.opt.milp_nodes,
               r.opt.seconds);
+  if (flow.vm1.backend == DistBackend::kProcesses) {
+    std::printf("dist: %ld RPCs (%ld retries, %ld timeouts, %ld local "
+                "fallbacks, %ld restarts), %.1f KB sent / %.1f KB received\n",
+                r.opt.remote_replies, r.opt.remote_retries,
+                r.opt.remote_timeouts, r.opt.remote_local_fallbacks,
+                r.opt.worker_restarts, r.opt.wire_bytes_sent / 1024.0,
+                r.opt.wire_bytes_received / 1024.0);
+  }
   return 0;
 }

@@ -1,16 +1,18 @@
 #include "core/dist_opt.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/greedy_aligner.h"
 #include "core/incremental.h"
 #include "core/window.h"
 #include "core/window_audit.h"
+#include "core/window_solve.h"
+#include "dist/coordinator.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -62,22 +64,16 @@ void DistOptOptions::validate() const {
   if (!incremental && inc != nullptr) {
     bad("inc state given but incremental mode is disabled");
   }
+  if (backend == DistBackend::kProcesses && coordinator == nullptr) {
+    bad("processes backend requires a coordinator");
+  }
+  if (backend == DistBackend::kThreads && coordinator != nullptr) {
+    bad("coordinator given but backend is threads");
+  }
   mip.validate();
 }
 
 namespace {
-
-/// A solver answer is applied only when it is a full, finite, non-degrading
-/// solution — anything else (kNoSolution, truncated vector, NaN objective
-/// from a numerically sick LP) drops to the fallback cascade.
-bool usable_result(const milp::MipResult& r, const milp::Model& model,
-                   double warm_obj) {
-  if (r.x.size() != static_cast<std::size_t>(model.num_variables())) {
-    return false;
-  }
-  if (!std::isfinite(r.objective)) return false;
-  return r.objective <= warm_obj + 1e-9;
-}
 
 /// Registry counter for each outcome bucket, e.g. "dist_opt.outcome.solved".
 /// The registry is cumulative across passes; DistOptStats stays the per-pass
@@ -96,20 +92,10 @@ obs::Counter& outcome_counter(WindowOutcome o) {
 }
 
 struct Job {
-  int widx = -1;
-  std::uint64_t key = 0;       ///< deterministic window key (fault seeding)
-  bool ran = false;            ///< run_one invoked (pool cancel can skip it)
-  bool skipped = false;        ///< saw cancellation/deadline before solving
-  bool failed = false;         ///< build or solve threw
-  bool usable = false;         ///< MILP result passed validation
-  bool has_fallback = false;   ///< rounding fallback produced a solution
-  int faults = 0;              ///< injected faults observed by this job
-  std::string error;
-  BuiltMilp built;
-  std::vector<double> warm;
-  double warm_obj = 0;
-  milp::MipResult result;
-  std::vector<double> fallback_x;
+  WindowSolveJob in;         ///< prepared inputs (core/window_solve.h)
+  WindowSolveResult out;     ///< filled by whichever backend solved it
+  bool ran = false;          ///< prepare invoked (pool cancel can skip it)
+  bool skipped = false;      ///< saw cancellation/deadline before solving
   // Incremental engine: signature computed in the parallel phase; on a
   // clean memo hit the entry is copied here (the table may rehash later)
   // and build/solve are skipped entirely.
@@ -127,9 +113,12 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   Timer timer;
   DistOptStats stats;
   const bool fault_on = fault::config().enabled();
+  dist::Coordinator* coord =
+      opts.backend == DistBackend::kProcesses ? opts.coordinator : nullptr;
 
   obs::ObsSpan pass_span("dist_opt.pass");
   pass_span.arg("bw", opts.bw).arg("bh", opts.bh);
+  pass_span.arg("backend", coord ? "processes" : "threads");
   static obs::Counter& passes_metric = obs::counter("dist_opt.passes");
   static obs::Histogram& pass_sec_metric = obs::histogram("dist_opt.pass_sec");
   static obs::Histogram& window_solve_sec_metric =
@@ -150,12 +139,13 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   // Incremental engine (see core/incremental.h). The state is owned by the
   // caller (vm1opt or a test) so memo entries and dirty generations persist
   // across passes; without one this pass degenerates to full re-solve.
+  // The processes backend needs incident nets regardless: every request
+  // carries the canonical window signature as a replica-consistency check.
   IncrementalState* inc = opts.incremental ? opts.inc : nullptr;
   std::vector<std::vector<int>> incident_nets;
-  if (inc) {
-    inc->bind(d);
-    incident_nets = window_incident_nets(grid, d.netlist());
-  }
+  if (inc || coord) incident_nets = window_incident_nets(grid, d.netlist());
+  if (inc) inc->bind(d);
+  if (coord) coord->begin_pass(d);
 
   // Pass-level cancellation token: set by the deadline, by an external
   // opts.cancel, and observed by every window's branch-and-bound.
@@ -176,31 +166,40 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     return opts.time_budget_sec > 0 ? opts.time_budget_sec - timer.seconds()
                                     : inf;
   };
-  const unsigned workers = pool ? std::max(1u, pool->size()) : 1u;
+  const unsigned workers =
+      coord ? std::max(1u, static_cast<unsigned>(coord->num_workers()))
+            : (pool ? std::max(1u, pool->size()) : 1u);
 
   for (const std::vector<int>& batch : batches) {
     std::vector<std::unique_ptr<Job>> jobs;
     for (int widx : batch) {
       if (grid.movable[widx].empty()) continue;
       auto job = std::make_unique<Job>();
-      job->widx = widx;
       const Window& w = grid.windows[widx];
-      job->key = fault::mix(
+      job->in.widx = widx;
+      job->in.key = fault::mix(
           fault::mix(fault::mix(static_cast<std::uint64_t>(w.x0),
                                 static_cast<std::uint64_t>(w.row0)),
                      static_cast<std::uint64_t>(w.x1)),
           (static_cast<std::uint64_t>(w.row1) << 2) |
               (opts.allow_move ? 2u : 0u) | (opts.allow_flip ? 1u : 0u));
+      job->in.window = w;
+      job->in.movable = grid.movable[widx];
+      job->in.lx = opts.lx;
+      job->in.ly = opts.ly;
+      job->in.allow_move = opts.allow_move;
+      job->in.allow_flip = opts.allow_flip;
+      job->in.rounding_fallback = opts.rounding_fallback;
+      job->in.params = opts.params;
+      job->in.mip = opts.mip;
       jobs.push_back(std::move(job));
     }
 
-    // Build + solve phase (parallel): windows in a batch touch disjoint
-    // cells and the design is read-only until the apply phase below, so
-    // MILP construction, warm-start extraction, branch-and-bound, and the
-    // rounding fallback all run inside the pool job. Fault sites are keyed
-    // by the window, not the worker, so schedules are thread-invariant.
-    auto run_one = [&](std::size_t j) {
-      Job& job = *jobs[j];
+    // Shared per-window preparation: cancellation/deadline check, memo
+    // probe, and the adaptive time split — everything that must happen
+    // before the solve, identical for both backends. Returns false when
+    // the window is already settled (skipped or memo hit).
+    auto prepare = [&](Job& job) -> bool {
       job.ran = true;
       const long left = not_started.fetch_sub(1, std::memory_order_relaxed);
       if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
@@ -214,121 +213,99 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       if (cancelled.load(std::memory_order_relaxed)) {
         job.skipped = true;
         progress.advance();
-        return;
+        return false;
       }
-      obs::ObsSpan solve_span("dist_opt.window_solve");
-      solve_span.arg("window", job.widx);
-      obs::ScopedTimer solve_timer(window_solve_sec_metric);
-      if (inc) {
-        // Parallel-phase memo probe: the design and the incremental state
+      if (inc || coord) {
+        // Parallel-phase signature: the design and the incremental state
         // are both read-only until the serial apply phase, so signature
-        // computation and the table lookup are race-free. A hit needs a
-        // full 128-bit signature match AND untouched cells/nets since the
-        // entry was recorded.
-        job.sig = window_signature(d, grid.windows[job.widx],
-                                   grid.movable[job.widx],
-                                   incident_nets[job.widx], opts);
+        // computation and the table lookup are race-free. A memo hit needs
+        // a full 128-bit signature match AND untouched cells/nets since
+        // the entry was recorded. The processes backend computes the
+        // signature even without an incremental state: it rides along in
+        // the request so the worker can prove its replica agrees.
+        job.sig = window_signature(d, grid.windows[job.in.widx],
+                                   job.in.movable,
+                                   incident_nets[job.in.widx], opts);
         job.sig_valid = true;
-        if (const WindowMemo* m = inc->lookup(job.sig)) {
-          if (inc->clean_since(grid.movable[job.widx],
-                               incident_nets[job.widx], m->recorded_gen)) {
-            job.memo_hit = true;
-            job.memo = *m;
-            solve_span.arg("window_skip", 1);
-            progress.advance();
-            return;
-          }
-        }
-      }
-      try {
-        if (fault_on && fault::should_fire(fault::Site::kBuildThrow, job.key)) {
-          ++job.faults;
-          throw fault::InjectedFault("injected fault: build_throw");
-        }
-        WindowProblem wp;
-        wp.design = &d;
-        wp.window = grid.windows[job.widx];
-        wp.movable = grid.movable[job.widx];
-        wp.lx = opts.lx;
-        wp.ly = opts.ly;
-        wp.allow_move = opts.allow_move;
-        wp.allow_flip = opts.allow_flip;
-        wp.params = opts.params;
-        job.built = build_window_milp(wp);
-        if (job.built.empty()) {
-          progress.advance();
-          return;
-        }
-        solve_span.arg("cells", job.built.cells.size());
-        job.warm = job.built.warm_start(d);
-        job.warm_obj = job.built.model.objective_value(job.warm);
-
-        milp::BranchAndBound::Options mo = opts.mip;
-        mo.cancel = &cancelled;
-        if (opts.time_budget_sec > 0) {
-          // Adaptive deadline split: share the remaining budget over the
-          // windows not yet started; `workers` of them run concurrently, so
-          // each may spend about remaining / ceil(left / workers).
-          double share = remaining * workers / std::max<long>(1, left);
-          share = std::max(share, opts.min_window_time_sec);
-          mo.time_limit_sec = std::min(mo.time_limit_sec, share);
-          if (mo.lp_options.time_limit_sec <= 0 ||
-              mo.lp_options.time_limit_sec > share) {
-            mo.lp_options.time_limit_sec = share;
-          }
-        }
-        if (fault_on &&
-            fault::should_fire(fault::Site::kLpTimeout, job.key)) {
-          ++job.faults;
-          mo.time_limit_sec = 0;
-          mo.lp_options.time_limit_sec = 1e-9;
-        }
-        milp::BranchAndBound bnb(mo);
-        job.result =
-            bnb.solve(job.built.model, job.built.make_heuristic(), &job.warm);
-        if (fault_on &&
-            fault::should_fire(fault::Site::kNoSolution, job.key)) {
-          ++job.faults;
-          job.result = milp::MipResult{};
-        }
-        if (fault_on &&
-            fault::should_fire(fault::Site::kNanObjective, job.key)) {
-          ++job.faults;
-          job.result.objective = std::numeric_limits<double>::quiet_NaN();
-        }
-
-        job.usable = usable_result(job.result, job.built.model, job.warm_obj);
-        if (!job.usable && opts.rounding_fallback) {
-          obs::ObsSpan fb_span("dist_opt.fallback_rounding");
-          fb_span.arg("window", job.widx);
-          // Standalone rounding: one root LP, rounded by the same repair
-          // heuristic the solver uses, accepted only when feasible, finite,
-          // and non-degrading — a cheap second chance that needs none of
-          // the branch-and-bound machinery that just failed.
-          lp::SimplexSolver lp_solver(opts.mip.lp_options);
-          lp::Result rel = lp_solver.solve(job.built.model.lp());
-          if (rel.status == lp::Status::kOptimal) {
-            if (auto hx = job.built.make_heuristic()(job.built.model, rel.x)) {
-              double hobj = job.built.model.objective_value(*hx);
-              if (std::isfinite(hobj) && hobj <= job.warm_obj + 1e-9 &&
-                  job.built.model.is_feasible(*hx, 1e-5)) {
-                job.fallback_x = std::move(*hx);
-                job.has_fallback = true;
-              }
+        if (inc) {
+          if (const WindowMemo* m = inc->lookup(job.sig)) {
+            if (inc->clean_since(job.in.movable, incident_nets[job.in.widx],
+                                 m->recorded_gen)) {
+              job.memo_hit = true;
+              job.memo = *m;
+              progress.advance();
+              return false;
             }
           }
         }
-      } catch (const std::exception& e) {
-        job.failed = true;
-        job.error = e.what();
       }
-      progress.advance();
+      if (opts.time_budget_sec > 0) {
+        // Adaptive deadline split: share the remaining budget over the
+        // windows not yet started; `workers` of them run concurrently, so
+        // each may spend about remaining / ceil(left / workers).
+        double share = remaining * workers / std::max<long>(1, left);
+        share = std::max(share, opts.min_window_time_sec);
+        job.in.mip.time_limit_sec = std::min(job.in.mip.time_limit_sec, share);
+        if (job.in.mip.lp_options.time_limit_sec <= 0 ||
+            job.in.mip.lp_options.time_limit_sec > share) {
+          job.in.mip.lp_options.time_limit_sec = share;
+        }
+      }
+      return true;
     };
-    if (pool && jobs.size() > 1) {
-      pool->parallel_for(jobs.size(), run_one, &cancelled);
+
+    if (coord) {
+      // Processes backend: prepare serially (cheap — signatures and memo
+      // probes), then hand the whole batch to the coordinator, which
+      // dispatches to workers with retry-once-then-local-fallback. Every
+      // job's `out` is filled on return.
+      std::vector<dist::RemoteJob> remote;
+      for (const auto& job : jobs) {
+        if (!prepare(*job)) continue;
+        dist::RemoteJob rj;
+        rj.job = &job->in;
+        rj.result = &job->out;
+        rj.expected_sig = job->sig;
+        rj.greedy_fallback = opts.greedy_fallback;
+        rj.sig_mip = opts.mip;
+        remote.push_back(rj);
+      }
+      if (!remote.empty()) {
+        coord->solve_batch(d, remote, &cancelled);
+        for (std::size_t j = 0; j < remote.size(); ++j) progress.advance();
+      }
     } else {
-      for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
+      // Threads backend: windows in a batch touch disjoint cells and the
+      // design is read-only until the apply phase below, so MILP
+      // construction, warm-start extraction, branch-and-bound, and the
+      // rounding fallback all run inside the pool job. Fault sites are
+      // keyed by the window, not the worker, so schedules are
+      // thread-invariant.
+      auto run_one = [&](std::size_t j) {
+        Job& job = *jobs[j];
+        obs::ObsSpan solve_span("dist_opt.window_solve");
+        solve_span.arg("window", job.in.widx);
+        obs::ScopedTimer solve_timer(window_solve_sec_metric);
+        if (!prepare(job)) {
+          if (job.memo_hit) solve_span.arg("window_skip", 1);
+          return;
+        }
+        job.out = solve_window(d, job.in, &cancelled);
+        if (!job.out.empty_build) {
+          solve_span.arg("cells", job.out.cells.size());
+        }
+        progress.advance();
+      };
+      if (pool && jobs.size() > 1) {
+        pool->parallel_for(jobs.size(), run_one, &cancelled);
+      } else {
+        for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
+      }
     }
+
+    // Placement deltas committed by this batch, broadcast to the worker
+    // replicas afterwards (processes backend only).
+    std::vector<std::pair<int, Placement>> batch_changed;
 
     // Apply phase (serial): windows in a batch touch disjoint cells. Every
     // job is classified into exactly one WindowOutcome bucket here. This is
@@ -337,12 +314,12 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     // signature probed above.
     for (const auto& job : jobs) {
       obs::ObsSpan apply_span("dist_opt.window_apply");
-      apply_span.arg("window", job->widx);
+      apply_span.arg("window", job->in.widx);
       auto classify = [&](WindowOutcome o) {
         outcome_counter(o).add();
         apply_span.arg("outcome", to_string(o));
       };
-      stats.faults_injected += job->faults;
+      stats.faults_injected += job->out.faults;
       if (inc && job->sig_valid && !job->memo_hit) {
         ++stats.signature_misses;
         sig_misses_metric.add();
@@ -358,6 +335,10 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
                         std::vector<std::pair<int, Placement>> changed,
                         bool empty_build, bool memoizable) {
         stats.cells_changed += static_cast<int>(changed.size());
+        if (coord) {
+          batch_changed.insert(batch_changed.end(), changed.begin(),
+                               changed.end());
+        }
         if (!inc) return;
         if (!changed.empty()) {
           std::vector<int> insts;
@@ -378,14 +359,14 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         inc->store(job->sig, m);
       };
 
-      if (job->failed) {
+      if (job->out.failed) {
         ++stats.windows;
         ++stats.faulted;
         classify(WindowOutcome::kFaulted);
-        log_warn("dist_opt: window ", job->widx,
-                 " faulted during build/solve: ", job->error);
+        log_warn("dist_opt: window ", job->in.widx,
+                 " faulted during build/solve: ", job->out.error);
         commit(WindowOutcome::kFaulted, 0, {}, false,
-               /*memoizable=*/job->faults > 0);
+               /*memoizable=*/job->out.faults > 0);
         continue;
       }
       if (!job->ran || job->skipped) {
@@ -413,6 +394,10 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         skipped_metric.add();
         classify(WindowOutcome::kSkipped);
         stats.cells_changed += static_cast<int>(job->memo.changed.size());
+        if (coord) {
+          batch_changed.insert(batch_changed.end(), job->memo.changed.begin(),
+                               job->memo.changed.end());
+        }
         if (!job->memo.changed.empty()) {
           std::vector<int> insts;
           insts.reserve(job->memo.changed.size());
@@ -424,35 +409,35 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         }
         continue;
       }
-      if (job->built.empty()) {
+      if (job->out.empty_build) {
         apply_span.arg("outcome", "empty");
         commit(WindowOutcome::kKept, 0, {}, /*empty_build=*/true,
                /*memoizable=*/true);
         continue;
       }
       ++stats.windows;
-      stats.total_nodes += job->result.nodes_explored;
-      stats.total_lp_iters += job->result.lp_iterations;
-      stats.dual_pivots += job->result.dual_pivots;
-      stats.warm_solves += job->result.warm_solves;
-      stats.cold_restarts += job->result.cold_restarts;
-      stats.rc_fixed += job->result.rc_fixed;
-      if (!job->result.x.empty()) ++stats.windows_solved;
+      stats.total_nodes += job->out.nodes;
+      stats.total_lp_iters += job->out.lp_iterations;
+      stats.dual_pivots += job->out.dual_pivots;
+      stats.warm_solves += job->out.warm_solves;
+      stats.cold_restarts += job->out.cold_restarts;
+      stats.rc_fixed += job->out.rc_fixed;
+      if (job->out.has_solution) ++stats.windows_solved;
 
-      const std::vector<double>* sol = nullptr;
+      const std::vector<Placement>* sol = nullptr;
       bool rounding = false;
-      if (job->usable) {
-        sol = &job->result.x;
-      } else if (job->has_fallback) {
-        sol = &job->fallback_x;
+      if (job->out.usable) {
+        sol = &job->out.placements;
+      } else if (job->out.has_fallback) {
+        sol = &job->out.placements;
         rounding = true;
       }
 
       // Snapshot for rollback and for the post-apply placement diff that
       // feeds cells_changed / dirty marking / the memo entry.
       std::vector<Placement> before;
-      before.reserve(job->built.cells.size());
-      for (int inst : job->built.cells) before.push_back(d.placement(inst));
+      before.reserve(job->out.cells.size());
+      for (int inst : job->out.cells) before.push_back(d.placement(inst));
       WindowOutcome outcome = WindowOutcome::kKept;
       double obj_delta = 0;
       bool memoizable = true;
@@ -461,26 +446,28 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         // Apply and audit; roll back on violation or exception so a bad
         // window can never leak an illegal or degraded placement.
         auto rollback = [&] {
-          for (std::size_t k = 0; k < job->built.cells.size(); ++k) {
-            d.set_placement(job->built.cells[k], before[k]);
+          for (std::size_t k = 0; k < job->out.cells.size(); ++k) {
+            d.set_placement(job->out.cells[k], before[k]);
           }
         };
         try {
-          job->built.apply(d, *sol);
+          for (std::size_t k = 0; k < job->out.cells.size(); ++k) {
+            d.set_placement(job->out.cells[k], (*sol)[k]);
+          }
           if (fault_on &&
-              fault::should_fire(fault::Site::kApplyThrow, job->key)) {
+              fault::should_fire(fault::Site::kApplyThrow, job->in.key)) {
             ++stats.faults_injected;
             throw fault::InjectedFault("injected fault: apply_throw");
           }
           WindowAuditResult audit = audit_window_placement(
-              d, grid.windows[job->widx], job->built.cells, before, opts.lx,
+              d, grid.windows[job->in.widx], job->out.cells, before, opts.lx,
               opts.ly, opts.allow_move, opts.allow_flip);
           if (!audit.ok) {
             rollback();
             ++stats.rejected_audit;
             outcome = WindowOutcome::kRejectedAudit;
             classify(outcome);
-            log_warn("dist_opt: window ", job->widx,
+            log_warn("dist_opt: window ", job->in.widx,
                      " solution rejected by audit: ", audit.violation);
           } else if (rounding) {
             ++stats.fallback_rounding;
@@ -490,8 +477,8 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
             ++stats.solved;
             outcome = WindowOutcome::kSolved;
             classify(outcome);
-            obj_delta = job->warm_obj - job->result.objective;
-            if (job->result.objective < job->warm_obj - 1e-9) {
+            obj_delta = job->out.warm_obj - job->out.objective;
+            if (job->out.objective < job->out.warm_obj - 1e-9) {
               ++stats.windows_improved;
             }
           }
@@ -504,14 +491,14 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
           // the signature); anything else is not provably deterministic.
           memoizable = dynamic_cast<const fault::InjectedFault*>(&e) !=
                        nullptr;
-          log_warn("dist_opt: window ", job->widx,
+          log_warn("dist_opt: window ", job->in.widx,
                    " faulted during apply, rolled back: ", e.what());
         }
       } else if (opts.greedy_fallback) {
         // Last resort before keep-current: single-cell greedy moves inside
         // the window, each legality-preserving and objective-improving.
         obs::ObsSpan greedy_span("dist_opt.fallback_greedy");
-        greedy_span.arg("window", job->widx);
+        greedy_span.arg("window", job->in.widx);
         GreedyAlignOptions go;
         go.params = opts.params;
         go.lx = opts.lx;
@@ -519,8 +506,8 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         go.allow_flip = opts.allow_flip;
         go.max_passes = 1;
         GreedyAlignStats gs =
-            greedy_align_window(d, grid.windows[job->widx], job->built.cells,
-                                go, opts.allow_move);
+            greedy_align_window(d, grid.windows[job->in.widx],
+                                job->out.cells, go, opts.allow_move);
         if (gs.moves + gs.flips > 0) {
           ++stats.fallback_greedy;
           outcome = WindowOutcome::kFallbackGreedy;
@@ -536,12 +523,30 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       }
 
       std::vector<std::pair<int, Placement>> changed;
-      for (std::size_t k = 0; k < job->built.cells.size(); ++k) {
-        const Placement& now = d.placement(job->built.cells[k]);
-        if (!(now == before[k])) changed.emplace_back(job->built.cells[k], now);
+      for (std::size_t k = 0; k < job->out.cells.size(); ++k) {
+        const Placement& now = d.placement(job->out.cells[k]);
+        if (!(now == before[k])) {
+          changed.emplace_back(job->out.cells[k], now);
+        }
       }
       commit(outcome, obj_delta, std::move(changed), false, memoizable);
     }
+
+    if (coord) coord->sync(batch_changed);
+  }
+
+  if (coord) {
+    coord->end_pass(d);
+    dist::CoordinatorStats cs = coord->take_stats();
+    stats.remote_requests = cs.requests;
+    stats.remote_replies = cs.replies;
+    stats.remote_retries = cs.retries;
+    stats.remote_timeouts = cs.timeouts;
+    stats.remote_desyncs = cs.desyncs;
+    stats.remote_local_fallbacks = cs.local_fallbacks;
+    stats.worker_restarts = cs.worker_restarts;
+    stats.wire_bytes_sent = cs.bytes_sent;
+    stats.wire_bytes_received = cs.bytes_received;
   }
 
   stats.deadline_hit = deadline_fired.load();

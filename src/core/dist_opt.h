@@ -25,6 +25,10 @@
 
 namespace vm1 {
 
+namespace dist {
+class Coordinator;  // dist/coordinator.h
+}
+
 /// Terminal classification of one window in a DistOpt pass. Every window
 /// with at least one movable cell lands in exactly one bucket, so the
 /// outcome counters in DistOptStats always sum to `windows` — a pass can
@@ -40,6 +44,15 @@ enum class WindowOutcome {
 };
 
 const char* to_string(WindowOutcome o);
+
+/// Where a batch's window solves execute. Both backends share the window
+/// preparation, the serial apply phase, and the incremental memoization,
+/// and run the byte-identical solve path (core/window_solve.h) — results
+/// are bit-identical; only the execution substrate differs.
+enum class DistBackend {
+  kThreads,    ///< ThreadPool jobs in this process (the default)
+  kProcesses,  ///< worker processes via a dist::Coordinator (src/dist)
+};
 
 class IncrementalState;  // core/incremental.h
 
@@ -82,10 +95,16 @@ struct DistOptOptions {
   /// pass and be bound to the same design.
   bool incremental = true;
   IncrementalState* inc = nullptr;
+  /// Execution backend. kProcesses requires `coordinator` (owned by the
+  /// caller, reused across passes so workers and their design replicas
+  /// persist); `pool` is ignored in that mode — the parallelism is the
+  /// worker processes, and fork safety forbids pool threads anyway.
+  DistBackend backend = DistBackend::kThreads;
+  dist::Coordinator* coordinator = nullptr;
 
   /// Throws std::invalid_argument on out-of-range fields (non-positive
-  /// bw/bh, negative lx/ly or budgets, invalid `mip`). dist_opt() validates
-  /// on entry.
+  /// bw/bh, negative lx/ly or budgets, invalid `mip`, backend/coordinator
+  /// mismatch). dist_opt() validates on entry.
   void validate() const;
 };
 
@@ -120,6 +139,17 @@ struct DistOptStats {
   /// (replays included), so vm1opt's zero-change early exit is
   /// mode-independent.
   int cells_changed = 0;
+  // Distributed-backend transport counters (all zero for the threads
+  // backend), folded from the coordinator at the end of the pass.
+  long remote_requests = 0;  ///< request frames sent (incl. retries)
+  long remote_replies = 0;   ///< well-formed worker replies accepted
+  long remote_retries = 0;   ///< windows re-queued after a failed attempt
+  long remote_timeouts = 0;  ///< per-request deadlines that fired
+  long remote_desyncs = 0;   ///< replica desyncs (rebind + retry)
+  long remote_local_fallbacks = 0;  ///< windows solved coordinator-side
+  long worker_restarts = 0;  ///< workers respawned after dying
+  long wire_bytes_sent = 0;
+  long wire_bytes_received = 0;
   double objective = 0;      ///< full-design objective after this DistOpt
   double seconds = 0;
 

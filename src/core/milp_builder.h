@@ -112,6 +112,12 @@ class BuiltMilp {
   /// Applies a MILP solution: chooses each cell's selected candidate.
   void apply(Design& d, const std::vector<double>& x) const;
 
+  /// The placements apply() would write, one per entry of `cells`, without
+  /// mutating anything — cells whose solution selects no candidate keep
+  /// their current placement. Safe in the read-only parallel phase; also
+  /// how the distributed worker ships solutions back as plain deltas.
+  std::vector<Placement> chosen_placements(const std::vector<double>& x) const;
+
   /// Rounding heuristic for branch-and-bound: pick each cell's
   /// highest-lambda candidate, greedily repair site conflicts, and complete
   /// the continuous variables.

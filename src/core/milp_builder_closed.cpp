@@ -415,14 +415,30 @@ std::vector<double> BuiltMilp::warm_start(const Design& d) const {
 }
 
 void BuiltMilp::apply(Design& d, const std::vector<double>& x) const {
+  std::vector<Placement> chosen = chosen_placements(x);
   for (std::size_t m = 0; m < cells.size(); ++m) {
+    d.set_placement(cells[m], chosen[m]);
+  }
+}
+
+std::vector<Placement> BuiltMilp::chosen_placements(
+    const std::vector<double>& x) const {
+  std::vector<Placement> out;
+  out.reserve(cells.size());
+  for (std::size_t m = 0; m < cells.size(); ++m) {
+    // Default to the current placement: a (theoretically infeasible)
+    // all-zero lambda row leaves the cell where it is, matching the old
+    // apply() behaviour of skipping the cell.
+    Placement p = design_->placement(cells[m]);
     for (std::size_t k = 0; k < lambda[m].size(); ++k) {
       if (x[lambda[m][k]] > 0.5) {
-        d.set_placement(cells[m], cands[m][k]);
+        p = cands[m][k];
         break;
       }
     }
+    out.push_back(p);
   }
+  return out;
 }
 
 milp::RoundingHeuristic BuiltMilp::make_heuristic() const {

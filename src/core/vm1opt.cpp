@@ -1,8 +1,10 @@
 #include "core/vm1opt.h"
 
 #include <cmath>
+#include <optional>
 
 #include "core/incremental.h"
+#include "dist/coordinator.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -26,7 +28,21 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
   obs::ProgressReporter progress("vm1opt");
   progress.update_objective(stats.initial.value);
 
-  ThreadPool pool(opts.threads);
+  // Exactly one execution substrate exists per run: the processes backend
+  // must not create pool threads (the coordinator forks workers, and a
+  // multi-threaded parent makes fork hostile territory — TSan rejects it
+  // outright), and the threads backend needs no worker processes.
+  std::optional<ThreadPool> pool;
+  std::optional<dist::Coordinator> coord;
+  if (opts.backend == DistBackend::kProcesses) {
+    dist::CoordinatorOptions co;
+    co.num_workers = opts.dist_workers;
+    co.worker_path = opts.dist_worker_path;
+    coord.emplace(co);
+    run_span.arg("backend", "processes");
+  } else {
+    pool.emplace(opts.threads);
+  }
   int tx = 0, ty = 0;
   double obj = stats.initial.value;
 
@@ -51,6 +67,15 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     stats.signature_hits += s.signature_hits;
     stats.signature_misses += s.signature_misses;
     stats.cells_changed += s.cells_changed;
+    stats.remote_requests += s.remote_requests;
+    stats.remote_replies += s.remote_replies;
+    stats.remote_retries += s.remote_retries;
+    stats.remote_timeouts += s.remote_timeouts;
+    stats.remote_desyncs += s.remote_desyncs;
+    stats.remote_local_fallbacks += s.remote_local_fallbacks;
+    stats.worker_restarts += s.worker_restarts;
+    stats.wire_bytes_sent += s.wire_bytes_sent;
+    stats.wire_bytes_received += s.wire_bytes_received;
   };
   auto cancelled = [&opts] {
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
@@ -80,7 +105,9 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       move_pass.cancel = opts.cancel;
       move_pass.incremental = opts.incremental;
       move_pass.inc = opts.incremental ? &inc_state : nullptr;
-      DistOptStats ms = dist_opt(d, move_pass, &pool);
+      move_pass.backend = opts.backend;
+      move_pass.coordinator = coord ? &*coord : nullptr;
+      DistOptStats ms = dist_opt(d, move_pass, pool ? &*pool : nullptr);
       accumulate(ms);
       obj = ms.objective;
       int iter_windows = ms.windows;
@@ -93,7 +120,7 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
         flip_pass.ly = 0;
         flip_pass.allow_move = false;
         flip_pass.allow_flip = true;
-        DistOptStats fs = dist_opt(d, flip_pass, &pool);
+        DistOptStats fs = dist_opt(d, flip_pass, pool ? &*pool : nullptr);
         accumulate(fs);
         obj = fs.objective;
         iter_windows += fs.windows;

@@ -41,6 +41,16 @@ struct VM1OptOptions {
   /// tests run both modes against each other).
   bool incremental = true;
   unsigned threads = 0;     ///< 0 = hardware concurrency
+  /// Execution backend for every DistOpt pass (see core/dist_opt.h).
+  /// kProcesses solves windows in `dist_workers` worker processes via one
+  /// dist::Coordinator owned for the whole run — workers and their design
+  /// replicas persist across passes — and creates no ThreadPool at all
+  /// (fork safety). Results are bit-identical to kThreads.
+  DistBackend backend = DistBackend::kThreads;
+  int dist_workers = 2;
+  /// Worker executable for the processes backend; empty uses $VM1_WORKER,
+  /// then the build-baked default (apps/vm1_worker).
+  std::string dist_worker_path;
   milp::BranchAndBound::Options mip = default_mip();
   /// Per-DistOpt-pass wall-clock budget forwarded to
   /// DistOptOptions::time_budget_sec (0 = unlimited). See DESIGN.md
@@ -86,6 +96,17 @@ struct VM1OptStats {
   long signature_hits = 0;
   long signature_misses = 0;
   long cells_changed = 0;
+  // Distributed-backend transport counters, aggregated over every pass
+  // (all zero for the threads backend).
+  long remote_requests = 0;
+  long remote_replies = 0;
+  long remote_retries = 0;
+  long remote_timeouts = 0;
+  long remote_desyncs = 0;
+  long remote_local_fallbacks = 0;
+  long worker_restarts = 0;
+  long wire_bytes_sent = 0;
+  long wire_bytes_received = 0;
   /// True when a parameter set's inner loop exited because a full
   /// move+flip iteration changed zero cells (sweep-level early
   /// termination), rather than via theta or max_inner_iters.

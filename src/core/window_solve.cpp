@@ -1,0 +1,106 @@
+#include "core/window_solve.h"
+
+#include <cmath>
+#include <limits>
+
+#include "lp/simplex.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+
+namespace vm1 {
+
+bool usable_result(const milp::MipResult& r, const milp::Model& model,
+                   double warm_obj) {
+  if (r.x.size() != static_cast<std::size_t>(model.num_variables())) {
+    return false;
+  }
+  if (!std::isfinite(r.objective)) return false;
+  return r.objective <= warm_obj + 1e-9;
+}
+
+WindowSolveResult solve_window(const Design& d, const WindowSolveJob& job,
+                               const std::atomic<bool>* cancel) {
+  WindowSolveResult res;
+  const bool fault_on = fault::config().enabled();
+  try {
+    if (fault_on && fault::should_fire(fault::Site::kBuildThrow, job.key)) {
+      ++res.faults;
+      throw fault::InjectedFault("injected fault: build_throw");
+    }
+    WindowProblem wp;
+    wp.design = &d;
+    wp.window = job.window;
+    wp.movable = job.movable;
+    wp.lx = job.lx;
+    wp.ly = job.ly;
+    wp.allow_move = job.allow_move;
+    wp.allow_flip = job.allow_flip;
+    wp.params = job.params;
+    BuiltMilp built = build_window_milp(wp);
+    if (built.empty()) {
+      res.empty_build = true;
+      return res;
+    }
+    res.cells = built.cells;
+    std::vector<double> warm = built.warm_start(d);
+    res.warm_obj = built.model.objective_value(warm);
+
+    milp::BranchAndBound::Options mo = job.mip;
+    mo.cancel = cancel;
+    if (fault_on && fault::should_fire(fault::Site::kLpTimeout, job.key)) {
+      ++res.faults;
+      mo.time_limit_sec = 0;
+      mo.lp_options.time_limit_sec = 1e-9;
+    }
+    milp::BranchAndBound bnb(mo);
+    milp::MipResult result =
+        bnb.solve(built.model, built.make_heuristic(), &warm);
+    if (fault_on && fault::should_fire(fault::Site::kNoSolution, job.key)) {
+      ++res.faults;
+      result = milp::MipResult{};
+    }
+    if (fault_on && fault::should_fire(fault::Site::kNanObjective, job.key)) {
+      ++res.faults;
+      result.objective = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    res.has_solution = !result.x.empty();
+    res.objective = result.objective;
+    res.nodes = result.nodes_explored;
+    res.lp_iterations = result.lp_iterations;
+    res.dual_pivots = result.dual_pivots;
+    res.warm_solves = result.warm_solves;
+    res.cold_restarts = result.cold_restarts;
+    res.rc_fixed = result.rc_fixed;
+
+    res.usable = usable_result(result, built.model, res.warm_obj);
+    if (res.usable) {
+      res.placements = built.chosen_placements(result.x);
+    } else if (job.rounding_fallback) {
+      obs::ObsSpan fb_span("dist_opt.fallback_rounding");
+      fb_span.arg("window", job.widx);
+      // Standalone rounding: one root LP, rounded by the same repair
+      // heuristic the solver uses, accepted only when feasible, finite,
+      // and non-degrading — a cheap second chance that needs none of
+      // the branch-and-bound machinery that just failed.
+      lp::SimplexSolver lp_solver(job.mip.lp_options);
+      lp::Result rel = lp_solver.solve(built.model.lp());
+      if (rel.status == lp::Status::kOptimal) {
+        if (auto hx = built.make_heuristic()(built.model, rel.x)) {
+          double hobj = built.model.objective_value(*hx);
+          if (std::isfinite(hobj) && hobj <= res.warm_obj + 1e-9 &&
+              built.model.is_feasible(*hx, 1e-5)) {
+            res.placements = built.chosen_placements(*hx);
+            res.has_fallback = true;
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    res.failed = true;
+    res.error = e.what();
+  }
+  return res;
+}
+
+}  // namespace vm1

@@ -1,0 +1,489 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "dist/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+
+#ifndef VM1_WORKER_DEFAULT
+#define VM1_WORKER_DEFAULT ""
+#endif
+
+namespace vm1::dist {
+
+namespace {
+
+/// Give up on spawning after this many consecutive hello-less workers:
+/// the binary is missing/broken, and every window degrades to the local
+/// fallback instead of a respawn storm.
+constexpr int kMaxConsecutiveSpawnFailures = 3;
+/// Remote attempts per window before the local fallback.
+constexpr int kMaxAttempts = 2;
+
+std::string resolve_worker_path(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("VM1_WORKER")) {
+    if (*env) return env;
+  }
+  return VM1_WORKER_DEFAULT;
+}
+
+struct Metrics {
+  obs::Counter& requests = obs::counter("dist.requests");
+  obs::Counter& replies = obs::counter("dist.replies");
+  obs::Counter& retries = obs::counter("dist.retries");
+  obs::Counter& timeouts = obs::counter("dist.timeouts");
+  obs::Counter& desyncs = obs::counter("dist.desyncs");
+  obs::Counter& local_fallbacks = obs::counter("dist.local_fallbacks");
+  obs::Counter& worker_restarts = obs::counter("dist.worker_restarts");
+  obs::Counter& bytes_sent = obs::counter("dist.bytes_sent");
+  obs::Counter& bytes_received = obs::counter("dist.bytes_received");
+  obs::Gauge& queue_depth = obs::gauge("dist.queue_depth");
+  obs::Histogram& rpc_sec = obs::histogram("dist.rpc_sec");
+  obs::Histogram& serialize_sec = obs::histogram("dist.serialize_sec");
+  obs::Histogram& deserialize_sec = obs::histogram("dist.deserialize_sec");
+};
+
+Metrics& metrics() {
+  static Metrics m;
+  return m;
+}
+
+}  // namespace
+
+void CoordinatorOptions::validate() const {
+  auto bad = [](const std::string& what) {
+    throw std::invalid_argument("CoordinatorOptions: " + what);
+  };
+  if (num_workers < 1 || num_workers > 64) {
+    bad("num_workers must be in [1, 64], got " + std::to_string(num_workers));
+  }
+  if (request_timeout_sec <= 0) {
+    bad("request_timeout_sec must be > 0, got " +
+        std::to_string(request_timeout_sec));
+  }
+  if (spawn_timeout_sec <= 0) {
+    bad("spawn_timeout_sec must be > 0, got " +
+        std::to_string(spawn_timeout_sec));
+  }
+}
+
+struct Coordinator::Pending {
+  RemoteJob rj;
+  int attempts = 0;   ///< remote attempts consumed
+  bool done = false;
+};
+
+struct Coordinator::Slot {
+  subprocess::Child proc;
+  bool alive = false;
+  bool current = false;     ///< replica bound and synced to the design
+  bool restart = false;     ///< next successful spawn is a restart
+  std::vector<std::uint8_t> rbuf;
+  Pending* inflight = nullptr;
+  std::uint64_t inflight_req = 0;
+  double sent_at = 0;
+  double deadline = 0;
+};
+
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(opts) {
+  opts_.validate();
+  worker_path_ = resolve_worker_path(opts_.worker_path);
+  slots_.resize(static_cast<std::size_t>(opts_.num_workers));
+}
+
+Coordinator::~Coordinator() { shutdown_workers(); }
+
+void Coordinator::shutdown_workers() {
+  for (Slot& s : slots_) {
+    if (s.alive) {
+      std::vector<std::uint8_t> frame = encode_frame(MsgType::kShutdown, {});
+      subprocess::write_all(s.proc.fd, frame.data(), frame.size());
+    }
+    if (s.proc.fd >= 0) {
+      close(s.proc.fd);
+      s.proc.fd = -1;
+    }
+    if (s.proc.pid > 0) {
+      subprocess::kill_and_reap(s.proc.pid);
+      s.proc.pid = -1;
+    }
+    s.alive = false;
+    s.current = false;
+    s.inflight = nullptr;
+  }
+}
+
+bool Coordinator::send_frame_to(Slot& slot, std::vector<std::uint8_t> frame) {
+  stats_.bytes_sent += static_cast<long>(frame.size());
+  metrics().bytes_sent.add(static_cast<long>(frame.size()));
+  if (subprocess::write_all(slot.proc.fd, frame.data(), frame.size())) {
+    return true;
+  }
+  worker_died(slot, "send failed");
+  return false;
+}
+
+bool Coordinator::ensure_worker(Slot& slot) {
+  if (slot.alive) return true;
+  if (spawn_broken_) return false;
+  if (worker_path_.empty()) {
+    log_warn("dist: no worker binary configured (set VM1_WORKER); "
+             "falling back to local solves");
+    spawn_broken_ = true;
+    return false;
+  }
+  slot.proc = subprocess::spawn_worker(worker_path_, {});
+  bool ok = slot.proc.valid();
+  // Wait for the kHello frame; a missing/broken binary surfaces as
+  // immediate EOF (the child _exit(127)s after a failed exec).
+  const double spawn_deadline = clock_.seconds() + opts_.spawn_timeout_sec;
+  while (ok) {
+    std::optional<Frame> f;
+    try {
+      f = extract_frame(slot.rbuf);
+    } catch (const WireError& e) {
+      log_warn("dist: worker handshake garbled: ", e.what());
+      ok = false;
+      break;
+    }
+    if (f) {
+      ok = false;
+      if (f->type == MsgType::kHello) {
+        try {
+          WireHello hello = decode_hello(f->payload);
+          if (hello.num_fault_sites == fault::kNumSites) {
+            ok = true;
+          } else {
+            log_warn("dist: worker fault-site count mismatch (stale binary)");
+          }
+        } catch (const WireError& e) {
+          log_warn("dist: bad worker hello: ", e.what());
+        }
+      }
+      break;
+    }
+    if (clock_.seconds() >= spawn_deadline) {
+      log_warn("dist: worker hello timed out");
+      ok = false;
+      break;
+    }
+    pollfd pfd{slot.proc.fd, POLLIN, 0};
+    int pr = poll(&pfd, 1, 100);
+    if (pr < 0) {
+      ok = false;
+      break;
+    }
+    if (pr == 0) continue;
+    std::uint8_t chunk[4096];
+    long n = subprocess::read_some(slot.proc.fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    slot.rbuf.insert(slot.rbuf.end(), chunk, chunk + n);
+  }
+  if (!ok) {
+    if (slot.proc.fd >= 0) close(slot.proc.fd);
+    if (slot.proc.pid > 0) subprocess::kill_and_reap(slot.proc.pid);
+    slot.proc = {};
+    slot.rbuf.clear();
+    if (++consecutive_spawn_failures_ >= kMaxConsecutiveSpawnFailures) {
+      spawn_broken_ = true;
+      log_warn("dist: worker spawning declared broken after ",
+               consecutive_spawn_failures_,
+               " consecutive failures; solving locally (worker: ",
+               worker_path_, ")");
+    }
+    return false;
+  }
+  consecutive_spawn_failures_ = 0;
+  slot.alive = true;
+  slot.current = false;
+  if (slot.restart) {
+    ++stats_.worker_restarts;
+    metrics().worker_restarts.add();
+  }
+  slot.restart = true;
+  return true;
+}
+
+const std::vector<std::uint8_t>& Coordinator::snapshot(const Design& d) {
+  if (!snapshot_) {
+    obs::ScopedTimer t(metrics().serialize_sec);
+    snapshot_ = encode_design(d);
+  }
+  return *snapshot_;
+}
+
+bool Coordinator::bind_if_stale(Slot& slot, const Design& d) {
+  if (slot.current) return true;
+  obs::ObsSpan span("dist.bind_design");
+  if (!send_frame_to(slot,
+                     encode_frame(MsgType::kBindDesign, snapshot(d)))) {
+    return false;
+  }
+  slot.current = true;
+  return true;
+}
+
+void Coordinator::worker_died(Slot& slot, const char* why) {
+  log_warn("dist: worker ", slot.proc.pid, " lost (", why,
+           "), window will be retried or solved locally");
+  if (slot.proc.fd >= 0) close(slot.proc.fd);
+  if (slot.proc.pid > 0) subprocess::kill_and_reap(slot.proc.pid);
+  slot.proc = {};
+  slot.alive = false;
+  slot.current = false;
+  slot.rbuf.clear();
+  // The caller requeues slot.inflight; worker_died only severs the link.
+}
+
+void Coordinator::begin_pass(const Design& d) {
+  std::uint64_t digest = design_digest(d);
+  if (!last_digest_ || *last_digest_ != digest) {
+    for (Slot& s : slots_) s.current = false;
+  }
+  last_digest_ = digest;
+  snapshot_.reset();
+}
+
+void Coordinator::end_pass(const Design& d) {
+  last_digest_ = design_digest(d);
+  snapshot_.reset();
+}
+
+void Coordinator::sync(const std::vector<std::pair<int, Placement>>& changed) {
+  snapshot_.reset();
+  if (changed.empty()) return;
+  WireSync s;
+  s.changed = changed;
+  std::vector<std::uint8_t> frame =
+      encode_frame(MsgType::kSync, encode_sync(s));
+  for (Slot& slot : slots_) {
+    if (!slot.alive) continue;
+    if (!slot.current) continue;  // will get a full rebind at next dispatch
+    send_frame_to(slot, frame);   // on failure the slot is marked dead
+  }
+}
+
+void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
+                              const std::atomic<bool>* cancel) {
+  obs::ObsSpan span("dist.solve_batch");
+  span.arg("jobs", jobs.size());
+  const bool fault_on = fault::config().enabled();
+
+  std::vector<Pending> pendings(jobs.size());
+  std::deque<Pending*> queue;
+  std::deque<Pending*> local;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pendings[i].rj = jobs[i];
+    queue.push_back(&pendings[i]);
+  }
+  std::size_t remaining = pendings.size();
+
+  auto fail_attempt = [&](Pending* p) {
+    if (++p->attempts >= kMaxAttempts) {
+      local.push_back(p);
+    } else {
+      ++stats_.retries;
+      metrics().retries.add();
+      queue.push_back(p);
+    }
+  };
+
+  while (remaining > 0) {
+    // Local fallbacks drain first: they are the guaranteed-progress path,
+    // so the loop can never spin without shrinking `remaining`.
+    while (!local.empty()) {
+      Pending* p = local.front();
+      local.pop_front();
+      ++stats_.local_fallbacks;
+      metrics().local_fallbacks.add();
+      *p->rj.result = solve_window(d, *p->rj.job, cancel);
+      p->done = true;
+      --remaining;
+    }
+    if (remaining == 0) break;
+
+    // Dispatch: one request in flight per worker.
+    for (Slot& slot : slots_) {
+      if (queue.empty()) break;
+      if (slot.inflight) continue;
+      if (!ensure_worker(slot)) continue;
+      Pending* p = queue.front();
+      queue.pop_front();
+      if (fault_on && fault::should_fire(fault::Site::kConnectTimeout,
+                                         p->rj.job->key)) {
+        log_warn("dist: injected connect_timeout, window ", p->rj.job->widx);
+        fail_attempt(p);
+        continue;
+      }
+      if (!bind_if_stale(slot, d)) {
+        fail_attempt(p);
+        continue;
+      }
+      WireRequest rq;
+      rq.req_id = ++seq_;
+      rq.job = *p->rj.job;
+      rq.greedy_fallback = p->rj.greedy_fallback;
+      rq.sig_mip = p->rj.sig_mip;
+      rq.faults = fault::config();
+      rq.expected_sig = p->rj.expected_sig;
+      std::vector<std::uint8_t> frame;
+      {
+        obs::ScopedTimer t(metrics().serialize_sec);
+        frame = encode_frame(MsgType::kRequest, encode_request(rq));
+      }
+      if (!send_frame_to(slot, std::move(frame))) {
+        fail_attempt(p);
+        continue;
+      }
+      ++stats_.requests;
+      metrics().requests.add();
+      slot.inflight = p;
+      slot.inflight_req = rq.req_id;
+      slot.sent_at = clock_.seconds();
+      slot.deadline =
+          slot.sent_at + p->rj.job->mip.time_limit_sec +
+          opts_.request_timeout_sec;
+    }
+    metrics().queue_depth.set(static_cast<double>(queue.size()));
+
+    bool any_inflight = false;
+    for (const Slot& slot : slots_) {
+      if (slot.inflight) {
+        any_inflight = true;
+        break;
+      }
+    }
+    if (!any_inflight) {
+      if (spawn_broken_ || worker_path_.empty()) {
+        // No workers will ever come up: everything left solves locally.
+        while (!queue.empty()) {
+          local.push_back(queue.front());
+          queue.pop_front();
+        }
+      }
+      continue;  // either drain `local`, or retry spawning on next lap
+    }
+
+    // Wait for replies (or the nearest deadline).
+    std::vector<pollfd> fds;
+    std::vector<Slot*> fd_slots;
+    double next_deadline = std::numeric_limits<double>::infinity();
+    for (Slot& slot : slots_) {
+      if (!slot.inflight) continue;
+      fds.push_back(pollfd{slot.proc.fd, POLLIN, 0});
+      fd_slots.push_back(&slot);
+      next_deadline = std::min(next_deadline, slot.deadline);
+    }
+    double wait = next_deadline - clock_.seconds();
+    int timeout_ms = wait <= 0 ? 0
+                               : static_cast<int>(
+                                     std::min(wait * 1000.0 + 1.0, 200.0));
+    poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      Slot& slot = *fd_slots[i];
+      if (!slot.alive) continue;
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      std::uint8_t chunk[1 << 16];
+      long n = subprocess::read_some(slot.proc.fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        Pending* p = slot.inflight;
+        worker_died(slot, n == 0 ? "worker exited" : "read error");
+        slot.inflight = nullptr;
+        if (p) fail_attempt(p);
+        continue;
+      }
+      stats_.bytes_received += n;
+      metrics().bytes_received.add(n);
+      slot.rbuf.insert(slot.rbuf.end(), chunk, chunk + n);
+      try {
+        std::optional<Frame> f;
+        while (slot.alive && (f = extract_frame(slot.rbuf))) {
+          if (f->type == MsgType::kReply) {
+            Pending* p = slot.inflight;
+            WireReply rp;
+            try {
+              obs::ScopedTimer t(metrics().deserialize_sec);
+              rp = decode_reply(f->payload);
+            } catch (const WireError& e) {
+              // Checksummed frame that fails decode: encoder/version bug,
+              // not line noise — but still a malformed reply. Retry, then
+              // local.
+              log_warn("dist: malformed reply: ", e.what());
+              slot.inflight = nullptr;
+              if (p) fail_attempt(p);
+              continue;
+            }
+            if (!p || rp.req_id != slot.inflight_req) continue;  // stale
+            metrics().rpc_sec.observe(clock_.seconds() - slot.sent_at);
+            ++stats_.replies;
+            metrics().replies.add();
+            *p->rj.result = std::move(rp.result);
+            p->done = true;
+            --remaining;
+            slot.inflight = nullptr;
+          } else if (f->type == MsgType::kError) {
+            WireErrorMsg e = decode_error(f->payload);
+            Pending* p = slot.inflight;
+            slot.inflight = nullptr;
+            if (e.code == ErrorCode::kDesync) {
+              ++stats_.desyncs;
+              metrics().desyncs.add();
+              slot.current = false;  // next dispatch rebinds the replica
+            } else {
+              log_warn("dist: worker error (", static_cast<int>(e.code),
+                       "): ", e.message);
+            }
+            if (p) fail_attempt(p);
+          } else if (f->type == MsgType::kHello) {
+            // Duplicate hello after an internal restart: harmless.
+          } else {
+            throw WireError("unexpected frame from worker");
+          }
+        }
+      } catch (const WireError& e) {
+        // Framing/checksum failure: the byte stream itself cannot be
+        // trusted any further (this is where reply_corrupt drills land).
+        Pending* p = slot.inflight;
+        worker_died(slot, e.what());
+        slot.inflight = nullptr;
+        if (p) fail_attempt(p);
+      }
+    }
+
+    // Deadlines: a silent worker is presumed hung — kill it and retry the
+    // window (reply-drop drills land here).
+    double now = clock_.seconds();
+    for (Slot& slot : slots_) {
+      if (!slot.inflight || now < slot.deadline) continue;
+      ++stats_.timeouts;
+      metrics().timeouts.add();
+      Pending* p = slot.inflight;
+      worker_died(slot, "request deadline exceeded");
+      slot.inflight = nullptr;
+      if (p) fail_attempt(p);
+    }
+  }
+  metrics().queue_depth.set(0);
+}
+
+CoordinatorStats Coordinator::take_stats() {
+  CoordinatorStats out = stats_;
+  stats_ = CoordinatorStats{};
+  return out;
+}
+
+}  // namespace vm1::dist

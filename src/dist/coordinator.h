@@ -1,0 +1,143 @@
+/// \file coordinator.h
+/// Coordinator side of the distributed window-solve service.
+///
+/// Owns N worker processes (fork/exec of apps/vm1_worker, one Unix-domain
+/// socketpair each), keeps a full design replica bound on every worker
+/// (kBindDesign on first use / staleness, kSync placement deltas after
+/// every batch), and dispatches prepared WindowSolveJobs with one request
+/// in flight per worker — the bounded in-flight queue that keeps a
+/// request's deadline meaningful.
+///
+/// Failure matrix (see DESIGN.md "Distributed window solving"): worker
+/// crash (EOF), hang (per-request deadline -> SIGKILL), malformed or
+/// corrupted reply (checksum/decode failure -> connection dropped), and
+/// replica desync (typed kError from the worker's signature check) all
+/// funnel through the same policy — retry the window once on a (possibly
+/// respawned) worker, then solve it locally in-process. solve_batch()
+/// therefore always returns with every job's result filled: the DistOpt
+/// apply phase above it cannot tell where a window solved, which is what
+/// keeps the WindowOutcome taxonomy summing to `windows` and the
+/// processes backend bit-identical to threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/window_solve.h"
+#include "util/logging.h"
+#include "util/subprocess.h"
+
+namespace vm1::dist {
+
+struct CoordinatorOptions {
+  int num_workers = 2;
+  /// Worker executable. Empty resolves $VM1_WORKER, then the build-baked
+  /// default (VM1_WORKER_DEFAULT, apps/vm1_worker in the build tree).
+  std::string worker_path;
+  /// Slack added to a request's MIP time limit to form its deadline; a
+  /// worker silent past it is presumed hung and SIGKILLed. Benchmarks keep
+  /// the default; fault tests shrink it so reply-drop drills stay fast.
+  double request_timeout_sec = 10.0;
+  /// Deadline for the worker's kHello after exec (covers exec failures,
+  /// which surface as immediate EOF).
+  double spawn_timeout_sec = 10.0;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Per-pass transport counters, folded into DistOptStats::remote_* by
+/// dist_opt. take_stats() returns-and-resets.
+struct CoordinatorStats {
+  long requests = 0;         ///< request frames sent (incl. retries)
+  long replies = 0;          ///< well-formed replies accepted
+  long retries = 0;          ///< windows re-queued after a failed attempt
+  long timeouts = 0;         ///< per-request deadlines that fired
+  long desyncs = 0;          ///< kDesync errors (replica rebind + retry)
+  long local_fallbacks = 0;  ///< windows solved coordinator-side
+  long worker_restarts = 0;  ///< workers respawned after dying
+  long bytes_sent = 0;
+  long bytes_received = 0;
+};
+
+/// One prepared window handed to solve_batch. `result` is always filled
+/// on return (remotely or by the local fallback).
+struct RemoteJob {
+  const WindowSolveJob* job = nullptr;
+  WindowSolveResult* result = nullptr;
+  /// Canonical window signature over the coordinator's design, shipped
+  /// with the request so the worker can prove its replica agrees
+  /// (mismatch -> kDesync -> rebind + retry).
+  WindowSig expected_sig;
+  /// The two signature inputs that differ from `job`: the signature hashes
+  /// the pass-level MIP options, not the deadline-adjusted ones in
+  /// job.mip, and the greedy-fallback flag the worker never runs.
+  bool greedy_fallback = true;
+  milp::BranchAndBound::Options sig_mip;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opts = {});
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  int num_workers() const { return opts_.num_workers; }
+
+  /// Marks worker replicas stale when `d` differs from the design state
+  /// the coordinator last certified (end_pass). Call before the pass's
+  /// first solve_batch.
+  void begin_pass(const Design& d);
+
+  /// Solves every job, dispatching to workers with retry-once-then-local
+  /// fallback. Serial from the caller's perspective; never throws on
+  /// worker failure. `cancel` is forwarded to local fallback solves only
+  /// (workers are bounded by the request deadline instead).
+  void solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
+                   const std::atomic<bool>* cancel);
+
+  /// Broadcasts the apply phase's placement deltas to every bound
+  /// replica. Call after each batch is committed.
+  void sync(const std::vector<std::pair<int, Placement>>& changed);
+
+  /// Records the design state workers are now synced to, so the next
+  /// begin_pass on an unchanged design skips the rebind.
+  void end_pass(const Design& d);
+
+  /// Per-pass counters; returns and resets.
+  CoordinatorStats take_stats();
+
+  /// True once worker spawning has been declared broken (repeated spawn
+  /// failures) — every subsequent window solves locally. Exposed for
+  /// tests of the degraded path.
+  bool spawn_broken() const { return spawn_broken_; }
+
+ private:
+  struct Slot;
+  struct Pending;
+
+  bool ensure_worker(Slot& slot);
+  bool bind_if_stale(Slot& slot, const Design& d);
+  const std::vector<std::uint8_t>& snapshot(const Design& d);
+  void worker_died(Slot& slot, const char* why);
+  bool send_frame_to(Slot& slot, std::vector<std::uint8_t> frame);
+  void shutdown_workers();
+
+  CoordinatorOptions opts_;
+  std::string worker_path_;
+  std::vector<Slot> slots_;
+  Timer clock_;
+  CoordinatorStats stats_;
+  std::optional<std::uint64_t> last_digest_;
+  std::optional<std::vector<std::uint8_t>> snapshot_;
+  std::uint64_t seq_ = 0;
+  bool spawn_broken_ = false;
+  int consecutive_spawn_failures_ = 0;
+};
+
+}  // namespace vm1::dist

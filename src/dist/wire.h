@@ -1,0 +1,218 @@
+/// \file wire.h
+/// Versioned, endian-stable binary wire format for the distributed
+/// window-solve service (see DESIGN.md "Distributed window solving").
+///
+/// Framing: every message is
+///
+///   [magic u32 | version u16 | type u16 | payload_len u32 | checksum u64]
+///   [payload_len payload bytes]
+///
+/// with all integers little-endian and `checksum` the FNV-1a 64 hash of
+/// the payload. A reader rejects bad magic, version mismatch, oversized
+/// lengths, and checksum failures with a typed WireError — a corrupted or
+/// truncated stream can refuse service but never produce UB or a
+/// half-decoded message.
+///
+/// Payloads: primitive little-endian scalars written by WireWriter and
+/// read by the bounds-checked WireReader. Doubles travel as their IEEE-754
+/// bit pattern (u64), so values — including NaNs — round-trip bit-exactly;
+/// that is what makes the processes backend's bit-identity guarantee hold
+/// across the socket.
+///
+/// Versioning rules: kWireVersion bumps on ANY change to an existing
+/// message layout (field added/removed/reordered/retyped). Coordinator and
+/// worker are always built from the same tree in this repo, so a version
+/// mismatch means a stale binary — the reader fails fast rather than
+/// negotiating. New message types may be added without a bump; unknown
+/// types are a protocol error at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/window_solve.h"
+#include "util/fault_injection.h"
+
+namespace vm1::dist {
+
+inline constexpr std::uint32_t kMagic = 0x564D3144u;  // "VM1D"
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Upper bound on a frame payload; larger lengths are treated as stream
+/// corruption (the full aes design snapshot is ~2 MB).
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+inline constexpr std::size_t kFrameHeaderSize = 20;
+
+/// Typed decode/stream failure. Catching WireError is how the coordinator
+/// classifies a malformed reply (retry-once-then-local-fallback); anything
+/// escaping as UB would defeat the guardrail, hence the fuzz tests.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,       ///< worker -> coordinator, once after exec
+  kBindDesign = 2,  ///< coordinator -> worker: full design replica
+  kRequest = 3,     ///< coordinator -> worker: one window subproblem
+  kReply = 4,       ///< worker -> coordinator: WindowSolveResult
+  kSync = 5,        ///< coordinator -> worker: placement deltas (one-way)
+  kError = 6,       ///< worker -> coordinator: typed per-request failure
+  kShutdown = 7,    ///< coordinator -> worker: exit cleanly
+};
+
+const char* to_string(MsgType t);
+
+/// Little-endian payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);  ///< IEEE-754 bit pattern; NaN-preserving
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload reader. Every accessor throws
+/// WireError instead of reading past the end.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t len)
+      : p_(data), len_(len) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean();
+  std::string str();
+
+  std::size_t remaining() const { return len_ - pos_; }
+  /// Element-count sanity guard: a count field claiming more elements than
+  /// bytes left is corruption; throwing here bounds allocations by the
+  /// buffer size.
+  std::uint32_t count(std::size_t min_elem_bytes = 1);
+  /// Throws unless the payload was consumed exactly.
+  void expect_end() const;
+
+ private:
+  std::uint64_t le(int n);
+  const std::uint8_t* p_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64 over a byte range (the frame checksum).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len);
+
+struct Frame {
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Wraps a payload in a checksummed frame ready for write_all().
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::vector<std::uint8_t> payload);
+
+/// Pops one complete frame off the front of `buf` (a per-connection
+/// receive buffer fed by read_some). Returns nullopt when more bytes are
+/// needed; throws WireError on bad magic/version/length/checksum — after
+/// which the stream is unrecoverable and the connection must be dropped.
+std::optional<Frame> extract_frame(std::vector<std::uint8_t>& buf);
+
+// ---------------------------------------------------------------------------
+// Message payloads.
+
+struct WireHello {
+  std::uint64_t pid = 0;
+  /// fault::kNumSites of the worker binary; a mismatch means a stale
+  /// worker whose fault schedule (part of window signatures) would drift.
+  std::uint16_t num_fault_sites = 0;
+};
+
+/// One window subproblem. `job` carries the final (deadline-adjusted)
+/// solver limits actually used; `sig_mip` is the pass's unadjusted MIP
+/// options, which — together with `greedy_fallback` and `faults` — the
+/// worker needs to recompute the canonical window signature for the
+/// replica-consistency check against `expected_sig`.
+struct WireRequest {
+  std::uint64_t req_id = 0;
+  WindowSolveJob job;
+  bool greedy_fallback = true;
+  milp::BranchAndBound::Options sig_mip;
+  fault::Config faults;
+  WindowSig expected_sig;
+};
+
+struct WireReply {
+  std::uint64_t req_id = 0;
+  WindowSolveResult result;
+};
+
+/// Placement deltas applied by the coordinator's serial apply phase after
+/// a batch; broadcast so every replica tracks the authoritative design.
+struct WireSync {
+  std::vector<std::pair<int, Placement>> changed;
+};
+
+enum class ErrorCode : std::uint32_t {
+  kDesync = 1,      ///< replica signature mismatch; rebind and retry
+  kBadRequest = 2,  ///< request referenced out-of-range instances etc.
+  kInternal = 3,    ///< unexpected worker-side failure
+};
+
+struct WireErrorMsg {
+  std::uint64_t req_id = 0;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_hello(const WireHello& h);
+WireHello decode_hello(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_request(const WireRequest& rq);
+WireRequest decode_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_reply(const WireReply& rp);
+WireReply decode_reply(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_sync(const WireSync& s);
+WireSync decode_sync(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_error(const WireErrorMsg& e);
+WireErrorMsg decode_error(const std::vector<std::uint8_t>& payload);
+
+/// Full design replica: tech knobs, library, netlist, floorplan,
+/// placements, IO positions. The decode side reconstructs a Design whose
+/// window solves are bit-identical to the original's.
+std::vector<std::uint8_t> encode_design(const Design& d);
+Design decode_design(const std::vector<std::uint8_t>& payload);
+
+/// Structural + placement digest of a design (FNV over the same fields
+/// encode_design ships). The coordinator uses it to decide whether worker
+/// replicas are stale at pass boundaries.
+std::uint64_t design_digest(const Design& d);
+
+}  // namespace vm1::dist

@@ -1,0 +1,225 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/dist_opt.h"
+#include "core/incremental.h"
+#include "core/window_solve.h"
+#include "dist/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/subprocess.h"
+
+namespace vm1::dist {
+
+namespace {
+
+bool send_frame(int fd, MsgType type, std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame =
+      encode_frame(type, std::move(payload));
+  return subprocess::write_all(fd, frame.data(), frame.size());
+}
+
+bool send_error(int fd, std::uint64_t req_id, ErrorCode code,
+                const std::string& message) {
+  WireErrorMsg e;
+  e.req_id = req_id;
+  e.code = code;
+  e.message = message;
+  return send_frame(fd, MsgType::kError, encode_error(e));
+}
+
+/// Distinct nets incident to the window's movable set — same collect/
+/// sort/unique normalization as core/window.cpp's window_incident_nets,
+/// so the recomputed signature matches the coordinator's bit-for-bit.
+std::vector<int> incident_nets_of(const Design& d,
+                                  const std::vector<int>& movable) {
+  std::vector<int> nets;
+  for (int inst : movable) {
+    const std::vector<int>& in = d.netlist().nets_of(inst);
+    nets.insert(nets.end(), in.begin(), in.end());
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+/// Handles one kRequest frame against the replica. Returns false when the
+/// socket died mid-reply.
+bool handle_request(int fd, const Design* design,
+                    const std::vector<std::uint8_t>& payload) {
+  static obs::Counter& requests_metric = obs::counter("dist.worker.requests");
+  static obs::Counter& desyncs_metric = obs::counter("dist.worker.desyncs");
+  static obs::Histogram& solve_sec_metric =
+      obs::histogram("dist_opt.window_solve_sec");
+
+  WireRequest rq;
+  try {
+    rq = decode_request(payload);
+  } catch (const WireError& e) {
+    // The frame passed its checksum, so this is version skew or an encoder
+    // bug, not line noise; report and keep serving.
+    return send_error(fd, 0, ErrorCode::kBadRequest, e.what());
+  }
+  requests_metric.add();
+  fault::set_config(rq.faults);
+
+  if (!design) {
+    return send_error(fd, rq.req_id, ErrorCode::kDesync,
+                      "no design bound before request");
+  }
+  for (int inst : rq.job.movable) {
+    if (inst < 0 || inst >= design->netlist().num_instances()) {
+      return send_error(fd, rq.req_id, ErrorCode::kBadRequest,
+                        "movable instance out of range");
+    }
+  }
+
+  obs::ObsSpan span("dist.worker_request");
+  span.arg("window", rq.job.widx);
+
+  // Injected crash drill: die exactly where a real worker OOM-kill or
+  // segfault would — after accepting the request, before replying.
+  if (fault::config().enabled() &&
+      fault::should_fire(fault::Site::kWorkerKill, rq.job.key)) {
+    log_warn("vm1_worker: injected worker_kill, window ", rq.job.widx);
+    _exit(3);
+  }
+
+  // Replica-consistency check: recompute the canonical window signature
+  // (core/incremental.cpp) over the replica. It covers exactly the inputs
+  // that can drift on a missed sync — movable placements, the fixed-site
+  // mask, boundary pins — so a desynced replica is caught before it can
+  // produce a subtly different (yet audit-clean) solution.
+  DistOptOptions sig_opts;
+  sig_opts.lx = rq.job.lx;
+  sig_opts.ly = rq.job.ly;
+  sig_opts.allow_move = rq.job.allow_move;
+  sig_opts.allow_flip = rq.job.allow_flip;
+  sig_opts.rounding_fallback = rq.job.rounding_fallback;
+  sig_opts.greedy_fallback = rq.greedy_fallback;
+  sig_opts.params = rq.job.params;
+  sig_opts.mip = rq.sig_mip;
+  WindowSig sig =
+      window_signature(*design, rq.job.window, rq.job.movable,
+                       incident_nets_of(*design, rq.job.movable), sig_opts);
+  if (sig.a != rq.expected_sig.a || sig.b != rq.expected_sig.b) {
+    desyncs_metric.add();
+    span.arg("outcome", "desync");
+    return send_error(fd, rq.req_id, ErrorCode::kDesync,
+                      "window signature mismatch (stale replica)");
+  }
+
+  WireReply rp;
+  rp.req_id = rq.req_id;
+  {
+    obs::ScopedTimer t(solve_sec_metric);
+    rp.result = solve_window(*design, rq.job, /*cancel=*/nullptr);
+  }
+
+  if (fault::config().enabled() &&
+      fault::should_fire(fault::Site::kReplyDrop, rq.job.key)) {
+    // Simulated hang: the work happened but the reply never leaves. The
+    // coordinator's per-request deadline turns this into kill + local
+    // fallback.
+    log_warn("vm1_worker: injected reply_drop, window ", rq.job.widx);
+    span.arg("outcome", "reply_drop");
+    return true;
+  }
+
+  std::vector<std::uint8_t> frame =
+      encode_frame(MsgType::kReply, encode_reply(rp));
+  if (fault::config().enabled() &&
+      fault::should_fire(fault::Site::kReplyCorrupt, rq.job.key)) {
+    // Flip one payload byte after the checksum was computed: the frame
+    // still parses, the checksum rejects it, and the stream stays framed.
+    if (frame.size() > kFrameHeaderSize) {
+      frame[kFrameHeaderSize] ^= 0x5a;
+      log_warn("vm1_worker: injected reply_corrupt, window ", rq.job.widx);
+      span.arg("outcome", "reply_corrupt");
+    }
+  }
+  return subprocess::write_all(fd, frame.data(), frame.size());
+}
+
+}  // namespace
+
+int run_worker(int fd) {
+  WireHello hello;
+  hello.pid = static_cast<std::uint64_t>(getpid());
+  hello.num_fault_sites = static_cast<std::uint16_t>(fault::kNumSites);
+  if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) return 1;
+
+  std::optional<Design> design;
+  std::vector<std::uint8_t> rbuf;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    std::optional<Frame> f;
+    try {
+      f = extract_frame(rbuf);
+    } catch (const WireError& e) {
+      // The inbound stream lost framing; no way to resync a byte stream.
+      log_error("vm1_worker: unrecoverable stream error: ", e.what());
+      return 2;
+    }
+    if (!f) {
+      long n = subprocess::read_some(fd, chunk, sizeof chunk);
+      if (n <= 0) return n == 0 ? 0 : 1;  // EOF = orderly shutdown
+      rbuf.insert(rbuf.end(), chunk, chunk + n);
+      continue;
+    }
+    switch (f->type) {
+      case MsgType::kBindDesign:
+        try {
+          design.emplace(decode_design(f->payload));
+          log_debug("vm1_worker: bound design '", design->name(), "' (",
+                    design->netlist().num_instances(), " instances)");
+        } catch (const WireError& e) {
+          log_error("vm1_worker: bad design snapshot: ", e.what());
+          if (!send_error(fd, 0, ErrorCode::kBadRequest, e.what())) return 1;
+          design.reset();
+        }
+        break;
+      case MsgType::kSync:
+        try {
+          WireSync s = decode_sync(f->payload);
+          if (!design) break;  // deltas for a replica we no longer hold
+          for (const auto& [inst, p] : s.changed) {
+            if (inst < 0 || inst >= design->netlist().num_instances()) {
+              throw WireError("sync instance out of range");
+            }
+            design->set_placement(inst, p);
+          }
+        } catch (const WireError& e) {
+          // A bad delta leaves the replica unreliable; drop it so the
+          // next request desyncs and forces a rebind.
+          log_error("vm1_worker: bad sync, dropping replica: ", e.what());
+          design.reset();
+        }
+        break;
+      case MsgType::kRequest:
+        if (!handle_request(fd, design ? &*design : nullptr, f->payload)) {
+          return 1;
+        }
+        break;
+      case MsgType::kShutdown:
+        return 0;
+      default:
+        log_error("vm1_worker: unexpected message type ",
+                  to_string(f->type));
+        if (!send_error(fd, 0, ErrorCode::kBadRequest,
+                        "unexpected message type")) {
+          return 1;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace vm1::dist

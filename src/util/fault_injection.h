@@ -13,6 +13,15 @@
 ///   kNanObjective   the reported MIP objective is replaced by a quiet NaN
 ///   kApplyThrow     applying the window solution throws mid-mutation
 ///
+/// and, for the distributed backend (src/dist — see DESIGN.md "Distributed
+/// window solving"), four transport-layer drills keyed by the same window
+/// key so the retry/fallback matrix replays deterministically:
+///
+///   kWorkerKill     the worker process _exit()s mid-request (crash)
+///   kReplyDrop      the worker solves but never sends the reply (hang)
+///   kReplyCorrupt   the reply frame's payload is bit-flipped in transit
+///   kConnectTimeout dispatching the request to a worker fails outright
+///
 /// Whether a site fires for a given window is a pure function of
 /// (config seed, site, window key): runs are reproducible bit-for-bit, do
 /// not depend on thread count or scheduling, and the same spec string
@@ -36,13 +45,17 @@ enum class Site : int {
   kNoSolution,
   kNanObjective,
   kApplyThrow,
+  kWorkerKill,
+  kReplyDrop,
+  kReplyCorrupt,
+  kConnectTimeout,
 };
-inline constexpr int kNumSites = 5;
+inline constexpr int kNumSites = 9;
 
 const char* to_string(Site s);
 
 struct Config {
-  double rate[kNumSites] = {0, 0, 0, 0, 0};  ///< fire probability per site
+  double rate[kNumSites] = {};  ///< fire probability per site
   std::uint64_t seed = 0x5eedbea7ULL;
 
   bool enabled() const {
@@ -63,8 +76,9 @@ class InjectedFault : public std::runtime_error {
 
 /// Parses a spec of comma-separated key=value entries. Keys: `rate` (sets
 /// every site), one of the site names (`build_throw`, `lp_timeout`,
-/// `no_solution`, `nan_objective`, `apply_throw`), and `seed`. Rates must
-/// be in [0, 1]. Throws std::invalid_argument on malformed input.
+/// `no_solution`, `nan_objective`, `apply_throw`, `worker_kill`,
+/// `reply_drop`, `reply_corrupt`, `connect_timeout`), and `seed`. Rates
+/// must be in [0, 1]. Throws std::invalid_argument on malformed input.
 Config parse_spec(const std::string& spec);
 
 /// Process-wide active config. First call reads $VM1_FAULTS (empty/unset

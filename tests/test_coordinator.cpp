@@ -1,0 +1,410 @@
+/// Coordinator/worker tests for the distributed window-solve service.
+///
+/// Layer 1 drives run_worker() in-process over a socketpair — the exact
+/// loop the vm1_worker executable runs — and checks the protocol: hello,
+/// replica binding, signature-checked requests, sync deltas, typed desync
+/// and bad-request errors, orderly shutdown.
+///
+/// Layer 2 runs whole dist_opt()/Coordinator passes against real worker
+/// subprocesses: results must be bit-identical to the threads backend,
+/// including under a 25% deterministic fault storm on every transport
+/// drill (worker_kill / reply_drop / reply_corrupt / connect_timeout) —
+/// the retry-once-then-local-fallback policy must absorb every failure
+/// without losing a window (outcome taxonomy sums to `windows`) and
+/// without changing a single placement.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/dist_opt.h"
+#include "core/incremental.h"
+#include "core/window.h"
+#include "core/window_solve.h"
+#include "dist/coordinator.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "design/legality.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+#include "util/fault_injection.h"
+#include "util/subprocess.h"
+
+namespace vm1::dist {
+namespace {
+
+Design placed_design(std::uint64_t seed) {
+  DesignOptions dopt;
+  dopt.scale = 0.3;
+  dopt.utilization = 0.7;
+  dopt.seed = seed | 1;
+  Design d = make_design("tiny", CellArch::kClosedM1, dopt);
+  GlobalPlaceOptions gp;
+  gp.seed = seed * 131 + 3;
+  global_place(d, gp);
+  legalize(d);
+  return d;
+}
+
+DistOptOptions base_opts() {
+  DistOptOptions o;
+  o.bw = 16;
+  o.bh = 2;
+  o.params.alpha = 30;
+  o.mip.max_nodes = 40;
+  o.mip.time_limit_sec = 3600;
+  o.mip.lp_options.time_limit_sec = 0;
+  o.incremental = false;
+  return o;
+}
+
+/// Every test runs under a known fault config (the window signature hashes
+/// it, so the in-process tests must compute signatures under the same
+/// config the request ships).
+class DistFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::set_config(fault::Config{}); }
+  void TearDown() override { fault::set_config(fault::Config{}); }
+};
+
+using WorkerProtocol = DistFixture;
+using CoordinatorEndToEnd = DistFixture;
+using CoordinatorFaults = DistFixture;
+
+/// In-process worker on one end of a socketpair; the test is the
+/// coordinator side of the wire.
+struct WorkerHarness {
+  int fd = -1;  ///< test side
+  int rc = -1;  ///< run_worker return code
+  std::thread thread;
+  std::vector<std::uint8_t> rbuf;
+
+  WorkerHarness() {
+    int sv[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    fd = sv[0];
+    thread = std::thread([this, worker_fd = sv[1]] {
+      rc = run_worker(worker_fd);
+      close(worker_fd);
+    });
+  }
+  ~WorkerHarness() {
+    if (fd >= 0) close(fd);
+    if (thread.joinable()) thread.join();
+  }
+
+  void send(MsgType type, std::vector<std::uint8_t> payload) {
+    std::vector<std::uint8_t> frame =
+        encode_frame(type, std::move(payload));
+    ASSERT_TRUE(subprocess::write_all(fd, frame.data(), frame.size()));
+  }
+  /// Blocking receive of the next frame (test relies on ctest timeouts).
+  Frame recv() {
+    std::uint8_t chunk[4096];
+    for (;;) {
+      if (std::optional<Frame> f = extract_frame(rbuf)) return *f;
+      long n = subprocess::read_some(fd, chunk, sizeof chunk);
+      if (n <= 0) throw WireError("worker closed the socket");
+      rbuf.insert(rbuf.end(), chunk, chunk + n);
+    }
+  }
+  /// Closes the test side and joins; returns run_worker's exit code.
+  int finish() {
+    close(fd);
+    fd = -1;
+    thread.join();
+    return rc;
+  }
+};
+
+/// One solvable window of `d` plus the signature-bearing request, built
+/// exactly the way dist_opt prepares remote jobs.
+struct PreparedWindow {
+  WindowSolveJob job;
+  WireRequest request;
+};
+
+PreparedWindow prepare_window(const Design& d, const DistOptOptions& o) {
+  WindowGrid grid = partition_windows(d, o.tx, o.ty, o.bw, o.bh);
+  std::vector<std::vector<int>> nets =
+      window_incident_nets(grid, d.netlist());
+  int widx = -1;
+  for (std::size_t w = 0; w < grid.windows.size(); ++w) {
+    if (grid.movable[w].size() >= 2) {
+      widx = static_cast<int>(w);
+      break;
+    }
+  }
+  EXPECT_GE(widx, 0) << "no window with movable cells";
+  PreparedWindow pw;
+  pw.job.widx = widx;
+  pw.job.key = 99;
+  pw.job.window = grid.windows[widx];
+  pw.job.movable = grid.movable[widx];
+  pw.job.lx = o.lx;
+  pw.job.ly = o.ly;
+  pw.job.allow_move = o.allow_move;
+  pw.job.allow_flip = o.allow_flip;
+  pw.job.rounding_fallback = o.rounding_fallback;
+  pw.job.params = o.params;
+  pw.job.mip = o.mip;
+  pw.request.req_id = 1;
+  pw.request.job = pw.job;
+  pw.request.greedy_fallback = o.greedy_fallback;
+  pw.request.sig_mip = o.mip;
+  pw.request.faults = fault::config();
+  pw.request.expected_sig =
+      window_signature(d, pw.job.window, pw.job.movable, nets[widx], o);
+  return pw;
+}
+
+TEST_F(WorkerProtocol, HelloBindSolveShutdown) {
+  Design d = placed_design(1);
+  DistOptOptions o = base_opts();
+  PreparedWindow pw = prepare_window(d, o);
+
+  WorkerHarness w;
+  Frame hello = w.recv();
+  ASSERT_EQ(hello.type, MsgType::kHello);
+  WireHello h = decode_hello(hello.payload);
+  EXPECT_EQ(h.num_fault_sites, fault::kNumSites);
+
+  w.send(MsgType::kBindDesign, encode_design(d));
+  w.send(MsgType::kRequest, encode_request(pw.request));
+  Frame reply = w.recv();
+  ASSERT_EQ(reply.type, MsgType::kReply);
+  WireReply rp = decode_reply(reply.payload);
+  EXPECT_EQ(rp.req_id, pw.request.req_id);
+  EXPECT_FALSE(rp.result.failed);
+
+  // The remote solve must be bit-identical to solving the same job here.
+  WindowSolveResult local = solve_window(d, pw.job, nullptr);
+  EXPECT_EQ(rp.result.usable, local.usable);
+  EXPECT_EQ(rp.result.cells, local.cells);
+  ASSERT_EQ(rp.result.placements.size(), local.placements.size());
+  for (std::size_t i = 0; i < local.placements.size(); ++i) {
+    EXPECT_EQ(rp.result.placements[i], local.placements[i]) << "cell " << i;
+  }
+  EXPECT_EQ(rp.result.objective, local.objective);
+  EXPECT_EQ(rp.result.warm_obj, local.warm_obj);
+
+  w.send(MsgType::kShutdown, {});
+  EXPECT_EQ(w.finish(), 0);
+}
+
+TEST_F(WorkerProtocol, DesyncedReplicaReportsTypedErrorThenRecovers) {
+  Design d = placed_design(2);
+  DistOptOptions o = base_opts();
+  PreparedWindow pw = prepare_window(d, o);
+
+  WorkerHarness w;
+  ASSERT_EQ(w.recv().type, MsgType::kHello);
+
+  // Request before any design is bound: kDesync.
+  w.send(MsgType::kRequest, encode_request(pw.request));
+  Frame err = w.recv();
+  ASSERT_EQ(err.type, MsgType::kError);
+  EXPECT_EQ(decode_error(err.payload).code, ErrorCode::kDesync);
+
+  // Bound replica but a stale signature (the design moved on): kDesync.
+  w.send(MsgType::kBindDesign, encode_design(d));
+  WireRequest stale = pw.request;
+  stale.expected_sig.a ^= 1;
+  w.send(MsgType::kRequest, encode_request(stale));
+  err = w.recv();
+  ASSERT_EQ(err.type, MsgType::kError);
+  EXPECT_EQ(decode_error(err.payload).code, ErrorCode::kDesync);
+
+  // The correct signature still solves — the worker stayed serviceable.
+  w.send(MsgType::kRequest, encode_request(pw.request));
+  EXPECT_EQ(w.recv().type, MsgType::kReply);
+
+  w.send(MsgType::kShutdown, {});
+  EXPECT_EQ(w.finish(), 0);
+}
+
+TEST_F(WorkerProtocol, SyncDeltasKeepReplicaCurrent) {
+  Design d = placed_design(3);
+  DistOptOptions o = base_opts();
+
+  WorkerHarness w;
+  ASSERT_EQ(w.recv().type, MsgType::kHello);
+  w.send(MsgType::kBindDesign, encode_design(d));
+
+  // Mutate the authoritative design the way an apply phase would, ship the
+  // delta, and prove the replica tracked it: a request signed against the
+  // *updated* design must succeed.
+  WindowGrid grid = partition_windows(d, 0, 0, o.bw, o.bh);
+  int moved = -1;
+  for (std::size_t wi = 0; wi < grid.windows.size(); ++wi) {
+    if (!grid.movable[wi].empty()) {
+      moved = grid.movable[wi][0];
+      break;
+    }
+  }
+  ASSERT_GE(moved, 0);
+  Placement p = d.placement(moved);
+  p.flipped = !p.flipped;
+  d.set_placement(moved, p);
+  WireSync sync;
+  sync.changed = {{moved, p}};
+  w.send(MsgType::kSync, encode_sync(sync));
+
+  PreparedWindow pw = prepare_window(d, o);
+  w.send(MsgType::kRequest, encode_request(pw.request));
+  Frame reply = w.recv();
+  ASSERT_EQ(reply.type, MsgType::kReply) << "replica missed the sync delta";
+
+  w.send(MsgType::kShutdown, {});
+  EXPECT_EQ(w.finish(), 0);
+}
+
+TEST_F(WorkerProtocol, OutOfRangeInstanceIsBadRequestNotUB) {
+  Design d = placed_design(4);
+  DistOptOptions o = base_opts();
+  PreparedWindow pw = prepare_window(d, o);
+
+  WorkerHarness w;
+  ASSERT_EQ(w.recv().type, MsgType::kHello);
+  w.send(MsgType::kBindDesign, encode_design(d));
+  WireRequest bad = pw.request;
+  bad.job.movable.push_back(d.netlist().num_instances() + 5);
+  w.send(MsgType::kRequest, encode_request(bad));
+  Frame err = w.recv();
+  ASSERT_EQ(err.type, MsgType::kError);
+  EXPECT_EQ(decode_error(err.payload).code, ErrorCode::kBadRequest);
+  w.send(MsgType::kShutdown, {});
+  EXPECT_EQ(w.finish(), 0);
+}
+
+/// Runs one dist_opt pass; `coordinator` null means threads backend.
+DistOptStats run_pass(Design& d, DistOptOptions o, Coordinator* coordinator) {
+  if (coordinator) {
+    o.backend = DistBackend::kProcesses;
+    o.coordinator = coordinator;
+  }
+  return dist_opt(d, o, nullptr);
+}
+
+TEST_F(CoordinatorEndToEnd, ProcessesPassMatchesThreadsBitExactly) {
+  Design dp = placed_design(10);
+  Design dt = placed_design(10);
+  DistOptOptions o = base_opts();
+
+  Coordinator coord(CoordinatorOptions{});
+  DistOptStats sp = run_pass(dp, o, &coord);
+  DistOptStats st = run_pass(dt, o, nullptr);
+
+  ASSERT_EQ(dp.placements().size(), dt.placements().size());
+  for (std::size_t i = 0; i < dp.placements().size(); ++i) {
+    EXPECT_EQ(dp.placements()[i], dt.placements()[i]) << "instance " << i;
+  }
+  EXPECT_EQ(sp.objective, st.objective);
+  EXPECT_EQ(sp.outcome_total(), sp.windows);
+  EXPECT_EQ(sp.solved, st.solved);
+  EXPECT_GT(sp.remote_replies, 0) << "nothing actually solved remotely";
+  EXPECT_EQ(sp.remote_local_fallbacks, 0);
+  EXPECT_EQ(sp.remote_desyncs, 0);
+  EXPECT_GT(sp.wire_bytes_sent, 0);
+  EXPECT_GT(sp.wire_bytes_received, 0);
+  EXPECT_FALSE(coord.spawn_broken());
+}
+
+TEST_F(CoordinatorEndToEnd, BrokenWorkerBinaryDegradesToAllLocal) {
+  Design dp = placed_design(11);
+  Design dt = placed_design(11);
+  DistOptOptions o = base_opts();
+
+  CoordinatorOptions co;
+  co.worker_path = "/nonexistent/vm1_worker";
+  co.spawn_timeout_sec = 2.0;
+  Coordinator coord(co);
+  DistOptStats sp = run_pass(dp, o, &coord);
+  DistOptStats st = run_pass(dt, o, nullptr);
+
+  EXPECT_TRUE(coord.spawn_broken());
+  EXPECT_EQ(sp.remote_replies, 0);
+  EXPECT_GT(sp.remote_local_fallbacks, 0);
+  EXPECT_EQ(sp.outcome_total(), sp.windows);
+  // The degraded path still produces the identical answer.
+  for (std::size_t i = 0; i < dp.placements().size(); ++i) {
+    EXPECT_EQ(dp.placements()[i], dt.placements()[i]) << "instance " << i;
+  }
+  EXPECT_EQ(sp.objective, st.objective);
+}
+
+TEST_F(CoordinatorFaults, QuarterRateTransportStormIsAbsorbedBitExactly) {
+  // 25% deterministic faults on every transport drill. The same config is
+  // active for the threads reference run (signatures hash the fault
+  // config), but the dist sites never fire there — only the transport
+  // layer consults them — so the reference is the clean answer.
+  fault::Config fc = fault::parse_spec(
+      "worker_kill=0.25,reply_drop=0.25,reply_corrupt=0.25,"
+      "connect_timeout=0.25,seed=11");
+  fault::set_config(fc);
+
+  Design dp = placed_design(12);
+  Design dt = placed_design(12);
+  DistOptOptions o = base_opts();
+  // Short solver limit: it never binds on these windows (the node limit
+  // does), but it sets the reply-drop deadline, keeping the storm fast.
+  o.mip.time_limit_sec = 0.5;
+
+  CoordinatorOptions co;
+  co.request_timeout_sec = 0.75;
+  Coordinator coord(co);
+  DistOptStats sp = run_pass(dp, o, &coord);
+  DistOptStats st = run_pass(dt, o, nullptr);
+
+  // No window may be lost to the storm...
+  EXPECT_EQ(sp.outcome_total(), sp.windows);
+  EXPECT_EQ(sp.windows, st.windows);
+  // ...and every drill must have actually fired and been absorbed.
+  EXPECT_GT(sp.remote_retries, 0);
+  EXPECT_GT(sp.remote_local_fallbacks, 0);
+  EXPECT_GT(sp.remote_timeouts, 0) << "reply_drop never hit the deadline";
+  EXPECT_GT(sp.worker_restarts, 0) << "no killed worker was respawned";
+  // Transport faults are invisible in the results: retried or locally
+  // solved windows are bit-identical to the threads reference.
+  for (std::size_t i = 0; i < dp.placements().size(); ++i) {
+    EXPECT_EQ(dp.placements()[i], dt.placements()[i]) << "instance " << i;
+  }
+  EXPECT_EQ(sp.objective, st.objective);
+  EXPECT_EQ(sp.solved, st.solved);
+  EXPECT_TRUE(is_legal(dp));
+}
+
+TEST_F(CoordinatorFaults, CoordinatorReusableAcrossPassesAfterStorm) {
+  fault::Config fc = fault::parse_spec("worker_kill=0.3,seed=5");
+  fault::set_config(fc);
+
+  Design d = placed_design(13);
+  DistOptOptions o = base_opts();
+  o.mip.time_limit_sec = 0.5;
+  CoordinatorOptions co;
+  co.request_timeout_sec = 0.75;
+  Coordinator coord(co);
+
+  DistOptStats first = run_pass(d, o, &coord);
+  EXPECT_EQ(first.outcome_total(), first.windows);
+  double obj_after_first = first.objective;
+
+  // Second pass on the mutated design: replicas rebind via the pass
+  // digest, respawned workers keep serving, and the objective never
+  // regresses (warm-started window solves are non-degrading).
+  o.tx = o.bw / 2;
+  o.ty = 1;
+  DistOptStats second = run_pass(d, o, &coord);
+  EXPECT_EQ(second.outcome_total(), second.windows);
+  EXPECT_LE(second.objective, obj_after_first + 1e-9);
+  EXPECT_TRUE(is_legal(d));
+}
+
+}  // namespace
+}  // namespace vm1::dist

@@ -69,6 +69,26 @@ TEST(FaultConfig, ParseSpecPerSiteOverride) {
   EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(fault::Site::kBuildThrow)], 0.0);
 }
 
+TEST(FaultConfig, ParseSpecKnowsDistTransportSites) {
+  // The four transport drills of the distributed backend (src/dist) parse
+  // like any solver site and land on their own Site slots.
+  fault::Config cfg = fault::parse_spec(
+      "worker_kill=0.25,reply_drop=0.5,reply_corrupt=0.125,"
+      "connect_timeout=0.0625");
+  EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(fault::Site::kWorkerKill)],
+                   0.25);
+  EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(fault::Site::kReplyDrop)], 0.5);
+  EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(fault::Site::kReplyCorrupt)],
+                   0.125);
+  EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(fault::Site::kConnectTimeout)],
+                   0.0625);
+  EXPECT_DOUBLE_EQ(cfg.rate[static_cast<int>(fault::Site::kBuildThrow)], 0.0);
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_STREQ(fault::to_string(fault::Site::kWorkerKill), "worker_kill");
+  EXPECT_STREQ(fault::to_string(fault::Site::kConnectTimeout),
+               "connect_timeout");
+}
+
 TEST(FaultConfig, ParseSpecRejectsMalformedInput) {
   EXPECT_THROW(fault::parse_spec("bogus_site=0.5"), std::invalid_argument);
   EXPECT_THROW(fault::parse_spec("rate=1.5"), std::invalid_argument);
