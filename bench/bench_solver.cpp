@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "core/incremental.h"
@@ -199,9 +200,9 @@ void guardrail_study(benchutil::JsonWriter& jw) {
 
 /// Warm-vs-cold branch-and-bound study; prints a table and writes
 /// BENCH_solver.json. Returns nonzero on objective mismatch (exactness is
-/// part of the contract, not just speed).
-int warm_cold_study() {
-  const int instances = 40;
+/// part of the contract, not just speed) and, in quick mode (the CI
+/// perf-smoke job), when warm-start re-solves fail to beat cold wall time.
+int warm_cold_study(int instances, bool quick) {
   SuiteTotals cold = run_suite(false, instances);
   SuiteTotals warm = run_suite(true, instances);
 
@@ -209,6 +210,7 @@ int warm_cold_study() {
                           ? static_cast<double>(cold.lp_iters) /
                                 static_cast<double>(warm.lp_iters)
                           : 0;
+  double warm_speedup = warm.wall_s > 0 ? cold.wall_s / warm.wall_s : 0;
   std::printf("B&B warm-start study (%d window-shaped MILPs)\n", instances);
   std::printf("  %-18s %12s %12s\n", "", "cold", "warm");
   std::printf("  %-18s %12ld %12ld\n", "LP iterations", cold.lp_iters,
@@ -224,7 +226,9 @@ int warm_cold_study() {
               warm.rc_fixed);
   std::printf("  %-18s %12.3f %12.3f\n", "wall seconds", cold.wall_s,
               warm.wall_s);
-  std::printf("  iteration reduction: %.2fx\n\n", iter_ratio);
+  std::printf("  iteration reduction: %.2fx\n", iter_ratio);
+  std::printf("  warm speedup (cold wall / warm wall): %.2fx\n\n",
+              warm_speedup);
 
   // Exactness: wherever both searches proved optimality the incumbent
   // objectives must be identical (node-limited searches may legitimately
@@ -253,12 +257,22 @@ int warm_cold_study() {
   write_totals(jw, "cold", cold);
   write_totals(jw, "warm", warm);
   jw.field("lp_iteration_reduction", iter_ratio);
+  jw.field("warm_speedup", warm_speedup);
   jw.field("instances_compared", compared);
   jw.field("objectives_match", objectives_match);
   guardrail_study(jw);
   benchutil::write_telemetry(jw);
   jw.end_object();
-  return objectives_match ? 0 : 1;
+
+  int rc = objectives_match ? 0 : 1;
+  if (quick && warm_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "ERROR: warm_speedup %.3f < 1.0 — warm-start re-solves are "
+                 "slower than cold restarts\n",
+                 warm_speedup);
+    rc = 1;
+  }
+  return rc;
 }
 
 void BM_SimplexAssignment(benchmark::State& state) {
@@ -343,7 +357,12 @@ BENCHMARK(BM_BranchAndBoundKnapsack)
 
 int main(int argc, char** argv) {
   benchutil::print_run_header("bench_solver");
-  int rc = warm_cold_study();
+  // VM1_BENCH_QUICK: CI perf-smoke mode — a smaller study that asserts
+  // warm_speedup >= 1.0 and skips the microbenchmark suite.
+  const char* quick_env = std::getenv("VM1_BENCH_QUICK");
+  const bool quick = quick_env && *quick_env && *quick_env != '0';
+  int rc = warm_cold_study(quick ? 12 : 40, quick);
+  if (quick) return rc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

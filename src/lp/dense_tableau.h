@@ -1,0 +1,119 @@
+/// \file dense_tableau.h
+/// Dense-tableau simplex engine (Engine::kDense).
+///
+/// This is the original OpenVM1 LP engine, extracted verbatim from
+/// simplex.cpp when the revised engine (revised.h) became the default. It
+/// maintains the full m x ncols tableau B^-1 A explicitly and rewrites it on
+/// every pivot, which is O(m * ncols) per iteration — asymptotically the
+/// wrong trade for the sparse window LPs, but a completely independent
+/// implementation of the same bounded-variable primal/dual simplex. The
+/// differential fuzz tests in tests/test_simplex.cpp run both engines on
+/// the same instances and require identical statuses and matching
+/// objectives, which is why this engine stays in the tree.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "util/logging.h"
+
+namespace vm1::lp::detail {
+
+/// Internal dense tableau state for the bounded-variable simplex.
+///
+/// The problem is normalized to `A x = b, 0 <= x <= u` (variables shifted by
+/// their lower bounds, >= rows negated, one slack per row, artificials added
+/// for rows whose slack-basis start is infeasible).
+///
+/// A DenseTableau can outlive one solve: after an optimal run it stays
+/// consistent (basis, beta, reduced costs), and `set_bounds_incremental` +
+/// `reoptimize_dual` re-solve after bound changes without rebuilding or
+/// re-running phase 1. Bound changes never touch reduced costs, so a basis
+/// that was optimal stays dual feasible and the dual simplex only has to
+/// repair primal feasibility — typically a handful of pivots per
+/// branch-and-bound node.
+class DenseTableau {
+ public:
+  DenseTableau(const Problem& p, const SimplexSolver::Options& opts)
+      : opts_(opts), n_struct_(p.num_variables()), m_(p.num_constraints()) {}
+
+  /// Cold path: slack/artificial start, phase 1 if needed, primal phase 2.
+  Result run_cold(const Problem& p) {
+    build(p);
+    return run(p);
+  }
+
+  /// Warm path from an exported basis: refactorize, then dual simplex (or
+  /// primal phase 2 when the basis is primal- but not dual-feasible).
+  /// nullopt means the basis was unusable and the caller should cold start.
+  std::optional<Result> run_from_basis(const Problem& p, const Basis& warm);
+
+  /// Incremental interface: O(m) bound update preserving the hot basis.
+  /// Returns false when the basis cannot absorb the change (variable
+  /// resting at an upper bound that became infinite).
+  bool set_bounds_incremental(int v, double lo, double hi);
+
+  /// Re-optimizes the hot tableau with the dual simplex. Returns kOptimal
+  /// or kInfeasible (both trustworthy), or kIterLimit when the caller
+  /// should cold restart (stall, drifted solution).
+  Result reoptimize_dual(const Problem& p);
+
+  int iterations() const { return iterations_; }
+
+ private:
+  enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper };
+
+  double& tab(int i, int j) {
+    return tab_[static_cast<std::size_t>(i) * ncols_ + j];
+  }
+
+  void build(const Problem& p);
+  Result run(const Problem& p);
+  /// Rebuilds tab_/beta_ exactly from the problem and the current basis
+  /// (Gauss-Jordan from a fresh copy of A), wiping accumulated pivot drift.
+  /// Returns false on a singular basis.
+  bool refactorize(const Problem& p);
+  // Runs simplex iterations on the current cost row. Returns status.
+  Status iterate(bool phase1);
+  Status dual_iterate();
+  void compute_zrow();
+  int choose_entering(bool bland) const;
+  void pivot(int row, int col);
+  std::vector<double> recover_x() const;
+  void export_optimal(const Problem& p, Result* res) const;
+
+  SimplexSolver::Options opts_;
+  int n_struct_;  ///< structural variable count
+  int m_;         ///< constraint count
+  int ncols_ = 0;
+  int n_art_begin_ = 0;  ///< first artificial column
+  std::vector<double> tab_;   ///< m x ncols, equals B^-1 A
+  std::vector<double> beta_;  ///< basic variable values
+  std::vector<double> ub_;    ///< upper bounds of normalized vars (lower = 0)
+  std::vector<double> cost_;  ///< current objective (phase 1 or 2)
+  std::vector<double> cost2_; ///< phase-2 objective
+  std::vector<double> zrow_;  ///< reduced costs
+  std::vector<int> basis_;    ///< basis_[row] = column index
+  std::vector<VarState> state_;
+  std::vector<double> shift_;  ///< lower bounds of structural vars
+  // Row normalization chosen at build time, kept so refactorize() can
+  // reproduce the exact same normalized system: row i of A was scaled by
+  // sign_[i] (Ge negation) then by flip_[i] (negated so its artificial
+  // enters with +1). art_row_[k] is the row of artificial column
+  // n_art_begin_ + k.
+  std::vector<int> sign_, flip_;
+  std::vector<int> art_row_;
+  std::vector<int> piv_cols_;  ///< scratch: nonzero pivot-row columns
+  Timer timer_;  ///< solve wall clock, reset when iterations_ resets
+  int pivots_since_refactor_ = 0;
+  int iterations_ = 0;
+  int dual_iterations_ = 0;
+  bool need_phase1_ = false;
+#ifdef VM1_LP_DEBUG
+  std::vector<double> a0_, b0_;  ///< normalized system copy for checks
+  void check_system(const char* tag);
+#endif
+};
+
+}  // namespace vm1::lp::detail

@@ -1,0 +1,323 @@
+#include "lp/factor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace vm1::lp::detail {
+
+namespace {
+// Entries smaller than this are dropped when storing an eta: they are
+// below double round-off for the coefficient magnitudes the builders emit
+// and only bloat the file.
+constexpr double kDropTol = 1e-13;
+}  // namespace
+
+bool EtaFactor::factorize(const BasisColumns& cols, double pivot_tol) {
+  m_ = cols.cols();
+  ops_.clear();
+  idx_.clear();
+  val_.clear();
+  factor_ops_ = 0;
+  factored_ = false;
+  dense_ = false;  // back to the eta file until the owner collapse()s again
+  dense_updates_ = 0;
+  slot_row_.assign(m_, -1);
+  if (m_ == 0) {
+    factored_ = true;
+    return true;
+  }
+
+  // Working copy of the basis columns; elimination rewrites them in place
+  // (with fill-in), so they live in per-column vectors rather than a pool.
+  wcols_.resize(m_);
+  row_count_.assign(m_, 0);
+  row_done_.assign(m_, 0);
+  col_done_.assign(m_, 0);
+  for (int k = 0; k < m_; ++k) {
+    auto& w = wcols_[k];
+    w.clear();
+    for (int e = cols.ptr[k]; e < cols.ptr[k + 1]; ++e) {
+      if (cols.val[e] == 0.0) continue;
+      w.emplace_back(cols.idx[e], cols.val[e]);
+      ++row_count_[cols.idx[e]];
+    }
+  }
+  acc_.assign(m_, 0.0);
+  stamp_.assign(m_, 0);
+  gen_ = 0;
+
+  for (int step = 0; step < m_; ++step) {
+    // Markowitz selection: among entries of active columns at active rows
+    // that pass threshold partial pivoting (|v| >= 0.1 * colmax), minimize
+    // (row_count - 1) * (col_count - 1); break ties on magnitude.
+    long best_cost = std::numeric_limits<long>::max();
+    int best_k = -1, best_row = -1;
+    double best_abs = 0;
+    for (int k = 0; k < m_; ++k) {
+      if (col_done_[k]) continue;
+      double colmax = 0;
+      int cnnz = 0;
+      for (const auto& [i, v] : wcols_[k]) {
+        if (row_done_[i]) continue;
+        ++cnnz;
+        double a = std::abs(v);
+        if (a > colmax) colmax = a;
+      }
+      if (colmax < pivot_tol) continue;  // no acceptable pivot here (yet)
+      double threshold = 0.1 * colmax;
+      for (const auto& [i, v] : wcols_[k]) {
+        if (row_done_[i]) continue;
+        double a = std::abs(v);
+        if (a < threshold || a < pivot_tol) continue;
+        long cost = static_cast<long>(row_count_[i] - 1) *
+                    static_cast<long>(cnnz - 1);
+        if (cost < best_cost || (cost == best_cost && a > best_abs)) {
+          best_cost = cost;
+          best_k = k;
+          best_row = i;
+          best_abs = a;
+        }
+      }
+    }
+    if (best_k < 0) return false;  // numerically singular basis
+
+    const auto& v = wcols_[best_k];
+    double vp = 0;
+    for (const auto& [i, x] : v) {
+      if (i == best_row) vp = x;
+    }
+    Op op;
+    op.row = best_row;
+    op.inv_pivot = 1.0 / vp;
+    op.begin = static_cast<int>(idx_.size());
+    for (const auto& [i, x] : v) {
+      if (i == best_row || std::abs(x) < kDropTol) continue;
+      idx_.push_back(i);
+      val_.push_back(x);
+    }
+    op.end = static_cast<int>(idx_.size());
+    slot_row_[best_k] = best_row;
+    col_done_[best_k] = 1;
+    // The pivot column leaves the active submatrix.
+    for (const auto& [i, x] : v) {
+      (void)x;
+      if (!row_done_[i] && i != best_row) --row_count_[i];
+    }
+    row_done_[best_row] = 1;
+
+    // Gauss-Jordan: eliminate best_row from every remaining active column
+    // (scatter into a dense accumulator, gather back sparse).
+    for (int k2 = 0; k2 < m_; ++k2) {
+      if (col_done_[k2]) continue;
+      auto& w = wcols_[k2];
+      double wr = 0;
+      bool has = false;
+      for (const auto& [i, x] : w) {
+        if (i == best_row) {
+          wr = x;
+          has = true;
+          break;
+        }
+      }
+      if (!has || wr == 0.0) continue;
+      double t = wr * op.inv_pivot;
+      ++gen_;
+      touched_.clear();
+      for (const auto& [i, x] : w) {
+        stamp_[i] = gen_;
+        acc_[i] = x;
+        touched_.push_back(i);
+      }
+      for (const auto& [i, x] : v) {
+        if (i == best_row) continue;
+        if (stamp_[i] != gen_) {
+          stamp_[i] = gen_;
+          acc_[i] = 0.0;
+          touched_.push_back(i);
+          if (!row_done_[i]) ++row_count_[i];  // structural fill-in
+        }
+        acc_[i] -= t * x;
+      }
+      acc_[best_row] = t;
+      w.clear();
+      for (int i : touched_) {
+        double x = acc_[i];
+        if (i != best_row && x == 0.0) {
+          if (!row_done_[i]) --row_count_[i];  // exact cancellation
+          continue;
+        }
+        w.emplace_back(i, x);
+      }
+    }
+
+    ops_.push_back(op);
+  }
+  factor_ops_ = static_cast<int>(ops_.size());
+  factored_ = true;
+  return true;
+}
+
+void EtaFactor::collapse() {
+  inv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  fscratch_.resize(m_);
+  const int* idx = idx_.data();
+  const double* val = val_.data();
+  for (int c = 0; c < m_; ++c) {
+    double* col = inv_.data() + static_cast<std::size_t>(c) * m_;
+    col[c] = 1.0;
+    for (const Op& op : ops_) {
+      double t = col[op.row];
+      if (t == 0.0) continue;
+      t *= op.inv_pivot;
+      for (int e = op.begin; e < op.end; ++e) col[idx[e]] -= val[e] * t;
+      col[op.row] = t;
+    }
+  }
+  ops_.clear();
+  idx_.clear();
+  val_.clear();
+  factor_ops_ = 0;
+  dense_ = true;
+  dense_updates_ = 0;
+}
+
+void EtaFactor::reset_diagonal(const double* diag, int m, bool dense) {
+  m_ = m;
+  ops_.clear();
+  idx_.clear();
+  val_.clear();
+  factor_ops_ = 0;
+  dense_ = dense;
+  dense_updates_ = 0;
+  slot_row_.resize(m);
+  for (int i = 0; i < m; ++i) slot_row_[i] = i;
+  if (dense) {
+    inv_.assign(static_cast<std::size_t>(m) * m, 0.0);
+    fscratch_.resize(m);
+    for (int i = 0; i < m; ++i) {
+      inv_[static_cast<std::size_t>(i) * m + i] = 1.0 / diag[i];
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      Op op;
+      op.row = i;
+      op.inv_pivot = 1.0 / diag[i];
+      op.begin = op.end = static_cast<int>(idx_.size());
+      ops_.push_back(op);
+    }
+    factor_ops_ = static_cast<int>(ops_.size());
+  }
+  factored_ = true;
+}
+
+void EtaFactor::ftran(double* x) const {
+  static obs::Counter& ftrans = obs::counter("lp.ftran");
+  ftrans.add();
+  if (dense_) {
+    // y = B^-1 x as a sum of scaled inverse columns; the loads/stores are
+    // contiguous and entering columns are sparse, so most j are skipped.
+    double* y = fscratch_.data();
+    std::fill(y, y + m_, 0.0);
+    for (int j = 0; j < m_; ++j) {
+      const double xj = x[j];
+      if (xj == 0.0) continue;
+      const double* col = inv_.data() + static_cast<std::size_t>(j) * m_;
+      for (int i = 0; i < m_; ++i) y[i] += xj * col[i];
+    }
+    std::copy(y, y + m_, x);
+    return;
+  }
+  const int* idx = idx_.data();
+  const double* val = val_.data();
+  for (const Op& op : ops_) {
+    double t = x[op.row];
+    if (t == 0.0) continue;  // sparse rhs: this eta cannot touch anything
+    t *= op.inv_pivot;
+    for (int e = op.begin; e < op.end; ++e) x[idx[e]] -= val[e] * t;
+    x[op.row] = t;
+  }
+}
+
+void EtaFactor::btran(double* x) const {
+  static obs::Counter& btrans = obs::counter("lp.btran");
+  btrans.add();
+  if (dense_) {
+    // (B^-T x)_j = <column j of B^-1, x>. The dual pivot row asks for
+    // B^-T e_r constantly, so very sparse inputs take a strided gather
+    // instead of m full dot products.
+    double* y = fscratch_.data();
+    int nnz = 0;
+    int nz[4];
+    for (int i = 0; i < m_; ++i) {
+      if (x[i] == 0.0) continue;
+      if (nnz == 4) {
+        nnz = 5;
+        break;
+      }
+      nz[nnz++] = i;
+    }
+    if (nnz <= 4) {
+      for (int j = 0; j < m_; ++j) {
+        const double* col = inv_.data() + static_cast<std::size_t>(j) * m_;
+        double s = 0;
+        for (int k = 0; k < nnz; ++k) s += col[nz[k]] * x[nz[k]];
+        y[j] = s;
+      }
+    } else {
+      for (int j = 0; j < m_; ++j) {
+        const double* col = inv_.data() + static_cast<std::size_t>(j) * m_;
+        double s = 0;
+        for (int i = 0; i < m_; ++i) s += col[i] * x[i];
+        y[j] = s;
+      }
+    }
+    std::copy(y, y + m_, x);
+    return;
+  }
+  const int* idx = idx_.data();
+  const double* val = val_.data();
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    const Op& op = *it;
+    double s = x[op.row];
+    for (int e = op.begin; e < op.end; ++e) s -= val[e] * x[idx[e]];
+    x[op.row] = s * op.inv_pivot;
+  }
+}
+
+bool EtaFactor::append(int row, const double* alpha, double pivot_tol) {
+  static obs::Counter& eta_length = obs::counter("lp.eta_length");
+  double vp = alpha[row];
+  if (std::abs(vp) < pivot_tol) return false;
+  if (dense_) {
+    // Eager product-form update: B'^-1 = E B^-1 applied column by column
+    // as a rank-1 outer product. Columns with a zero pivot-row entry are
+    // untouched (t == 0 leaves every element, including row `row`, as-is).
+    const double inv_piv = 1.0 / vp;
+    for (int c = 0; c < m_; ++c) {
+      double* col = inv_.data() + static_cast<std::size_t>(c) * m_;
+      const double t = col[row] * inv_piv;
+      if (t == 0.0) continue;
+      for (int i = 0; i < m_; ++i) col[i] -= alpha[i] * t;
+      col[row] = t;
+    }
+    ++dense_updates_;
+    return true;
+  }
+  Op op;
+  op.row = row;
+  op.inv_pivot = 1.0 / vp;
+  op.begin = static_cast<int>(idx_.size());
+  for (int i = 0; i < m_; ++i) {
+    if (i == row || std::abs(alpha[i]) < kDropTol) continue;
+    idx_.push_back(i);
+    val_.push_back(alpha[i]);
+  }
+  op.end = static_cast<int>(idx_.size());
+  ops_.push_back(op);
+  eta_length.add(op.end - op.begin + 1);
+  return true;
+}
+
+}  // namespace vm1::lp::detail

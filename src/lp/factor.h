@@ -1,0 +1,135 @@
+/// \file factor.h
+/// Product-form basis factorization for the revised simplex engine.
+///
+/// The basis inverse is represented as a sequence of Gauss-Jordan
+/// elementary transforms ("etas"): B^-1 = G_k ... G_1 where each G applies
+///   t = x[r] / pivot;  x[i] -= v_i * t (i != r);  x[r] = t.
+/// The first m etas come from factorizing the basis submatrix with
+/// Markowitz-ordered, threshold-pivoted Gauss-Jordan elimination; each
+/// subsequent simplex pivot appends one more eta built from the FTRANed
+/// entering column (product-form update — the rank-1 special case of
+/// Forrest-Tomlin), so a pivot costs O(nnz) instead of rewriting an m x n
+/// tableau. FTRAN applies the etas forward, BTRAN applies their transposes
+/// in reverse. The eta file grows with every pivot; the owning engine
+/// refactorizes when updates() crosses its interval or a consistency check
+/// fails, which resets the file to a fresh m-eta factorization.
+///
+/// For small bases the owner may collapse() the factorization into an
+/// explicit dense B^-1 (column-major m x m). Each product-form update is
+/// then applied eagerly as a rank-1 outer-product on contiguous columns and
+/// FTRAN/BTRAN become dense column passes the compiler vectorizes — no eta
+/// chain ever accumulates, so walks stay O(m^2) regardless of how many
+/// pivots separate refactorizations, and the refactor interval can be an
+/// order of magnitude longer. Past the dimension cutoff the m^2 cost per
+/// pivot loses to the sparse eta file, which remains the default.
+#pragma once
+
+#include <vector>
+
+namespace vm1::lp::detail {
+
+/// Basis columns handed to factorize(), in basis-slot order: column k
+/// occupies [ptr[k], ptr[k+1]) of idx/val. Reused scratch — the caller
+/// assembles it per refactorization without reallocating.
+struct BasisColumns {
+  std::vector<int> ptr;
+  std::vector<int> idx;
+  std::vector<double> val;
+
+  void clear() {
+    ptr.clear();
+    ptr.push_back(0);
+    idx.clear();
+    val.clear();
+  }
+  void push(int row, double v) {
+    idx.push_back(row);
+    val.push_back(v);
+  }
+  void close_column() { ptr.push_back(static_cast<int>(idx.size())); }
+  int cols() const { return static_cast<int>(ptr.size()) - 1; }
+};
+
+class EtaFactor {
+ public:
+  /// Factorizes the m basis columns in `cols` (Markowitz ordering with
+  /// threshold partial pivoting). Returns false on a numerically singular
+  /// basis. On success slot_row()[k] is the pivot row assigned to basis
+  /// slot k — a permutation of [0, m); the caller relabels its basis so
+  /// that slot k == row slot_row()[k], after which ftran() of a column
+  /// yields tableau entries indexed directly by row.
+  bool factorize(const BasisColumns& cols, double pivot_tol);
+
+  /// Collapses the current factorization (factor etas plus any appended
+  /// updates) into an explicit dense inverse and drops the eta file.
+  /// Subsequent append()s update the inverse in place; updates() counts
+  /// them so the owner's refactor interval still bounds drift.
+  void collapse();
+
+  /// Loads a diagonal basis B = diag(d) directly — the slack/artificial
+  /// starting basis of a cold solve. O(m), no elimination: this is a basis
+  /// load, not a refactorization, and is deliberately not counted as one.
+  /// `dense` selects the explicit-inverse representation.
+  void reset_diagonal(const double* diag, int m, bool dense);
+
+  bool dense_inverse() const { return dense_; }
+
+  const std::vector<int>& slot_row() const { return slot_row_; }
+
+  /// x := B^-1 x (dense vector of length m). Skips etas whose pivot-row
+  /// entry is exactly zero, so sparse right-hand sides stay cheap.
+  void ftran(double* x) const;
+
+  /// x := B^-T x (dense vector of length m).
+  void btran(double* x) const;
+
+  /// Appends the product-form update eta for a pivot at `row` whose
+  /// FTRANed entering column is `alpha` (dense, length m). Returns false
+  /// when the pivot element is numerically unusable (caller refactorizes).
+  bool append(int row, const double* alpha, double pivot_tol);
+
+  int size() const { return static_cast<int>(ops_.size()); }
+  /// Updates appended since the last factorize()/collapse()/reset.
+  int updates() const {
+    return dense_ ? dense_updates_
+                  : static_cast<int>(ops_.size()) - factor_ops_;
+  }
+  bool factorized() const { return factored_; }
+  int dim() const { return m_; }
+
+ private:
+  struct Op {
+    int row;
+    double inv_pivot;
+    int begin;  ///< off-pivot entries in idx_/val_
+    int end;
+  };
+
+  void apply_op(const Op& op, double* x) const;
+
+  std::vector<Op> ops_;
+  std::vector<int> idx_;
+  std::vector<double> val_;
+  std::vector<int> slot_row_;
+  int m_ = 0;
+  int factor_ops_ = 0;
+  bool factored_ = false;
+
+  // Explicit-inverse mode: inv_ is B^-1 column-major (inv_[c*m_ + i] is
+  // row i of column c); fscratch_ is the dense FTRAN/BTRAN temporary.
+  bool dense_ = false;
+  int dense_updates_ = 0;
+  std::vector<double> inv_;
+  mutable std::vector<double> fscratch_;
+
+  // Factorization workspace (reused across refactorizations).
+  std::vector<std::vector<std::pair<int, double>>> wcols_;
+  std::vector<double> acc_;
+  std::vector<int> stamp_;
+  std::vector<int> touched_;
+  std::vector<int> row_count_;
+  std::vector<char> row_done_, col_done_;
+  int gen_ = 0;
+};
+
+}  // namespace vm1::lp::detail

@@ -1,0 +1,58 @@
+#include "lp/pricing.h"
+
+#include <cmath>
+
+namespace vm1::lp::detail {
+
+namespace {
+// Weights above this mean the reference framework has drifted far from the
+// current basis; restart it (standard Devex practice).
+constexpr double kResetThreshold = 1e10;
+}  // namespace
+
+void DevexPricing::reset(int ncols) { w_.assign(ncols, 1.0); }
+
+int DevexPricing::choose(const std::vector<double>& zrow,
+                         const std::vector<double>& dir, double tol) const {
+  // Branch-light scan: g < -tol encodes eligibility for both bound states
+  // (dir = +1 at lower wants z < -tol, dir = -1 at upper wants z > tol,
+  // dir = 0 for basic columns is never eligible). The division-free
+  // comparison z^2 > best * w keeps the loop auto-vectorizable.
+  const int n = static_cast<int>(zrow.size());
+  const double* z = zrow.data();
+  const double* d = dir.data();
+  const double* w = w_.data();
+  int best = -1;
+  double best_ratio = 0;
+  for (int j = 0; j < n; ++j) {
+    const double g = d[j] * z[j];
+    const double zz = z[j] * z[j];
+    if (g < -tol && zz > best_ratio * w[j]) {
+      best_ratio = zz / w[j];
+      best = j;
+    }
+  }
+  return best;
+}
+
+void DevexPricing::update(int entering, int leaving, double alpha_piv,
+                          const double* rowvals, const int* support,
+                          int nsupport, const std::vector<double>& dir) {
+  double wq = w_[entering];
+  double inv2 = 1.0 / (alpha_piv * alpha_piv);
+  double wl = wq * inv2;
+  if (wl > kResetThreshold) {
+    reset(static_cast<int>(w_.size()));
+    return;
+  }
+  for (int s = 0; s < nsupport; ++s) {
+    int j = support[s];
+    if (j == entering || dir[j] == 0.0) continue;  // basic: no weight
+    double a = rowvals[j];
+    double cand = a * a * wl;
+    if (cand > w_[j]) w_[j] = cand;
+  }
+  w_[leaving] = wl > 1.0 ? wl : 1.0;
+}
+
+}  // namespace vm1::lp::detail

@@ -2,18 +2,19 @@
 
 #include <cassert>
 #include <cmath>
-#include <cstdlib>
 #include <optional>
 
+#include "lp/dense_tableau.h"
+#include "lp/revised.h"
 #include "obs/metrics.h"
-#include "util/logging.h"
+#include "obs/trace.h"
 
 namespace vm1::lp {
 
 namespace {
 
 /// Per-solve totals are bulk-added at the solve entry points; only the
-/// (rare) basis refactorization counts from inside the tableau.
+/// (rare) basis refactorization counts from inside the engines.
 void record_solve(const Result& r, bool warm) {
   static obs::Counter& solves = obs::counter("lp.solves");
   static obs::Counter& pivots = obs::counter("lp.pivots");
@@ -41,10 +42,21 @@ const char* to_string(Status s) {
   return "?";
 }
 
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::kRevised:
+      return "revised";
+    case Engine::kDense:
+      return "dense";
+  }
+  return "?";
+}
+
 int Problem::add_variable(double lo, double hi, double cost,
                           std::string name) {
   assert(std::isfinite(lo));
   assert(lo <= hi);
+  cols_cache_.reset();  // structure changed
   lo_.push_back(lo);
   hi_.push_back(hi);
   cost_.push_back(cost);
@@ -57,6 +69,7 @@ void Problem::add_constraint(std::vector<std::pair<int, double>> terms,
   for ([[maybe_unused]] const auto& [v, a] : terms) {
     assert(v >= 0 && v < num_variables());
   }
+  cols_cache_.reset();  // structure changed
   rows_.push_back(Constraint{std::move(terms), sense, rhs});
 }
 
@@ -96,819 +109,67 @@ double Problem::max_violation(const std::vector<double>& x) const {
   return worst;
 }
 
-namespace {
-
-/// Internal dense tableau state for the bounded-variable simplex.
-///
-/// The problem is normalized to `A x = b, 0 <= x <= u` (variables shifted by
-/// their lower bounds, >= rows negated, one slack per row, artificials added
-/// for rows whose slack-basis start is infeasible).
-///
-/// A Tableau can outlive one solve: after an optimal run it stays consistent
-/// (basis, beta, reduced costs), and `set_bounds_incremental` +
-/// `reoptimize_dual` re-solve after bound changes without rebuilding or
-/// re-running phase 1. Bound changes never touch reduced costs, so a basis
-/// that was optimal stays dual feasible and the dual simplex only has to
-/// repair primal feasibility — typically a handful of pivots per
-/// branch-and-bound node.
-class Tableau {
- public:
-  Tableau(const Problem& p, const SimplexSolver::Options& opts)
-      : opts_(opts), n_struct_(p.num_variables()), m_(p.num_constraints()) {}
-
-  /// Cold path: slack/artificial start, phase 1 if needed, primal phase 2.
-  Result run_cold(const Problem& p) {
-    build(p);
-    return run(p);
+const detail::ColumnMatrix& Problem::columns() const {
+  if (!cols_cache_) {
+    cols_cache_ = std::make_shared<const detail::ColumnMatrix>(
+        detail::ColumnMatrix::build(*this));
   }
+  return *cols_cache_;
+}
 
-  /// Warm path from an exported basis: refactorize, then dual simplex (or
-  /// primal phase 2 when the basis is primal- but not dual-feasible).
-  /// nullopt means the basis was unusable and the caller should cold start.
-  std::optional<Result> run_from_basis(const Problem& p, const Basis& warm);
+namespace detail {
 
-  /// Incremental interface: O(m) bound update preserving the hot basis.
-  /// Returns false when the basis cannot absorb the change (variable
-  /// resting at an upper bound that became infinite).
-  bool set_bounds_incremental(int v, double lo, double hi);
+ColumnMatrix ColumnMatrix::build(const Problem& p) {
+  ColumnMatrix a;
+  a.rows = p.num_constraints();
+  a.cols = p.num_variables();
+  a.row_ptr.assign(a.rows + 1, 0);
+  a.rhs_norm.resize(a.rows);
 
-  /// Re-optimizes the hot tableau with the dual simplex. Returns kOptimal
-  /// or kInfeasible (both trustworthy), or kIterLimit when the caller
-  /// should cold restart (stall, drifted solution).
-  Result reoptimize_dual(const Problem& p);
-
-  int iterations() const { return iterations_; }
-
- private:
-  enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper };
-
-  double& tab(int i, int j) { return tab_[static_cast<std::size_t>(i) * ncols_ + j]; }
-
-  void build(const Problem& p);
-  Result run(const Problem& p);
-  /// Rebuilds tab_/beta_ exactly from the problem and the current basis
-  /// (Gauss-Jordan from a fresh copy of A), wiping accumulated pivot drift.
-  /// Returns false on a singular basis.
-  bool refactorize(const Problem& p);
-  // Runs simplex iterations on the current cost row. Returns status.
-  Status iterate(bool phase1);
-  Status dual_iterate();
-  void compute_zrow();
-  int choose_entering(bool bland) const;
-  void pivot(int row, int col);
-  std::vector<double> recover_x() const;
-  void export_optimal(const Problem& p, Result* res) const;
-
-  SimplexSolver::Options opts_;
-  int n_struct_;  ///< structural variable count
-  int m_;         ///< constraint count
-  int ncols_ = 0;
-  int n_art_begin_ = 0;  ///< first artificial column
-  std::vector<double> tab_;   ///< m x ncols, equals B^-1 A
-  std::vector<double> beta_;  ///< basic variable values
-  std::vector<double> ub_;    ///< upper bounds of normalized vars (lower = 0)
-  std::vector<double> cost_;  ///< current objective (phase 1 or 2)
-  std::vector<double> cost2_; ///< phase-2 objective
-  std::vector<double> zrow_;  ///< reduced costs
-  std::vector<int> basis_;    ///< basis_[row] = column index
-  std::vector<VarState> state_;
-  std::vector<double> shift_;  ///< lower bounds of structural vars
-  // Row normalization chosen at build time, kept so refactorize() can
-  // reproduce the exact same normalized system: row i of A was scaled by
-  // sign_[i] (Ge negation) then by flip_[i] (negated so its artificial
-  // enters with +1). art_row_[k] is the row of artificial column
-  // n_art_begin_ + k.
-  std::vector<int> sign_, flip_;
-  std::vector<int> art_row_;
-  int pivots_since_refactor_ = 0;
-  int iterations_ = 0;
-  int dual_iterations_ = 0;
-  bool need_phase1_ = false;
-#ifdef VM1_LP_DEBUG
-  std::vector<double> a0_, b0_;  ///< normalized system copy for checks
-  void check_system(const char* tag) {
-    std::vector<double> xn(ncols_, 0.0);
-    for (int j = 0; j < ncols_; ++j) {
-      if (state_[j] == VarState::kAtUpper) xn[j] = ub_[j];
-    }
-    for (int i = 0; i < m_; ++i) xn[basis_[i]] = beta_[i];
-    double worst = 0;
-    for (int i = 0; i < m_; ++i) {
-      double lhs = 0;
-      for (int j = 0; j < ncols_; ++j) {
-        lhs += a0_[static_cast<std::size_t>(i) * ncols_ + j] * xn[j];
-      }
-      worst = std::max(worst, std::abs(lhs - b0_[i]));
-    }
-    std::fprintf(stderr, "[lp] %s: system residual %g\n", tag, worst);
-  }
-#endif
-};
-
-void Tableau::build(const Problem& p) {
-  // Column layout: [0, n_struct) structural, [n_struct, n_struct+m) slacks,
-  // then artificials for initially-infeasible rows.
-  // Rows are normalized so that Ge becomes Le (negated); Eq keeps slack with
-  // upper bound zero.
-  iterations_ = 0;
-  dual_iterations_ = 0;
-  shift_.resize(n_struct_);
-  for (int v = 0; v < n_struct_; ++v) shift_[v] = p.lower_bound(v);
-
-  // Count artificials by computing the slack-start residual per row.
-  std::vector<double> rhs_norm(m_);
-  std::vector<double> slack_ub(m_);
-  std::vector<int> sign(m_, 1);
-  for (int i = 0; i < m_; ++i) {
+  // CSR first: walk the constraints, accumulating duplicate term indices
+  // and folding the Ge sign into coefficients and rhs.
+  std::vector<double> acc(a.cols, 0.0);
+  std::vector<int> stamp(a.cols, -1);
+  std::vector<int> touched;
+  for (int i = 0; i < a.rows; ++i) {
     const Constraint& row = p.constraint(i);
-    double b = row.rhs;
-    for (const auto& [v, a] : row.terms) b -= a * shift_[v];
-    int s = (row.sense == Sense::kGe) ? -1 : 1;
-    sign[i] = s;
-    rhs_norm[i] = s * b;
-    slack_ub[i] = (row.sense == Sense::kEq) ? 0.0 : kInf;
-  }
-
-  std::vector<int> art_rows;
-  for (int i = 0; i < m_; ++i) {
-    // Slack starts at clamp(rhs, 0, slack_ub); residual needs an artificial.
-    double v = rhs_norm[i];
-    double clamped = std::min(std::max(v, 0.0), slack_ub[i]);
-    if (std::abs(v - clamped) > opts_.tol) art_rows.push_back(i);
-  }
-  need_phase1_ = !art_rows.empty();
-  sign_ = sign;
-  flip_.assign(m_, 1);
-  art_row_ = art_rows;
-  pivots_since_refactor_ = 0;
-
-  n_art_begin_ = n_struct_ + m_;
-  ncols_ = n_art_begin_ + static_cast<int>(art_rows.size());
-  tab_.assign(static_cast<std::size_t>(m_) * ncols_, 0.0);
-  ub_.assign(ncols_, kInf);
-  cost2_.assign(ncols_, 0.0);
-  state_.assign(ncols_, VarState::kAtLower);
-  beta_.assign(m_, 0.0);
-  basis_.assign(m_, -1);
-
-  for (int v = 0; v < n_struct_; ++v) {
-    double hi = p.upper_bound(v);
-    ub_[v] = std::isfinite(hi) ? hi - shift_[v] : kInf;
-    cost2_[v] = p.cost(v);
-  }
-  for (int i = 0; i < m_; ++i) {
-    const Constraint& row = p.constraint(i);
-    for (const auto& [v, a] : row.terms) tab(i, v) += sign[i] * a;
-    tab(i, n_struct_ + i) = 1.0;
-    ub_[n_struct_ + i] = slack_ub[i];
-  }
-
-  // Initial basis: slack where feasible, artificial otherwise. The basis
-  // must be the identity in the tableau, so rows whose starting residual is
-  // negative are negated before their artificial (coefficient +1) is added.
-  int art_col = n_art_begin_;
-  std::size_t next_art = 0;
-  for (int i = 0; i < m_; ++i) {
-    double v = rhs_norm[i];
-    double clamped = std::min(std::max(v, 0.0), slack_ub[i]);
-    if (next_art < art_rows.size() && art_rows[next_art] == i) {
-      ++next_art;
-      double resid = v - clamped;
-      if (resid < 0) {
-        // Negate the whole row (structural + slack coefficients and rhs)
-        // so the artificial's column is +1.
-        for (int j = 0; j < ncols_; ++j) tab(i, j) = -tab(i, j);
-        rhs_norm[i] = -v;
-        resid = -resid;
-        flip_[i] = -1;
-        // Slack stays at the same bound value (always 0 here: a negative
-        // residual implies the slack was clamped to its lower bound).
+    const double s = (row.sense == Sense::kGe) ? -1.0 : 1.0;
+    a.rhs_norm[i] = s * row.rhs;
+    touched.clear();
+    for (const auto& [v, c] : row.terms) {
+      if (stamp[v] != i) {
+        stamp[v] = i;
+        acc[v] = 0.0;
+        touched.push_back(v);
       }
-      tab(i, art_col) = 1.0;
-      basis_[i] = art_col;
-      beta_[i] = resid;
-      state_[art_col] = VarState::kBasic;
-      state_[n_struct_ + i] =
-          (clamped == 0.0) ? VarState::kAtLower : VarState::kAtUpper;
-      ++art_col;
-    } else {
-      basis_[i] = n_struct_ + i;
-      beta_[i] = clamped;
-      state_[n_struct_ + i] = VarState::kBasic;
+      acc[v] += s * c;
+    }
+    for (int v : touched) {
+      a.col_idx.push_back(v);
+      a.rval.push_back(acc[v]);
+    }
+    a.row_ptr[i + 1] = static_cast<int>(a.col_idx.size());
+  }
+
+  // CSC by counting sort over the CSR entries (rows stay ascending within
+  // each column, which keeps FTRAN scatters cache-friendly).
+  a.col_ptr.assign(a.cols + 1, 0);
+  for (int j : a.col_idx) ++a.col_ptr[j + 1];
+  for (int j = 0; j < a.cols; ++j) a.col_ptr[j + 1] += a.col_ptr[j];
+  a.row_idx.resize(a.col_idx.size());
+  a.val.resize(a.col_idx.size());
+  std::vector<int> next(a.col_ptr.begin(), a.col_ptr.end() - 1);
+  for (int i = 0; i < a.rows; ++i) {
+    for (int e = a.row_ptr[i]; e < a.row_ptr[i + 1]; ++e) {
+      const int slot = next[a.col_idx[e]]++;
+      a.row_idx[slot] = i;
+      a.val[slot] = a.rval[e];
     }
   }
-#ifdef VM1_LP_DEBUG
-  a0_ = tab_;
-  b0_ = rhs_norm;
-#endif
+  return a;
 }
 
-void Tableau::compute_zrow() {
-  zrow_.assign(ncols_, 0.0);
-  // z_j = c_j - c_B' (B^-1 A_j). tab_ holds B^-1 A.
-  for (int j = 0; j < ncols_; ++j) zrow_[j] = cost_[j];
-  for (int i = 0; i < m_; ++i) {
-    double cb = cost_[basis_[i]];
-    if (cb == 0.0) continue;
-    const double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
-    for (int j = 0; j < ncols_; ++j) zrow_[j] -= cb * row[j];
-  }
-}
-
-int Tableau::choose_entering(bool bland) const {
-  int best = -1;
-  double best_score = opts_.tol;
-  for (int j = 0; j < ncols_; ++j) {
-    if (state_[j] == VarState::kBasic) continue;
-    double z = zrow_[j];
-    double score = 0;
-    if (state_[j] == VarState::kAtLower && z < -opts_.tol) {
-      score = -z;
-    } else if (state_[j] == VarState::kAtUpper && z > opts_.tol) {
-      score = z;
-    } else {
-      continue;
-    }
-    if (bland) return j;  // first eligible (lowest index)
-    if (score > best_score) {
-      best_score = score;
-      best = j;
-    }
-  }
-  return best;
-}
-
-bool Tableau::refactorize(const Problem& p) {
-  static obs::Counter& refactorizations = obs::counter("lp.refactorizations");
-  refactorizations.add();
-  // Rebuild the normalized system (with the *current* shifts, which track
-  // bound changes) under the same row scaling build() chose.
-  std::vector<double> rhs(m_);
-  std::fill(tab_.begin(), tab_.end(), 0.0);
-  for (int i = 0; i < m_; ++i) {
-    const Constraint& row = p.constraint(i);
-    double b = row.rhs;
-    for (const auto& [v, a] : row.terms) b -= a * shift_[v];
-    const double s = sign_[i] * flip_[i];
-    for (const auto& [v, a] : row.terms) tab(i, v) += s * a;
-    tab(i, n_struct_ + i) = flip_[i];
-    rhs[i] = s * b;
-  }
-  for (std::size_t k = 0; k < art_row_.size(); ++k) {
-    tab(art_row_[k], n_art_begin_ + static_cast<int>(k)) = 1.0;
-  }
-
-  // Gauss-Jordan on the basis columns (carrying rhs): tab becomes B^-1 A.
-  // The row <-> basic-variable pairing is only a permutation, so it is
-  // re-derived here with full pivoting over the basis submatrix — pivoting
-  // in the stored row order hits spuriously tiny pivots on triangular
-  // chains even when the basis itself is well conditioned.
-  std::vector<int> cols = basis_;
-  std::vector<char> row_done(m_, 0);
-  std::vector<int> new_basis(m_, -1);
-  for (int step = 0; step < m_; ++step) {
-    int br = -1, bk = -1;
-    double bv = 1e-9;
-    for (int k = step; k < m_; ++k) {
-      for (int i = 0; i < m_; ++i) {
-        if (row_done[i]) continue;
-        double a = std::abs(tab(i, cols[k]));
-        if (a > bv) {
-          bv = a;
-          br = i;
-          bk = k;
-        }
-      }
-    }
-    if (br < 0) return false;  // numerically singular basis
-    std::swap(cols[step], cols[bk]);
-    int c = cols[step];
-    row_done[br] = 1;
-    new_basis[br] = c;
-    double inv = 1.0 / tab(br, c);
-    double* prow = &tab_[static_cast<std::size_t>(br) * ncols_];
-    for (int j = 0; j < ncols_; ++j) prow[j] *= inv;
-    rhs[br] *= inv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == br) continue;
-      double f = tab(i, c);
-      if (f == 0.0) continue;
-      double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
-      for (int j = 0; j < ncols_; ++j) row[j] -= f * prow[j];
-      tab(i, c) = 0.0;
-      rhs[i] -= f * rhs[br];
-    }
-  }
-  basis_ = new_basis;
-  beta_ = rhs;
-  for (int j = 0; j < ncols_; ++j) {
-    if (state_[j] != VarState::kAtUpper || ub_[j] == 0.0) continue;
-    for (int i = 0; i < m_; ++i) beta_[i] -= tab(i, j) * ub_[j];
-  }
-  pivots_since_refactor_ = 0;
-  return true;
-}
-
-void Tableau::pivot(int r, int c) {
-  ++pivots_since_refactor_;
-  double piv = tab(r, c);
-  double inv = 1.0 / piv;
-  double* prow = &tab_[static_cast<std::size_t>(r) * ncols_];
-  for (int j = 0; j < ncols_; ++j) prow[j] *= inv;
-  for (int i = 0; i < m_; ++i) {
-    if (i == r) continue;
-    double f = tab(i, c);
-    if (f == 0.0) continue;
-    double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
-    for (int j = 0; j < ncols_; ++j) row[j] -= f * prow[j];
-    tab(i, c) = 0.0;
-  }
-  double fz = zrow_[c];
-  if (fz != 0.0) {
-    for (int j = 0; j < ncols_; ++j) zrow_[j] -= fz * prow[j];
-    zrow_[c] = 0.0;
-  }
-}
-
-Status Tableau::iterate(bool phase1) {
-  compute_zrow();
-  int stall = 0;
-  bool bland = false;
-  Timer timer;
-  while (iterations_ < opts_.max_iterations) {
-    if (opts_.time_limit_sec > 0 && (iterations_ & 127) == 0 &&
-        timer.seconds() > opts_.time_limit_sec) {
-      return Status::kIterLimit;
-    }
-#ifdef VM1_LP_DEBUG
-    check_system(phase1 ? "p1 iter" : "p2 iter");
-#endif
-    int j = choose_entering(bland);
-    if (j < 0) return Status::kOptimal;
-    ++iterations_;
-
-    const int d = (state_[j] == VarState::kAtLower) ? 1 : -1;
-
-    // Ratio test.
-    double t_max = ub_[j];  // bound-flip distance (may be inf)
-    int leave_row = -1;
-    int leave_dir = 0;  // +1: leaving var hits lower; -1: hits upper
-    for (int i = 0; i < m_; ++i) {
-      double e = d * tab(i, j);
-      if (std::abs(e) < opts_.pivot_tol) continue;
-      double t;
-      int dir;
-      if (e > 0) {
-        t = beta_[i] / e;  // basic hits its lower bound (0)
-        dir = 1;
-      } else {
-        if (!std::isfinite(ub_[basis_[i]])) continue;
-        t = (ub_[basis_[i]] - beta_[i]) / (-e);
-        dir = -1;
-      }
-      if (t < 0) t = 0;
-      if (t < t_max - 1e-12 ||
-          (leave_row >= 0 && t < t_max + 1e-12 && bland &&
-           basis_[i] < basis_[leave_row])) {
-        t_max = t;
-        leave_row = i;
-        leave_dir = dir;
-      }
-    }
-
-    if (!std::isfinite(t_max)) {
-      return phase1 ? Status::kInfeasible : Status::kUnbounded;
-    }
-
-    if (t_max <= 1e-11) {
-      ++stall;
-      if (stall > 2 * (m_ + ncols_)) bland = true;
-    } else {
-      stall = 0;
-    }
-
-    if (leave_row < 0) {
-      // Bound flip: entering variable moves to its opposite bound.
-      double t = ub_[j];
-      for (int i = 0; i < m_; ++i) beta_[i] -= d * tab(i, j) * t;
-      state_[j] =
-          (state_[j] == VarState::kAtLower) ? VarState::kAtUpper
-                                            : VarState::kAtLower;
-      continue;
-    }
-
-    // Basis change.
-    double t = t_max;
-    for (int i = 0; i < m_; ++i) beta_[i] -= d * tab(i, j) * t;
-    int leaving = basis_[leave_row];
-    state_[leaving] =
-        (leave_dir > 0) ? VarState::kAtLower : VarState::kAtUpper;
-    // Entering variable's new value relative to its lower bound.
-    double enter_val = (d > 0) ? t : ub_[j] - t;
-    pivot(leave_row, j);
-    basis_[leave_row] = j;
-    state_[j] = VarState::kBasic;
-    beta_[leave_row] = enter_val;
-  }
-  return Status::kIterLimit;
-}
-
-/// Bounded-variable dual simplex. Requires a dual-feasible basis (reduced
-/// costs of at-lower nonbasics >= 0, at-upper <= 0); repairs primal bound
-/// violations of basic variables one leaving row at a time. Bound changes
-/// preserve dual feasibility, which is why this is the branch-and-bound
-/// re-optimization engine.
-Status Tableau::dual_iterate() {
-  cost_ = cost2_;
-  compute_zrow();
-  int stall = 0;
-  bool bland = false;
-  Timer timer;
-  while (iterations_ < opts_.max_iterations) {
-    if (opts_.time_limit_sec > 0 && (iterations_ & 127) == 0 &&
-        timer.seconds() > opts_.time_limit_sec) {
-      return Status::kIterLimit;
-    }
-    // Leaving row: basic variable with the largest bound violation.
-    int r = -1;
-    bool above = false;
-    double worst = opts_.tol;
-    for (int i = 0; i < m_; ++i) {
-      double lo_viol = -beta_[i];
-      if (lo_viol > worst) {
-        worst = lo_viol;
-        r = i;
-        above = false;
-      }
-      double up = ub_[basis_[i]];
-      if (std::isfinite(up)) {
-        double hi_viol = beta_[i] - up;
-        if (hi_viol > worst) {
-          worst = hi_viol;
-          r = i;
-          above = true;
-        }
-      }
-    }
-    if (r < 0) return Status::kOptimal;
-
-    // Entering column: dual ratio test over nonbasic non-artificials.
-    // arj is the pivot element in the direction that reduces the violation;
-    // the min |z|/|arj| ratio keeps every reduced cost on its feasible side.
-    int best_j = -1;
-    double best_ratio = kInf;
-    double best_a = 0;
-    for (int j = 0; j < n_art_begin_; ++j) {
-      if (state_[j] == VarState::kBasic) continue;
-      double a = tab(r, j);
-      double arj = above ? -a : a;
-      double ratio;
-      if (state_[j] == VarState::kAtLower) {
-        if (arj >= -opts_.pivot_tol) continue;
-        ratio = std::max(0.0, zrow_[j]) / (-arj);
-      } else {
-        if (arj <= opts_.pivot_tol) continue;
-        ratio = std::max(0.0, -zrow_[j]) / arj;
-      }
-      if (best_j < 0 || ratio < best_ratio - 1e-12 ||
-          (ratio < best_ratio + 1e-12 &&
-           (bland ? j < best_j : std::abs(a) > std::abs(best_a)))) {
-        best_j = j;
-        best_ratio = ratio;
-        best_a = a;
-      }
-    }
-    // No column can absorb the violation: the primal is infeasible (the
-    // dual ray certifies it), exactly like a positive phase-1 optimum.
-    if (best_j < 0) return Status::kInfeasible;
-
-    ++iterations_;
-    ++dual_iterations_;
-    if (best_ratio <= 1e-11) {
-      ++stall;
-      if (stall > 2 * (m_ + ncols_)) bland = true;
-    } else {
-      stall = 0;
-    }
-
-    const int d = (state_[best_j] == VarState::kAtLower) ? 1 : -1;
-    double target = above ? ub_[basis_[r]] : 0.0;
-    double t = (beta_[r] - target) / (d * tab(r, best_j));
-    if (t < 0) t = 0;
-    for (int i = 0; i < m_; ++i) {
-      if (i != r) beta_[i] -= d * tab(i, best_j) * t;
-    }
-    int leaving = basis_[r];
-    state_[leaving] = above ? VarState::kAtUpper : VarState::kAtLower;
-    double enter_val = (d > 0) ? t : ub_[best_j] - t;
-    pivot(r, best_j);
-    basis_[r] = best_j;
-    state_[best_j] = VarState::kBasic;
-    beta_[r] = enter_val;
-  }
-  return Status::kIterLimit;
-}
-
-std::vector<double> Tableau::recover_x() const {
-  std::vector<double> xn(ncols_, 0.0);
-  for (int j = 0; j < ncols_; ++j) {
-    if (state_[j] == VarState::kAtUpper) xn[j] = ub_[j];
-  }
-  for (int i = 0; i < m_; ++i) xn[basis_[i]] = beta_[i];
-  std::vector<double> x(n_struct_);
-  for (int v = 0; v < n_struct_; ++v) x[v] = shift_[v] + xn[v];
-  return x;
-}
-
-/// Fills x/objective/basis/reduced costs of an optimal result. The basis is
-/// exported only when no artificial column remained basic (otherwise it is
-/// not expressible in the structural+slack column space).
-void Tableau::export_optimal(const Problem& p, Result* res) const {
-  res->x = recover_x();
-  res->objective = p.objective_value(res->x);
-  const int n_real = n_struct_ + m_;
-  bool clean = true;
-  for (int i = 0; i < m_; ++i) {
-    if (basis_[i] >= n_real) {
-      clean = false;
-      break;
-    }
-  }
-  if (clean) {
-    res->basis.basic = basis_;
-    res->basis.state.resize(n_real);
-    for (int j = 0; j < n_real; ++j) {
-      switch (state_[j]) {
-        case VarState::kBasic:
-          res->basis.state[j] = BasisState::kBasic;
-          break;
-        case VarState::kAtLower:
-          res->basis.state[j] = BasisState::kAtLower;
-          break;
-        case VarState::kAtUpper:
-          res->basis.state[j] = BasisState::kAtUpper;
-          break;
-      }
-    }
-  }
-  res->reduced_cost.assign(zrow_.begin(), zrow_.begin() + n_struct_);
-}
-
-Result Tableau::run(const Problem& p) {
-  Result res;
-#ifdef VM1_LP_DEBUG
-  auto report = [&](const char* tag) {
-    std::vector<double> x = recover_x();
-    std::fprintf(stderr, "[lp] %s: violation=%g obj=%g\n", tag,
-                 p.max_violation(x), p.objective_value(x));
-  };
-#endif
-  if (need_phase1_) {
-    cost_.assign(ncols_, 0.0);
-    for (int j = n_art_begin_; j < ncols_; ++j) cost_[j] = 1.0;
-    Status s = iterate(/*phase1=*/true);
-    if (s == Status::kIterLimit) {
-      res.status = s;
-      res.iterations = iterations_;
-      return res;
-    }
-    double infeas = 0;
-    for (int i = 0; i < m_; ++i) {
-      if (basis_[i] >= n_art_begin_) infeas += beta_[i];
-    }
-    for (int j = n_art_begin_; j < ncols_; ++j) {
-      if (state_[j] == VarState::kAtUpper) infeas += ub_[j];
-    }
-    if (s == Status::kInfeasible || infeas > 1e-6) {
-      res.status = Status::kInfeasible;
-      res.iterations = iterations_;
-      return res;
-    }
-    // Pin artificials to zero so they cannot re-enter.
-    for (int j = n_art_begin_; j < ncols_; ++j) {
-      ub_[j] = 0.0;
-      if (state_[j] == VarState::kAtUpper) state_[j] = VarState::kAtLower;
-    }
-#ifdef VM1_LP_DEBUG
-    report("after phase 1");
-#endif
-  }
-
-  cost_ = cost2_;
-  Status s = iterate(/*phase1=*/false);
-  res.status = s;
-  res.iterations = iterations_;
-  if (s != Status::kOptimal) return res;
-
-  export_optimal(p, &res);
-  return res;
-}
-
-Result Tableau::reoptimize_dual(const Problem& p) {
-  Result res;
-  iterations_ = 0;
-  dual_iterations_ = 0;
-  res.warm_start_used = true;
-  // Dense tableaus drift over long pivot chains, so the hot state is
-  // refactorized from the current basis every `interval` pivots, and any
-  // verdict reached on a stale factorization is re-derived on a fresh one
-  // before it is trusted: a drifted "optimal" over-prunes the search and a
-  // drifted "infeasible" discards feasible subtrees.
-  const int interval = 50 + 2 * m_;
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    bool fresh = false;
-    if (attempt > 0 || pivots_since_refactor_ > interval) {
-      if (!refactorize(p)) {
-        res.status = Status::kIterLimit;
-        return res;
-      }
-      fresh = true;
-    }
-    Status s = dual_iterate();
-    res.status = s;
-    res.iterations = iterations_;
-    res.dual_iterations = dual_iterations_;
-    if (s == Status::kIterLimit) return res;
-    if (s == Status::kInfeasible) {
-      if (fresh) return res;  // certified on an exact factorization
-      continue;
-    }
-    export_optimal(p, &res);
-    if (p.max_violation(res.x) <= 1e-6) return res;
-    res.x.clear();
-    res.basis = Basis{};
-    res.reduced_cost.clear();
-  }
-  // Persistent violation even after refactorizing: cold restart.
-  res.status = Status::kIterLimit;
-  return res;
-}
-
-bool Tableau::set_bounds_incremental(int v, double lo, double hi) {
-  assert(v >= 0 && v < n_struct_);
-  // Normalized: x = shift + x', 0 <= x' <= ub, rows A x' = b' with
-  // b' = b - A*shift. The basic values are
-  //   beta = B^-1 b' - sum_{j nonbasic} (B^-1 A_j) * val'_j,
-  // so a bound change on v only shifts beta along column tab(:, v):
-  //  * at lower (val stays at the lower bound) or basic (b' shift):
-  //      beta -= tab(:,v) * (lo_new - lo_old);
-  //  * at upper (val stays at the upper bound):
-  //      beta -= tab(:,v) * (hi_new - hi_old).
-  // Reduced costs are untouched, so dual feasibility survives.
-  if (state_[v] == VarState::kAtUpper) {
-    if (!std::isfinite(hi)) return false;  // cannot rest at +infinity
-    double dval = hi - (shift_[v] + ub_[v]);
-    if (dval != 0.0) {
-      for (int i = 0; i < m_; ++i) beta_[i] -= tab(i, v) * dval;
-    }
-  } else {
-    double ds = lo - shift_[v];
-    if (ds != 0.0) {
-      for (int i = 0; i < m_; ++i) beta_[i] -= tab(i, v) * ds;
-    }
-  }
-  shift_[v] = lo;
-  ub_[v] = std::isfinite(hi) ? hi - lo : kInf;
-  return true;
-}
-
-std::optional<Result> Tableau::run_from_basis(const Problem& p,
-                                              const Basis& warm) {
-  const int n_real = n_struct_ + m_;
-  if (static_cast<int>(warm.basic.size()) != m_ ||
-      static_cast<int>(warm.state.size()) != n_real) {
-    return std::nullopt;
-  }
-
-  iterations_ = 0;
-  dual_iterations_ = 0;
-  shift_.resize(n_struct_);
-  for (int v = 0; v < n_struct_; ++v) shift_[v] = p.lower_bound(v);
-
-  ncols_ = n_real;
-  n_art_begin_ = n_real;
-  need_phase1_ = false;
-  tab_.assign(static_cast<std::size_t>(m_) * ncols_, 0.0);
-  ub_.assign(ncols_, kInf);
-  cost2_.assign(ncols_, 0.0);
-  state_.assign(ncols_, VarState::kAtLower);
-  beta_.assign(m_, 0.0);
-  basis_ = warm.basic;
-
-  for (int v = 0; v < n_struct_; ++v) {
-    double hi = p.upper_bound(v);
-    ub_[v] = std::isfinite(hi) ? hi - shift_[v] : kInf;
-    cost2_[v] = p.cost(v);
-  }
-  sign_.resize(m_);
-  flip_.assign(m_, 1);
-  art_row_.clear();
-  std::vector<double> rhs(m_);
-  for (int i = 0; i < m_; ++i) {
-    const Constraint& row = p.constraint(i);
-    double b = row.rhs;
-    for (const auto& [v, a] : row.terms) b -= a * shift_[v];
-    int s = (row.sense == Sense::kGe) ? -1 : 1;
-    sign_[i] = s;
-    for (const auto& [v, a] : row.terms) tab(i, v) += s * a;
-    tab(i, n_struct_ + i) = 1.0;
-    ub_[n_struct_ + i] = (row.sense == Sense::kEq) ? 0.0 : kInf;
-    rhs[i] = s * b;
-  }
-
-  for (int j = 0; j < ncols_; ++j) {
-    switch (warm.state[j]) {
-      case BasisState::kBasic:
-        state_[j] = VarState::kBasic;
-        break;
-      case BasisState::kAtLower:
-        state_[j] = VarState::kAtLower;
-        break;
-      case BasisState::kAtUpper:
-        if (!std::isfinite(ub_[j])) return std::nullopt;
-        state_[j] = VarState::kAtUpper;
-        break;
-    }
-  }
-  for (int i = 0; i < m_; ++i) {
-    int c = basis_[i];
-    if (c < 0 || c >= ncols_ || state_[c] != VarState::kBasic) {
-      return std::nullopt;
-    }
-  }
-
-  // Refactorize: Gauss-Jordan pivots turn the basis columns into the
-  // identity, yielding tab = B^-1 A and rhs = B^-1 b'.
-  for (int r = 0; r < m_; ++r) {
-    int c = basis_[r];
-    double piv = tab(r, c);
-    if (std::abs(piv) < 1e-9) return std::nullopt;  // singular basis
-    double inv = 1.0 / piv;
-    double* prow = &tab_[static_cast<std::size_t>(r) * ncols_];
-    for (int j = 0; j < ncols_; ++j) prow[j] *= inv;
-    rhs[r] *= inv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == r) continue;
-      double f = tab(i, c);
-      if (f == 0.0) continue;
-      double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
-      for (int j = 0; j < ncols_; ++j) row[j] -= f * prow[j];
-      tab(i, c) = 0.0;
-      rhs[i] -= f * rhs[r];
-    }
-  }
-  beta_ = rhs;
-  for (int j = 0; j < ncols_; ++j) {
-    if (state_[j] != VarState::kAtUpper || ub_[j] == 0.0) continue;
-    for (int i = 0; i < m_; ++i) beta_[i] -= tab(i, j) * ub_[j];
-  }
-  pivots_since_refactor_ = 0;
-
-  cost_ = cost2_;
-  compute_zrow();
-  bool dual_feasible = true;
-  for (int j = 0; j < ncols_ && dual_feasible; ++j) {
-    if (state_[j] == VarState::kAtLower && zrow_[j] < -10 * opts_.tol) {
-      dual_feasible = false;
-    } else if (state_[j] == VarState::kAtUpper && zrow_[j] > 10 * opts_.tol) {
-      dual_feasible = false;
-    }
-  }
-
-  if (dual_feasible) {
-    Result res = reoptimize_dual(p);
-    if (res.status == Status::kOptimal || res.status == Status::kInfeasible) {
-      return res;
-    }
-    return std::nullopt;  // stall or drift: cold restart
-  }
-
-  bool primal_feasible = true;
-  for (int i = 0; i < m_ && primal_feasible; ++i) {
-    if (beta_[i] < -opts_.tol || beta_[i] > ub_[basis_[i]] + opts_.tol) {
-      primal_feasible = false;
-    }
-  }
-  if (primal_feasible) {
-    // Bound changes that only relax can leave the basis primal feasible but
-    // dual infeasible; phase 2 from here still skips phase 1.
-    Status s = iterate(/*phase1=*/false);
-    Result res;
-    res.status = s;
-    res.iterations = iterations_;
-    res.warm_start_used = true;
-    if (s == Status::kOptimal) {
-      export_optimal(p, &res);
-      if (p.max_violation(res.x) > 1e-6) return std::nullopt;
-      return res;
-    }
-    if (s == Status::kUnbounded) return res;
-    return std::nullopt;
-  }
-  return std::nullopt;
-}
-
-}  // namespace
+}  // namespace detail
 
 Result SimplexSolver::solve(const Problem& p) const {
   if (p.num_variables() == 0) {
@@ -917,29 +178,75 @@ Result SimplexSolver::solve(const Problem& p) const {
     r.objective = 0;
     return r;
   }
-  Tableau t(p, opts_);
-  Result r = t.run_cold(p);
+  obs::ObsSpan span("lp.solve");
+  span.arg("engine", to_string(opts_.engine)).arg("warm", "cold");
+  Result r;
+  if (opts_.engine == Engine::kDense) {
+    detail::DenseTableau t(p, opts_);
+    r = t.run_cold(p);
+  } else {
+    detail::RevisedCore c(p, opts_);
+    r = c.run_cold(p);
+  }
+  span.arg("status", to_string(r.status));
   record_solve(r, /*warm=*/false);
   return r;
 }
 
 Result SimplexSolver::solve(const Problem& p, const Basis* warm) const {
   if (!warm || warm->empty() || p.num_variables() == 0) return solve(p);
-  Tableau t(p, opts_);
-  std::optional<Result> res = t.run_from_basis(p, *warm);
+  std::optional<Result> res;
+  int wasted = 0;
+  {
+    obs::ObsSpan span("lp.solve");
+    span.arg("engine", to_string(opts_.engine)).arg("warm", "warm");
+    if (opts_.engine == Engine::kDense) {
+      detail::DenseTableau t(p, opts_);
+      res = t.run_from_basis(p, *warm);
+      if (!res) wasted = t.iterations();
+    } else {
+      detail::RevisedCore c(p, opts_);
+      res = c.run_from_basis(p, *warm);
+      if (!res) wasted = c.iterations();
+    }
+    span.arg("status", res ? to_string(res->status) : "cold-restart");
+  }
   if (res) {
     record_solve(*res, /*warm=*/true);
     return *res;
   }
-  int wasted = t.iterations();
   Result cold = solve(p);  // record_solve runs inside
   cold.iterations += wasted;
   return cold;
 }
 
+/// Engine-dispatching pimpl: exactly one of the two cores is live,
+/// selected once at construction from Options::engine.
 struct IncrementalSimplex::Impl {
-  Impl(const Problem& p, const SimplexSolver::Options& opts) : t(p, opts) {}
-  Tableau t;
+  Impl(const Problem& p, const SimplexSolver::Options& opts) {
+    if (opts.engine == Engine::kDense) {
+      dense = std::make_unique<detail::DenseTableau>(p, opts);
+    } else {
+      revised = std::make_unique<detail::RevisedCore>(p, opts);
+    }
+  }
+
+  Result run_cold(const Problem& p) {
+    return dense ? dense->run_cold(p) : revised->run_cold(p);
+  }
+  Result reoptimize_dual(const Problem& p) {
+    return dense ? dense->reoptimize_dual(p) : revised->reoptimize_dual(p);
+  }
+  bool set_bounds_incremental(int v, double lo, double hi) {
+    return dense ? dense->set_bounds_incremental(v, lo, hi)
+                 : revised->set_bounds_incremental(v, lo, hi);
+  }
+  int iterations() const {
+    return dense ? dense->iterations() : revised->iterations();
+  }
+
+  std::unique_ptr<detail::DenseTableau> dense;
+  std::unique_ptr<detail::RevisedCore> revised;
 };
 
 IncrementalSimplex::IncrementalSimplex(const Problem& p,
@@ -950,7 +257,7 @@ IncrementalSimplex::~IncrementalSimplex() = default;
 
 void IncrementalSimplex::set_bounds(int v, double lo, double hi) {
   prob_.set_bounds(v, lo, hi);
-  if (hot_) hot_ = impl_->t.set_bounds_incremental(v, lo, hi);
+  if (hot_) hot_ = impl_->set_bounds_incremental(v, lo, hi);
 }
 
 void IncrementalSimplex::invalidate() { hot_ = false; }
@@ -962,16 +269,20 @@ Result IncrementalSimplex::solve() {
     r.objective = 0;
     return r;
   }
+  obs::ObsSpan span("lp.solve");
+  span.arg("engine", to_string(opts_.engine))
+      .arg("warm", hot_ ? "warm" : "cold");
   int wasted = 0;
   int wasted_dual = 0;
   if (hot_) {
-    Result r = impl_->t.reoptimize_dual(prob_);
+    Result r = impl_->reoptimize_dual(prob_);
     dual_pivots_ += r.dual_iterations;
     if (r.status == Status::kOptimal || r.status == Status::kInfeasible) {
-      // Both outcomes leave the tableau consistent and dual feasible: an
+      // Both outcomes leave the engine consistent and dual feasible: an
       // infeasible node's basis still warm-starts the sibling after its
       // bound fixes are undone.
       ++warm_solves_;
+      span.arg("status", to_string(r.status));
       record_solve(r, /*warm=*/true);
       return r;
     }
@@ -979,11 +290,12 @@ Result IncrementalSimplex::solve() {
     wasted_dual = r.dual_iterations;
     hot_ = false;
   }
-  Result r = impl_->t.run_cold(prob_);
+  Result r = impl_->run_cold(prob_);
   r.iterations += wasted;
   r.dual_iterations += wasted_dual;
   ++cold_solves_;
   hot_ = (r.status == Status::kOptimal);
+  span.arg("status", to_string(r.status));
   record_solve(r, /*warm=*/false);
   return r;
 }

@@ -1,18 +1,23 @@
 /// \file simplex.h
-/// Dense bounded-variable simplex LP solver (primal two-phase + dual).
+/// Bounded-variable simplex LP solver (primal two-phase + dual).
 ///
 /// This is the LP engine underneath the branch-and-bound MILP solver
 /// (src/milp) that OpenVM1 uses in place of the paper's CPLEX 12.6.3.
-/// Window MILP instances are small (hundreds of variables), so a dense
-/// tableau simplex with upper-bounded variables is both simple and fast
-/// enough; correctness is validated against brute-force vertex
-/// enumeration in the test suite.
+/// Two engines share one public surface (SimplexSolver::Options::engine):
+///  * kRevised (default): revised simplex over a product-form basis
+///    factorization — Markowitz-ordered sparse LU of the basis, rank-1 eta
+///    updates per pivot, Devex pricing, shared CSC/CSR constraint columns
+///    (see DESIGN.md "LP/MILP solver internals"). A pivot costs O(nnz)
+///    instead of rewriting the whole tableau, which is what finally makes a
+///    warm basis nearly free;
+///  * kDense: the original dense-tableau engine, kept as the slow,
+///    independently-implemented oracle for differential testing.
 ///
 /// Two solve paths:
 ///  * cold: two-phase primal from the slack basis (SimplexSolver::solve);
 ///  * warm: dual simplex re-optimization from a previous optimal basis
 ///    after bound changes — either via an exported Basis
-///    (SimplexSolver::solve(p, &basis)) or by keeping the tableau hot
+///    (SimplexSolver::solve(p, &basis)) or by keeping the factorization hot
 ///    across a sequence of bound changes (IncrementalSimplex), which is
 ///    how branch-and-bound dives without re-running phase 1 per node.
 ///
@@ -28,6 +33,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "lp/sparse.h"
 
 namespace vm1::lp {
 
@@ -85,10 +92,18 @@ class Problem {
   /// (0 when feasible).
   double max_violation(const std::vector<double>& x) const;
 
+  /// Shared sparse (CSC + CSR) view of the constraint matrix, built lazily
+  /// on first use and cached for the lifetime of this Problem's structure
+  /// (add_variable/add_constraint invalidate it; set_bounds does not).
+  /// Copies share the cache. The first call is not thread-safe with respect
+  /// to concurrent solves of the same Problem object.
+  const detail::ColumnMatrix& columns() const;
+
  private:
   std::vector<double> lo_, hi_, cost_;
   std::vector<std::string> names_;
   std::vector<Constraint> rows_;
+  mutable std::shared_ptr<const detail::ColumnMatrix> cols_cache_;
 };
 
 /// Status of one column in a basis snapshot. Columns live in the solver's
@@ -123,7 +138,22 @@ struct Result {
   std::vector<double> reduced_cost;
 };
 
-/// Two-phase dense tableau simplex with bounded variables.
+/// Which simplex implementation runs underneath the public surface.
+enum class Engine : unsigned char {
+  kRevised,  ///< sparse factorization + eta updates (default, fast)
+  kDense,    ///< dense tableau (differential-testing oracle)
+};
+
+/// Entering-variable rule for the revised engine (the dense oracle always
+/// prices Dantzig-style).
+enum class Pricing : unsigned char {
+  kDevex,    ///< reference-framework steepest-edge approximation (default)
+  kDantzig,  ///< largest reduced cost; for differential tests
+};
+
+const char* to_string(Engine e);
+
+/// Two-phase simplex with bounded variables.
 class SimplexSolver {
  public:
   struct Options {
@@ -133,6 +163,21 @@ class SimplexSolver {
     double time_limit_sec = 0;
     double tol = 1e-7;        ///< feasibility / optimality tolerance
     double pivot_tol = 1e-9;  ///< minimum |pivot| accepted
+    Engine engine = Engine::kRevised;
+    Pricing pricing = Pricing::kDevex;
+    /// Revised engine: update etas tolerated before a scheduled
+    /// refactorization. 0 means automatic (scales with the row count in
+    /// eta-file mode; an order of magnitude longer in explicit-inverse
+    /// mode, where walks don't grow with the update count). Consistency
+    /// failures always force an immediate refactorization regardless of
+    /// this interval.
+    int refactor_interval = 0;
+    /// Revised engine: bases with at most this many rows collapse the
+    /// factorization into an explicit dense B^-1 updated in place per
+    /// pivot (contiguous rank-1 outer products; no eta chain to walk).
+    /// Larger bases keep the sparse eta file. 0 forces eta-file mode
+    /// everywhere (used by the differential tests).
+    int dense_inverse_dim = 256;
   };
 
   SimplexSolver() : opts_() {}
@@ -153,10 +198,13 @@ class SimplexSolver {
 };
 
 /// Re-optimizing solver that owns a mutable copy of one Problem and keeps
-/// the dense tableau hot across a sequence of bound changes. This is the
-/// branch-and-bound workhorse: a child node differs from its parent by one
-/// integer-variable bound, so `set_bounds` + `solve` costs a handful of
-/// dual pivots instead of a full phase-1 + phase-2 rebuild.
+/// the basis (factorization or dense tableau, per Options::engine) hot
+/// across a sequence of bound changes. This is the branch-and-bound
+/// workhorse: a child node differs from its parent by one integer-variable
+/// bound, so `set_bounds` + `solve` costs a handful of dual pivots instead
+/// of a full phase-1 + phase-2 rebuild. All per-solve scratch lives in a
+/// reusable SolveWorkspace inside the engine core, so repeated solves do
+/// not touch the allocator.
 class IncrementalSimplex {
  public:
   IncrementalSimplex(const Problem& p, const SimplexSolver::Options& opts);

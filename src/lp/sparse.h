@@ -1,0 +1,56 @@
+/// \file sparse.h
+/// Shared sparse view of an LP constraint matrix.
+///
+/// The revised simplex engine works column-wise (FTRAN of an entering
+/// column) and row-wise (gathering one tableau row from a BTRANed unit
+/// vector), so the matrix is stored in both CSC and CSR form. Row signs are
+/// already normalized: every kGe row is negated so all rows read
+/// `sum a_j x_j + slack = rhs` with slack >= 0 (slack of a kEq row is
+/// pinned to zero by its bound, not by a sign).
+///
+/// A ColumnMatrix depends only on a Problem's *structure* (rows, terms,
+/// senses) — never on bounds or costs — so one instance is built lazily per
+/// Problem (Problem::columns()) and shared by every solve, including the
+/// hundreds of thousands of warm re-solves branch-and-bound issues against
+/// one Problem copy. Building the cache is not thread-safe; the first
+/// columns() call must not race with another solve of the same Problem
+/// object (no current caller shares one Problem across threads).
+#pragma once
+
+#include <vector>
+
+namespace vm1::lp {
+
+class Problem;
+
+namespace detail {
+
+/// Compressed sparse column + row storage of the sign-normalized structural
+/// columns of A (slack and artificial columns are implicit unit vectors and
+/// never stored).
+struct ColumnMatrix {
+  int rows = 0;
+  int cols = 0;
+
+  // CSC: column j occupies [col_ptr[j], col_ptr[j+1]).
+  std::vector<int> col_ptr;
+  std::vector<int> row_idx;
+  std::vector<double> val;
+
+  // CSR: row i occupies [row_ptr[i], row_ptr[i+1]).
+  std::vector<int> row_ptr;
+  std::vector<int> col_idx;
+  std::vector<double> rval;
+
+  // rhs_norm[i] = sign_i * rhs_i (the bound-independent part of b').
+  std::vector<double> rhs_norm;
+
+  long nnz() const { return static_cast<long>(val.size()); }
+
+  /// Builds from a Problem: accumulates duplicate term indices and negates
+  /// kGe rows (coefficients and rhs alike).
+  static ColumnMatrix build(const Problem& p);
+};
+
+}  // namespace detail
+}  // namespace vm1::lp

@@ -84,11 +84,14 @@ MipResult BranchAndBound::solve(const Model& model,
   Timer timer;
   obs::ObsSpan solve_span("milp.solve");
 
-  // The incremental solver owns the working bounds. DFS dives reuse its hot
-  // tableau: switching nodes applies only the bound deltas between the two
-  // fix paths, and the dual simplex re-optimizes from the parent basis.
+  // The incremental solver owns the working bounds and the LP engine's
+  // solve workspace, so the whole dive shares one factorization and one set
+  // of scratch buffers. Switching nodes applies only the bound deltas
+  // between the two fix paths, and the dual simplex re-optimizes from the
+  // parent basis.
   lp::IncrementalSimplex lp(model.lp(), opts_.lp_options);
   const auto& int_vars = model.integer_variables();
+  std::vector<double> snap;  // integral-solution scratch, reused per node
 
   const double inf = std::numeric_limits<double>::infinity();
   double incumbent_obj = inf;
@@ -207,9 +210,9 @@ MipResult BranchAndBound::solve(const Model& model,
 
     if (branch_var < 0) {
       // Integral LP solution: snap and accept.
-      std::vector<double> x = rel.x;
-      for (int v : int_vars) x[v] = std::round(x[v]);
-      try_incumbent(x);
+      snap = rel.x;
+      for (int v : int_vars) snap[v] = std::round(snap[v]);
+      try_incumbent(snap);
       continue;
     }
 
@@ -294,8 +297,10 @@ MipResult BranchAndBound::solve(const Model& model,
   cold_metric.add(result.cold_restarts);
   rc_fixed_metric.add(result.rc_fixed);
   if (!result.x.empty()) incumbents_metric.add();
+  // lp_iterations already lands in the milp.lp_iterations counter; the span
+  // slot goes to the LP engine tag instead (3-arg cap).
   solve_span.arg("nodes", result.nodes_explored)
-      .arg("lp_iters", result.lp_iterations)
+      .arg("engine", lp::to_string(opts_.lp_options.engine))
       .arg("status", to_string(result.status));
   return result;
 }

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "lp/factor.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace vm1::lp {
@@ -357,6 +361,392 @@ TEST_P(SimplexIncremental, MatchesFreshSolveUnderBoundWalk) {
 
 INSTANTIATE_TEST_SUITE_P(RandomLp, SimplexIncremental,
                          ::testing::Range(0, 40));
+
+// ---- revised-vs-dense differential fuzz ----
+//
+// The revised engine — in both basis representations, sparse eta file and
+// collapsed explicit inverse — must agree with the dense oracle on status
+// everywhere and on the objective wherever optimality is proved. Instance
+// modes cover the stress shapes of the branch-and-bound workload:
+// degenerate vertices (stall / Bland paths), bound-flip-heavy boxes,
+// equality-heavy and infeasible systems, unbounded rays, and plain random
+// feasible LPs. Sanitizer binaries define VM1_EQUIV_LIGHT to shrink the
+// instance count.
+
+#ifdef VM1_EQUIV_LIGHT
+constexpr int kFuzzPerShard = 60;
+constexpr int kFuzzAuxInstances = 40;
+#else
+constexpr int kFuzzPerShard = 1000;  // x10 shards: 10k instances
+constexpr int kFuzzAuxInstances = 200;
+#endif
+constexpr int kFuzzShards = 10;
+
+Problem random_fuzz_lp(Rng& rng) {
+  const int mode = static_cast<int>(rng.uniform(5));
+  if (mode == 0) return random_feasible_lp(rng);
+  Problem p;
+  const int n = 2 + static_cast<int>(rng.uniform(7));
+  switch (mode) {
+    case 1: {  // degenerate: scaled copies of one hyperplane + a Ge pin
+      for (int j = 0; j < n; ++j) {
+        p.add_variable(0, kInf, rng.uniform_int(-3, 3));
+      }
+      std::vector<std::pair<int, double>> base;
+      for (int j = 0; j < n; ++j) {
+        if (rng.chance(0.6)) {
+          base.emplace_back(j, static_cast<double>(rng.uniform_int(1, 3)));
+        }
+      }
+      if (base.empty()) base.emplace_back(0, 1.0);
+      const int m = 2 + static_cast<int>(rng.uniform(6));
+      for (int i = 0; i < m; ++i) {
+        std::vector<std::pair<int, double>> row = base;
+        double scale = 1 + rng.uniform(3);
+        for (auto& [v, a] : row) a *= scale;
+        if (rng.chance(0.4) && row.size() > 1) row.pop_back();
+        p.add_constraint(row, Sense::kLe, 4 * scale);
+      }
+      p.add_constraint(base, Sense::kGe, 0);
+      break;
+    }
+    case 2: {  // bound-flip-heavy: tight boxes, rarely-binding rows
+      for (int j = 0; j < n; ++j) {
+        double lo = rng.uniform_int(-2, 0);
+        p.add_variable(lo, lo + 1 + rng.uniform(2), rng.uniform_int(-5, 5));
+      }
+      for (int i = 0; i < 2; ++i) {
+        std::vector<std::pair<int, double>> row;
+        for (int j = 0; j < n; ++j) {
+          row.emplace_back(j, static_cast<double>(rng.uniform_int(1, 2)));
+        }
+        p.add_constraint(row, Sense::kLe, 3.0 * n);
+      }
+      break;
+    }
+    case 3: {  // equality-heavy, often infeasible
+      for (int j = 0; j < n; ++j) {
+        p.add_variable(0, 1 + rng.uniform(5), rng.uniform_int(-4, 4));
+      }
+      const int m = 2 + static_cast<int>(rng.uniform(4));
+      for (int i = 0; i < m; ++i) {
+        std::vector<std::pair<int, double>> row;
+        for (int j = 0; j < n; ++j) {
+          if (rng.chance(0.5)) {
+            row.emplace_back(j, static_cast<double>(rng.uniform_int(-3, 3)));
+          }
+        }
+        if (row.empty()) continue;
+        p.add_constraint(row, Sense::kEq,
+                         static_cast<double>(rng.uniform_int(-4, 8)));
+      }
+      break;
+    }
+    default: {  // mixed senses, negative bounds, occasional unbounded rays
+      for (int j = 0; j < n; ++j) {
+        double lo = rng.uniform_int(-6, 0);
+        double hi = rng.chance(0.8) ? lo + 1 + rng.uniform(8) : kInf;
+        p.add_variable(lo, hi, rng.uniform_int(-5, 5));
+      }
+      const int m = 1 + static_cast<int>(rng.uniform(6));
+      for (int i = 0; i < m; ++i) {
+        std::vector<std::pair<int, double>> row;
+        for (int j = 0; j < n; ++j) {
+          if (rng.chance(0.4)) {
+            row.emplace_back(j, static_cast<double>(rng.uniform_int(-4, 4)));
+          }
+        }
+        if (row.empty()) continue;
+        Sense s = rng.chance(0.5)   ? Sense::kLe
+                  : rng.chance(0.5) ? Sense::kGe
+                                    : Sense::kEq;
+        p.add_constraint(row, s, static_cast<double>(rng.uniform_int(-6, 10)));
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+class SimplexDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDifferential, RevisedMatchesDenseOracle) {
+  SimplexSolver::Options dense_o;
+  dense_o.engine = Engine::kDense;
+  SimplexSolver::Options eta_o;  // revised, eta-file representation forced
+  eta_o.dense_inverse_dim = 0;
+  SimplexSolver dense(dense_o);
+  SimplexSolver revised;  // default: revised, explicit inverse
+  SimplexSolver eta(eta_o);
+  for (int i = 0; i < kFuzzPerShard; ++i) {
+    Rng rng(900000 + static_cast<std::uint64_t>(GetParam()) * kFuzzPerShard +
+            static_cast<std::uint64_t>(i));
+    Problem p = random_fuzz_lp(rng);
+    Result rd = dense.solve(p);
+    Result rr = revised.solve(p);
+    Result re = eta.solve(p);
+    ASSERT_EQ(rr.status, rd.status)
+        << "shard " << GetParam() << " instance " << i;
+    ASSERT_EQ(re.status, rd.status)
+        << "shard " << GetParam() << " instance " << i;
+    if (rd.status == Status::kOptimal) {
+      EXPECT_NEAR(rr.objective, rd.objective, 1e-6)
+          << "shard " << GetParam() << " instance " << i;
+      EXPECT_NEAR(re.objective, rd.objective, 1e-6)
+          << "shard " << GetParam() << " instance " << i;
+      EXPECT_LT(p.max_violation(rr.x), 1e-5);
+      EXPECT_LT(p.max_violation(re.x), 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SimplexDifferential,
+                         ::testing::Range(0, kFuzzShards));
+
+// Warm re-solves after branching-style bound changes must agree across
+// engines and with a fresh dense solve.
+TEST(SimplexDifferentialWarm, WarmReoptimizeMatchesAcrossEngines) {
+  SimplexSolver::Options dense_o;
+  dense_o.engine = Engine::kDense;
+  SimplexSolver::Options eta_o;
+  eta_o.dense_inverse_dim = 0;
+  for (int i = 0; i < kFuzzAuxInstances; ++i) {
+    Rng rng(770000 + i);
+    Problem p = random_feasible_lp(rng);
+    Result root = SimplexSolver().solve(p);
+    if (root.status != Status::kOptimal || root.basis.empty()) continue;
+
+    Problem q = p;
+    int changes = 1 + static_cast<int>(rng.uniform(3));
+    for (int k = 0; k < changes; ++k) {
+      int v = static_cast<int>(rng.uniform(p.num_variables()));
+      double lo = q.lower_bound(v);
+      double hi = q.upper_bound(v);
+      double xv = root.x[v];
+      if (rng.chance(0.5) && xv - 0.5 >= lo) {
+        hi = std::min(hi, xv - 0.5);
+      } else if (xv + 0.5 <= hi) {
+        lo = std::max(lo, xv + 0.5);
+      }
+      if (lo <= hi) q.set_bounds(v, lo, hi);
+    }
+
+    Result fresh = SimplexSolver(dense_o).solve(q);
+    Result wd = SimplexSolver(dense_o).solve(q, &root.basis);
+    Result wr = SimplexSolver().solve(q, &root.basis);
+    Result we = SimplexSolver(eta_o).solve(q, &root.basis);
+    ASSERT_EQ(wd.status, fresh.status) << "instance " << i;
+    ASSERT_EQ(wr.status, fresh.status) << "instance " << i;
+    ASSERT_EQ(we.status, fresh.status) << "instance " << i;
+    if (fresh.status == Status::kOptimal) {
+      EXPECT_NEAR(wr.objective, fresh.objective, 1e-6) << "instance " << i;
+      EXPECT_NEAR(we.objective, fresh.objective, 1e-6) << "instance " << i;
+      EXPECT_LT(q.max_violation(wr.x), 1e-5);
+    }
+  }
+}
+
+// A structurally singular warm basis (one column occupying two basis slots)
+// must be rejected by the factorization and fall back to a cold solve with
+// the correct optimum — in every engine.
+TEST(SimplexDifferentialWarm, SingularWarmBasisFallsBackInBothEngines) {
+  SimplexSolver::Options dense_o;
+  dense_o.engine = Engine::kDense;
+  SimplexSolver::Options eta_o;
+  eta_o.dense_inverse_dim = 0;
+  for (int i = 0; i < kFuzzAuxInstances; ++i) {
+    Rng rng(660000 + i);
+    Problem p = random_feasible_lp(rng);
+    Result root = SimplexSolver().solve(p);
+    if (root.status != Status::kOptimal || root.basis.empty()) continue;
+    if (root.basis.basic.size() < 2) continue;
+    Basis bad = root.basis;
+    bad.basic[1] = bad.basic[0];
+    for (SimplexSolver s : {SimplexSolver(dense_o), SimplexSolver(),
+                            SimplexSolver(eta_o)}) {
+      Result r = s.solve(p, &bad);
+      ASSERT_EQ(r.status, Status::kOptimal) << "instance " << i;
+      EXPECT_NEAR(r.objective, root.objective, 1e-6) << "instance " << i;
+    }
+  }
+}
+
+// ---- refactor policy ----
+
+TEST(SimplexRefactor, IntervalTriggersScheduledRefactorizations) {
+  obs::Counter& refactors = obs::counter("lp.refactorizations");
+  Rng rng(42);
+  Problem p = random_feasible_lp(rng);
+
+  // interval 1: every pivot after the first forces a scheduled rebuild, in
+  // both basis representations.
+  for (int dense_dim : {0, 256}) {
+    SimplexSolver::Options o;
+    o.refactor_interval = 1;
+    o.dense_inverse_dim = dense_dim;
+    long before = refactors.value();
+    Result r = SimplexSolver(o).solve(p);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_GE(refactors.value() - before, 1) << "dense_dim " << dense_dim;
+  }
+
+  // Default policy: the diagonal cold-start basis is loaded, not
+  // refactorized, and this solve is far shorter than the interval — the
+  // counter must not move at all.
+  long before = refactors.value();
+  Result r = SimplexSolver().solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(refactors.value() - before, 0);
+}
+
+// With scheduled refactorization effectively disabled, correctness over a
+// long bound walk rests on the warm-entry recompute and the per-pivot
+// consistency (drift) check — exactly the safety net the eta file relies on.
+TEST(SimplexRefactor, LongEtaChainStaysConsistentUnderBoundWalk) {
+  SimplexSolver::Options o;
+  o.refactor_interval = 1 << 30;
+  o.dense_inverse_dim = 0;  // eta-file mode, chain never scheduled away
+  Rng rng(4242);
+  Problem p = random_feasible_lp(rng);
+  IncrementalSimplex inc(p, o);
+  Problem q = p;
+  ASSERT_EQ(inc.solve().status, SimplexSolver().solve(q).status);
+
+  std::vector<std::pair<double, double>> orig;
+  for (int v = 0; v < p.num_variables(); ++v) {
+    orig.emplace_back(p.lower_bound(v), p.upper_bound(v));
+  }
+  for (int step = 0; step < 40; ++step) {
+    int v = static_cast<int>(rng.uniform(p.num_variables()));
+    auto [olo, ohi] = orig[v];
+    double lo = olo, hi = ohi;
+    if (rng.chance(0.7)) {
+      double span = std::isfinite(ohi) ? ohi - olo : 10.0;
+      double a = olo + span * rng.uniform_real();
+      double b = olo + span * rng.uniform_real();
+      lo = std::min(a, b);
+      hi = std::max(a, b);
+    }
+    inc.set_bounds(v, lo, hi);
+    q.set_bounds(v, lo, hi);
+    Result ri = inc.solve();
+    Result rf = SimplexSolver().solve(q);
+    ASSERT_EQ(ri.status, rf.status) << "step " << step;
+    if (rf.status == Status::kOptimal) {
+      EXPECT_NEAR(ri.objective, rf.objective, 1e-6) << "step " << step;
+    }
+  }
+}
+
+// ---- pricing ----
+
+TEST(SimplexPricing, DevexAndDantzigReachTheSameOptimum) {
+  SimplexSolver::Options dantzig_o;
+  dantzig_o.pricing = Pricing::kDantzig;
+  SimplexSolver devex;  // default pricing
+  SimplexSolver dantzig(dantzig_o);
+  for (int i = 0; i < kFuzzAuxInstances; ++i) {
+    Rng rng(880000 + i);
+    Problem p = random_fuzz_lp(rng);
+    Result a = devex.solve(p);
+    Result b = dantzig.solve(p);
+    ASSERT_EQ(a.status, b.status) << "instance " << i;
+    if (a.status == Status::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "instance " << i;
+    }
+  }
+}
+
+// ---- EtaFactor unit ----
+
+TEST(EtaFactorTest, FactorizeCollapseAndUpdateAgree) {
+  // B columns: b0 = (2,0,1), b1 = (1,1,0), b2 = (0,0,3).
+  detail::BasisColumns cols;
+  cols.clear();
+  cols.push(0, 2.0);
+  cols.push(2, 1.0);
+  cols.close_column();
+  cols.push(0, 1.0);
+  cols.push(1, 1.0);
+  cols.close_column();
+  cols.push(2, 3.0);
+  cols.close_column();
+  const double b[3][3] = {{2, 0, 1}, {1, 1, 0}, {0, 0, 3}};  // b[k] = col k
+
+  detail::EtaFactor f;
+  ASSERT_TRUE(f.factorize(cols, 1e-9));
+  EXPECT_EQ(f.updates(), 0);
+  auto check_inverse = [&](const char* what) {
+    for (int k = 0; k < 3; ++k) {
+      double x[3] = {b[k][0], b[k][1], b[k][2]};
+      f.ftran(x);
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_NEAR(x[i], i == f.slot_row()[k] ? 1.0 : 0.0, 1e-12)
+            << what << " col " << k << " row " << i;
+      }
+      // BTRAN: (B^-T e_s) . (B e_k) = [s == slot_row(k)].
+      double y[3] = {0, 0, 0};
+      y[f.slot_row()[k]] = 1.0;
+      f.btran(y);
+      for (int j = 0; j < 3; ++j) {
+        double dot = 0;
+        for (int i = 0; i < 3; ++i) dot += y[i] * b[j][i];
+        EXPECT_NEAR(dot, j == k ? 1.0 : 0.0, 1e-12) << what << " col " << k;
+      }
+    }
+  };
+  check_inverse("eta");
+
+  f.collapse();  // same inverse, explicit representation
+  EXPECT_TRUE(f.dense_inverse());
+  EXPECT_EQ(f.updates(), 0);
+  check_inverse("collapsed");
+
+  // Product-form update: replace the basis column at pivot row r with
+  // c = (1,2,1); afterwards FTRAN(c) must be exactly e_r.
+  double alpha[3] = {1, 2, 1};
+  f.ftran(alpha);
+  const int r = f.slot_row()[2];
+  ASSERT_TRUE(f.append(r, alpha, 1e-9));
+  EXPECT_EQ(f.updates(), 1);
+  double x[3] = {1, 2, 1};
+  f.ftran(x);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x[i], i == r ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(EtaFactorTest, SingularBasisRejected) {
+  detail::BasisColumns cols;
+  cols.clear();
+  cols.push(0, 1.0);
+  cols.push(1, 2.0);
+  cols.close_column();
+  cols.push(0, 2.0);
+  cols.push(1, 4.0);  // linearly dependent on column 0
+  cols.close_column();
+  detail::EtaFactor f;
+  EXPECT_FALSE(f.factorize(cols, 1e-9));
+}
+
+TEST(EtaFactorTest, DiagonalResetMatchesBothRepresentations) {
+  const double diag[3] = {1.0, -1.0, 1.0};
+  for (bool dense : {false, true}) {
+    detail::EtaFactor f;
+    f.reset_diagonal(diag, 3, dense);
+    EXPECT_EQ(f.dense_inverse(), dense);
+    EXPECT_TRUE(f.factorized());
+    EXPECT_EQ(f.updates(), 0);
+    double x[3] = {3.0, 5.0, -2.0};
+    f.ftran(x);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], -5.0, 1e-12);
+    EXPECT_NEAR(x[2], -2.0, 1e-12);
+    double y[3] = {1.0, 1.0, 1.0};
+    f.btran(y);
+    EXPECT_NEAR(y[1], -1.0, 1e-12);
+  }
+}
 
 }  // namespace
 }  // namespace vm1::lp
