@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm1_worker.dir/vm1_worker.cpp.o"
+  "CMakeFiles/vm1_worker.dir/vm1_worker.cpp.o.d"
+  "vm1_worker"
+  "vm1_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm1_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

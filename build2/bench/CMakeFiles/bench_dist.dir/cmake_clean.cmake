@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist.dir/bench_dist.cpp.o"
+  "CMakeFiles/bench_dist.dir/bench_dist.cpp.o.d"
+  "bench_dist"
+  "bench_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scalability.dir/bench_fig5_scalability.cpp.o"
+  "CMakeFiles/bench_fig5_scalability.dir/bench_fig5_scalability.cpp.o.d"
+  "bench_fig5_scalability"
+  "bench_fig5_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

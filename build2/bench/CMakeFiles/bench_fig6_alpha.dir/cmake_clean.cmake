@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_alpha.dir/bench_fig6_alpha.cpp.o"
+  "CMakeFiles/bench_fig6_alpha.dir/bench_fig6_alpha.cpp.o.d"
+  "bench_fig6_alpha"
+  "bench_fig6_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sequences.dir/bench_fig7_sequences.cpp.o"
+  "CMakeFiles/bench_fig7_sequences.dir/bench_fig7_sequences.cpp.o.d"
+  "bench_fig7_sequences"
+  "bench_fig7_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

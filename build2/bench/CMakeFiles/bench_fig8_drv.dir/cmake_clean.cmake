@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_drv.dir/bench_fig8_drv.cpp.o"
+  "CMakeFiles/bench_fig8_drv.dir/bench_fig8_drv.cpp.o.d"
+  "bench_fig8_drv"
+  "bench_fig8_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_exptb.dir/bench_table2_exptb.cpp.o"
+  "CMakeFiles/bench_table2_exptb.dir/bench_table2_exptb.cpp.o.d"
+  "bench_table2_exptb"
+  "bench_table2_exptb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_exptb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closedm1_flow.dir/closedm1_flow.cpp.o"
+  "CMakeFiles/closedm1_flow.dir/closedm1_flow.cpp.o.d"
+  "closedm1_flow"
+  "closedm1_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closedm1_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

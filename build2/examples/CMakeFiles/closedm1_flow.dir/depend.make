@@ -1,0 +1,2 @@
+# Empty dependencies file for closedm1_flow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_study.dir/congestion_study.cpp.o"
+  "CMakeFiles/congestion_study.dir/congestion_study.cpp.o.d"
+  "congestion_study"
+  "congestion_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openm1_flow.dir/openm1_flow.cpp.o"
+  "CMakeFiles/openm1_flow.dir/openm1_flow.cpp.o.d"
+  "openm1_flow"
+  "openm1_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openm1_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_aware.dir/timing_aware.cpp.o"
+  "CMakeFiles/timing_aware.dir/timing_aware.cpp.o.d"
+  "timing_aware"
+  "timing_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

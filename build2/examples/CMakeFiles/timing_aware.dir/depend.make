@@ -1,0 +1,2 @@
+# Empty dependencies file for timing_aware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/cell.cpp" "src/CMakeFiles/openvm1.dir/cells/cell.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/cells/cell.cpp.o.d"
+  "/root/repo/src/cells/library_builder.cpp" "src/CMakeFiles/openvm1.dir/cells/library_builder.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/cells/library_builder.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "src/CMakeFiles/openvm1.dir/core/candidates.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/candidates.cpp.o.d"
+  "/root/repo/src/core/dist_opt.cpp" "src/CMakeFiles/openvm1.dir/core/dist_opt.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/dist_opt.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/openvm1.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/greedy_aligner.cpp" "src/CMakeFiles/openvm1.dir/core/greedy_aligner.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/greedy_aligner.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/CMakeFiles/openvm1.dir/core/incremental.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/incremental.cpp.o.d"
+  "/root/repo/src/core/milp_builder_closed.cpp" "src/CMakeFiles/openvm1.dir/core/milp_builder_closed.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/milp_builder_closed.cpp.o.d"
+  "/root/repo/src/core/milp_builder_open.cpp" "src/CMakeFiles/openvm1.dir/core/milp_builder_open.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/milp_builder_open.cpp.o.d"
+  "/root/repo/src/core/vm1opt.cpp" "src/CMakeFiles/openvm1.dir/core/vm1opt.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/vm1opt.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/CMakeFiles/openvm1.dir/core/window.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/window.cpp.o.d"
+  "/root/repo/src/core/window_audit.cpp" "src/CMakeFiles/openvm1.dir/core/window_audit.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/window_audit.cpp.o.d"
+  "/root/repo/src/core/window_solve.cpp" "src/CMakeFiles/openvm1.dir/core/window_solve.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/core/window_solve.cpp.o.d"
+  "/root/repo/src/design/design.cpp" "src/CMakeFiles/openvm1.dir/design/design.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/design/design.cpp.o.d"
+  "/root/repo/src/design/legality.cpp" "src/CMakeFiles/openvm1.dir/design/legality.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/design/legality.cpp.o.d"
+  "/root/repo/src/dist/coordinator.cpp" "src/CMakeFiles/openvm1.dir/dist/coordinator.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/dist/coordinator.cpp.o.d"
+  "/root/repo/src/dist/wire.cpp" "src/CMakeFiles/openvm1.dir/dist/wire.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/dist/wire.cpp.o.d"
+  "/root/repo/src/dist/worker.cpp" "src/CMakeFiles/openvm1.dir/dist/worker.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/dist/worker.cpp.o.d"
+  "/root/repo/src/io/def_io.cpp" "src/CMakeFiles/openvm1.dir/io/def_io.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/io/def_io.cpp.o.d"
+  "/root/repo/src/io/lef_writer.cpp" "src/CMakeFiles/openvm1.dir/io/lef_writer.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/io/lef_writer.cpp.o.d"
+  "/root/repo/src/io/report.cpp" "src/CMakeFiles/openvm1.dir/io/report.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/io/report.cpp.o.d"
+  "/root/repo/src/lp/dense_tableau.cpp" "src/CMakeFiles/openvm1.dir/lp/dense_tableau.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/lp/dense_tableau.cpp.o.d"
+  "/root/repo/src/lp/factor.cpp" "src/CMakeFiles/openvm1.dir/lp/factor.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/lp/factor.cpp.o.d"
+  "/root/repo/src/lp/pricing.cpp" "src/CMakeFiles/openvm1.dir/lp/pricing.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/lp/pricing.cpp.o.d"
+  "/root/repo/src/lp/revised.cpp" "src/CMakeFiles/openvm1.dir/lp/revised.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/lp/revised.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/openvm1.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/milp/branch_and_bound.cpp" "src/CMakeFiles/openvm1.dir/milp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/milp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/milp/model.cpp" "src/CMakeFiles/openvm1.dir/milp/model.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/milp/model.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/CMakeFiles/openvm1.dir/netlist/generator.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/netlist/generator.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/openvm1.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/openvm1.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/progress.cpp" "src/CMakeFiles/openvm1.dir/obs/progress.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/obs/progress.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/openvm1.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/place/abacus.cpp" "src/CMakeFiles/openvm1.dir/place/abacus.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/place/abacus.cpp.o.d"
+  "/root/repo/src/place/detailed_placer.cpp" "src/CMakeFiles/openvm1.dir/place/detailed_placer.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/place/detailed_placer.cpp.o.d"
+  "/root/repo/src/place/global_placer.cpp" "src/CMakeFiles/openvm1.dir/place/global_placer.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/place/global_placer.cpp.o.d"
+  "/root/repo/src/place/hpwl.cpp" "src/CMakeFiles/openvm1.dir/place/hpwl.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/place/hpwl.cpp.o.d"
+  "/root/repo/src/place/legalizer.cpp" "src/CMakeFiles/openvm1.dir/place/legalizer.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/place/legalizer.cpp.o.d"
+  "/root/repo/src/route/maze_router.cpp" "src/CMakeFiles/openvm1.dir/route/maze_router.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/route/maze_router.cpp.o.d"
+  "/root/repo/src/route/metrics.cpp" "src/CMakeFiles/openvm1.dir/route/metrics.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/route/metrics.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/CMakeFiles/openvm1.dir/route/router.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/route/router.cpp.o.d"
+  "/root/repo/src/route/track_graph.cpp" "src/CMakeFiles/openvm1.dir/route/track_graph.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/route/track_graph.cpp.o.d"
+  "/root/repo/src/tech/tech.cpp" "src/CMakeFiles/openvm1.dir/tech/tech.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/tech/tech.cpp.o.d"
+  "/root/repo/src/timing/power.cpp" "src/CMakeFiles/openvm1.dir/timing/power.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/timing/power.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/openvm1.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/timing/sta.cpp.o.d"
+  "/root/repo/src/util/fault_injection.cpp" "src/CMakeFiles/openvm1.dir/util/fault_injection.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/fault_injection.cpp.o.d"
+  "/root/repo/src/util/geometry.cpp" "src/CMakeFiles/openvm1.dir/util/geometry.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/geometry.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/openvm1.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/openvm1.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/openvm1.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/subprocess.cpp" "src/CMakeFiles/openvm1.dir/util/subprocess.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/subprocess.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/openvm1.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/openvm1.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopenvm1.a"
+)

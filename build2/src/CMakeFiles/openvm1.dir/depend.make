@@ -1,0 +1,2 @@
+# Empty dependencies file for openvm1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dist_backend_equiv.cpp" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_dist_backend_equiv.cpp.o" "gcc" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_dist_backend_equiv.cpp.o.d"
+  "/root/repo/tests/test_dist_opt.cpp" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_dist_opt.cpp.o" "gcc" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_dist_opt.cpp.o.d"
+  "/root/repo/tests/test_incremental_equiv.cpp" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_incremental_equiv.cpp.o" "gcc" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_incremental_equiv.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_obs.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/openvm1_concurrency_tests.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/openvm1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_dist_backend_equiv.cpp.o"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_dist_backend_equiv.cpp.o.d"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_dist_opt.cpp.o"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_dist_opt.cpp.o.d"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_incremental_equiv.cpp.o"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_incremental_equiv.cpp.o.d"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_obs.cpp.o"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_obs.cpp.o.d"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/openvm1_concurrency_tests.dir/test_thread_pool.cpp.o.d"
+  "openvm1_concurrency_tests"
+  "openvm1_concurrency_tests.pdb"
+  "openvm1_concurrency_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openvm1_concurrency_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

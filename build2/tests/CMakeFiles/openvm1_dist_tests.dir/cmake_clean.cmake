@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openvm1_dist_tests.dir/test_coordinator.cpp.o"
+  "CMakeFiles/openvm1_dist_tests.dir/test_coordinator.cpp.o.d"
+  "CMakeFiles/openvm1_dist_tests.dir/test_dist_backend_equiv.cpp.o"
+  "CMakeFiles/openvm1_dist_tests.dir/test_dist_backend_equiv.cpp.o.d"
+  "CMakeFiles/openvm1_dist_tests.dir/test_wire.cpp.o"
+  "CMakeFiles/openvm1_dist_tests.dir/test_wire.cpp.o.d"
+  "openvm1_dist_tests"
+  "openvm1_dist_tests.pdb"
+  "openvm1_dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openvm1_dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for openvm1_dist_tests.
+# This may be replaced when dependencies are built.

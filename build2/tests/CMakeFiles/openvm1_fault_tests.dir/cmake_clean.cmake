@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openvm1_fault_tests.dir/test_fault_injection.cpp.o"
+  "CMakeFiles/openvm1_fault_tests.dir/test_fault_injection.cpp.o.d"
+  "CMakeFiles/openvm1_fault_tests.dir/test_incremental_equiv.cpp.o"
+  "CMakeFiles/openvm1_fault_tests.dir/test_incremental_equiv.cpp.o.d"
+  "CMakeFiles/openvm1_fault_tests.dir/test_simplex.cpp.o"
+  "CMakeFiles/openvm1_fault_tests.dir/test_simplex.cpp.o.d"
+  "CMakeFiles/openvm1_fault_tests.dir/test_window_audit.cpp.o"
+  "CMakeFiles/openvm1_fault_tests.dir/test_window_audit.cpp.o.d"
+  "CMakeFiles/openvm1_fault_tests.dir/test_wire.cpp.o"
+  "CMakeFiles/openvm1_fault_tests.dir/test_wire.cpp.o.d"
+  "openvm1_fault_tests"
+  "openvm1_fault_tests.pdb"
+  "openvm1_fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openvm1_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

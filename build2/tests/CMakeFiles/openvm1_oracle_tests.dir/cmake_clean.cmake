@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openvm1_oracle_tests.dir/test_window_oracle.cpp.o"
+  "CMakeFiles/openvm1_oracle_tests.dir/test_window_oracle.cpp.o.d"
+  "openvm1_oracle_tests"
+  "openvm1_oracle_tests.pdb"
+  "openvm1_oracle_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openvm1_oracle_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

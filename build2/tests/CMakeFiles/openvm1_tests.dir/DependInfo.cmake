@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abacus.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_abacus.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_abacus.cpp.o.d"
+  "/root/repo/tests/test_branch_and_bound.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_branch_and_bound.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_branch_and_bound.cpp.o.d"
+  "/root/repo/tests/test_candidates.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_candidates.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_candidates.cpp.o.d"
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_dist_opt.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_dist_opt.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_dist_opt.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_golden_run.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_golden_run.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_golden_run.cpp.o.d"
+  "/root/repo/tests/test_greedy_aligner.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_greedy_aligner.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_greedy_aligner.cpp.o.d"
+  "/root/repo/tests/test_hpwl.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_hpwl.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_hpwl.cpp.o.d"
+  "/root/repo/tests/test_incremental_equiv.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_incremental_equiv.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_incremental_equiv.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_legality.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_legality.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_legality.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_maze.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_maze.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_maze.cpp.o.d"
+  "/root/repo/tests/test_milp_builder.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_milp_builder.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_milp_builder.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_obs.cpp.o.d"
+  "/root/repo/tests/test_place.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_place.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_place.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_route_metrics.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_route_metrics.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_route_metrics.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_simplex.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_simplex.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tech.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_tech.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_tech.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_track_graph.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_track_graph.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_track_graph.cpp.o.d"
+  "/root/repo/tests/test_vm1opt.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_vm1opt.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_vm1opt.cpp.o.d"
+  "/root/repo/tests/test_window.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_window.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_window.cpp.o.d"
+  "/root/repo/tests/test_window_audit.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_window_audit.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_window_audit.cpp.o.d"
+  "/root/repo/tests/test_window_oracle.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_window_oracle.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_window_oracle.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/openvm1_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/openvm1_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/openvm1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/openvm1_tests[1]_include.cmake")
+include("/root/repo/build2/tests/openvm1_oracle_tests[1]_include.cmake")
+include("/root/repo/build2/tests/openvm1_concurrency_tests[1]_include.cmake")
+include("/root/repo/build2/tests/openvm1_fault_tests[1]_include.cmake")
+include("/root/repo/build2/tests/openvm1_dist_tests[1]_include.cmake")
