@@ -3,13 +3,16 @@
 // metrics.
 //
 //   $ ./quickstart [design] [alpha_nm] [--backend=threads|processes]
-//                  [--workers=N]
+//                  [--workers=N] [--transport=socketpair|tcp] [--port=P]
 //
 // design: tiny | m0 | aes | jpeg | vga   (default tiny)
 // alpha_nm: paper-style alpha in nm HPWL units (default 1200)
 // --backend=processes solves windows in vm1_worker subprocesses over the
 // src/dist wire protocol (bit-identical results to threads); --workers
 // sets the subprocess count (default 2).
+// --transport=tcp listens on 127.0.0.1:P (--port, default ephemeral) and
+// the workers attach over loopback TCP with the HMAC handshake ($VM1_DIST_SECRET
+// if set). Implies --backend=processes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +40,18 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       flow.vm1.dist_workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      std::string t = argv[i] + 12;
+      if (t == "tcp") {
+        flow.vm1.backend = DistBackend::kProcesses;
+        flow.vm1.dist_transport = DistTransport::kTcp;
+      } else if (t != "socketpair") {
+        std::fprintf(stderr, "unknown transport '%s' (socketpair|tcp)\n",
+                     t.c_str());
+        return 64;
+      }
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      flow.vm1.dist_tcp_port = std::atoi(argv[i] + 7);
     } else if (pos == 0) {
       flow.design_name = argv[i];
       ++pos;
@@ -50,10 +65,12 @@ int main(int argc, char** argv) {
   flow.vm1.sequence = {ParamSet{20, 0, 4, 1}};  // the paper's best sequence
 
   std::printf("OpenVM1 quickstart: design=%s arch=%s alpha=%.0fnm "
-              "backend=%s\n",
+              "backend=%s%s\n",
               flow.design_name.c_str(), to_string(flow.arch), alpha_nm,
               flow.vm1.backend == DistBackend::kProcesses ? "processes"
-                                                          : "threads");
+                                                          : "threads",
+              flow.vm1.dist_transport == DistTransport::kTcp ? " (tcp)"
+                                                             : "");
 
   FlowResult r = run_flow(flow);
 

@@ -545,8 +545,12 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     stats.remote_desyncs = cs.desyncs;
     stats.remote_local_fallbacks = cs.local_fallbacks;
     stats.worker_restarts = cs.worker_restarts;
+    stats.remote_connect_failures = cs.connect_failures;
+    stats.remote_heartbeats_missed = cs.heartbeats_missed;
     stats.wire_bytes_sent = cs.bytes_sent;
     stats.wire_bytes_received = cs.bytes_received;
+    stats.wire_bytes_retransmitted = cs.bytes_retransmitted;
+    stats.wire_bytes_dropped = cs.bytes_dropped;
   }
 
   stats.deadline_hit = deadline_fired.load();

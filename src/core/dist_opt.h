@@ -54,6 +54,14 @@ enum class DistBackend {
   kProcesses,  ///< worker processes via a dist::Coordinator (src/dist)
 };
 
+/// Transport underneath the processes backend (see dist/transport.h):
+/// fork/exec'd socketpair children, or TCP workers attaching to the
+/// coordinator's listener after the nonce/HMAC handshake (dist/tcp.h).
+enum class DistTransport {
+  kSocketpair,  ///< single-host fork/exec (the default)
+  kTcp,         ///< TCP listener; loopback self-spawn or remote attach
+};
+
 class IncrementalState;  // core/incremental.h
 
 struct DistOptOptions {
@@ -148,8 +156,12 @@ struct DistOptStats {
   long remote_desyncs = 0;   ///< replica desyncs (rebind + retry)
   long remote_local_fallbacks = 0;  ///< windows solved coordinator-side
   long worker_restarts = 0;  ///< workers respawned after dying
-  long wire_bytes_sent = 0;
+  long remote_connect_failures = 0;   ///< failed worker establishes
+  long remote_heartbeats_missed = 0;  ///< pings that never saw a pong
+  long wire_bytes_sent = 0;      ///< bytes actually handed to the kernel
   long wire_bytes_received = 0;
+  long wire_bytes_retransmitted = 0;  ///< sent bytes spent on retries
+  long wire_bytes_dropped = 0;   ///< unsent tails of mid-frame failures
   double objective = 0;      ///< full-design objective after this DistOpt
   double seconds = 0;
 

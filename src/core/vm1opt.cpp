@@ -38,8 +38,17 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     dist::CoordinatorOptions co;
     co.num_workers = opts.dist_workers;
     co.worker_path = opts.dist_worker_path;
+    co.transport = opts.dist_transport == DistTransport::kTcp
+                       ? dist::TransportKind::kTcp
+                       : dist::TransportKind::kSocketpair;
+    co.tcp_host = opts.dist_tcp_host;
+    co.tcp_port = opts.dist_tcp_port;
+    co.secret = opts.dist_secret;
     coord.emplace(co);
     run_span.arg("backend", "processes");
+    run_span.arg("transport", opts.dist_transport == DistTransport::kTcp
+                                  ? "tcp"
+                                  : "socketpair");
   } else {
     pool.emplace(opts.threads);
   }
@@ -74,8 +83,12 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     stats.remote_desyncs += s.remote_desyncs;
     stats.remote_local_fallbacks += s.remote_local_fallbacks;
     stats.worker_restarts += s.worker_restarts;
+    stats.remote_connect_failures += s.remote_connect_failures;
+    stats.remote_heartbeats_missed += s.remote_heartbeats_missed;
     stats.wire_bytes_sent += s.wire_bytes_sent;
     stats.wire_bytes_received += s.wire_bytes_received;
+    stats.wire_bytes_retransmitted += s.wire_bytes_retransmitted;
+    stats.wire_bytes_dropped += s.wire_bytes_dropped;
   };
   auto cancelled = [&opts] {
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);

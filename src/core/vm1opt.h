@@ -51,6 +51,15 @@ struct VM1OptOptions {
   /// Worker executable for the processes backend; empty uses $VM1_WORKER,
   /// then the build-baked default (apps/vm1_worker).
   std::string dist_worker_path;
+  /// Transport underneath the processes backend. kTcp listens on
+  /// dist_tcp_host:dist_tcp_port (0 = ephemeral) and either self-spawns
+  /// loopback workers (`vm1_worker --connect`) or, with an empty worker
+  /// path resolution, waits for remote peers; the auth secret comes from
+  /// `dist_secret`, falling back to $VM1_DIST_SECRET.
+  DistTransport dist_transport = DistTransport::kSocketpair;
+  std::string dist_tcp_host = "127.0.0.1";
+  int dist_tcp_port = 0;
+  std::string dist_secret;
   milp::BranchAndBound::Options mip = default_mip();
   /// Per-DistOpt-pass wall-clock budget forwarded to
   /// DistOptOptions::time_budget_sec (0 = unlimited). See DESIGN.md
@@ -105,8 +114,12 @@ struct VM1OptStats {
   long remote_desyncs = 0;
   long remote_local_fallbacks = 0;
   long worker_restarts = 0;
+  long remote_connect_failures = 0;
+  long remote_heartbeats_missed = 0;
   long wire_bytes_sent = 0;
   long wire_bytes_received = 0;
+  long wire_bytes_retransmitted = 0;
+  long wire_bytes_dropped = 0;
   /// True when a parameter set's inner loop exited because a full
   /// move+flip iteration changed zero cells (sweep-level early
   /// termination), rather than via theta or max_inner_iters.

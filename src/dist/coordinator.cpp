@@ -4,11 +4,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <limits>
 #include <stdexcept>
 
+#include "dist/tcp.h"
 #include "dist/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,12 +24,15 @@ namespace vm1::dist {
 
 namespace {
 
-/// Give up on spawning after this many consecutive hello-less workers:
-/// the binary is missing/broken, and every window degrades to the local
-/// fallback instead of a respawn storm.
+/// Give up on establishing workers after this many consecutive failures:
+/// the binary is missing/broken (or no remote peer ever attaches), and
+/// every window degrades to the local fallback instead of a respawn storm.
 constexpr int kMaxConsecutiveSpawnFailures = 3;
 /// Remote attempts per window before the local fallback.
 constexpr int kMaxAttempts = 2;
+/// Failure-score thresholds for the health state machine.
+constexpr double kSuspectScore = 1.0;
+constexpr double kQuarantineScore = 3.0;
 
 std::string resolve_worker_path(const std::string& configured) {
   if (!configured.empty()) return configured;
@@ -45,10 +50,19 @@ struct Metrics {
   obs::Counter& desyncs = obs::counter("dist.desyncs");
   obs::Counter& local_fallbacks = obs::counter("dist.local_fallbacks");
   obs::Counter& worker_restarts = obs::counter("dist.worker_restarts");
+  obs::Counter& connect_failures = obs::counter("dist.connect_failures");
+  obs::Counter& heartbeats_missed = obs::counter("dist.heartbeats_missed");
   obs::Counter& bytes_sent = obs::counter("dist.bytes_sent");
   obs::Counter& bytes_received = obs::counter("dist.bytes_received");
+  obs::Counter& bytes_retransmitted =
+      obs::counter("dist.bytes_retransmitted");
+  obs::Counter& bytes_dropped = obs::counter("dist.bytes_dropped");
   obs::Gauge& queue_depth = obs::gauge("dist.queue_depth");
+  obs::Gauge& workers_healthy = obs::gauge("dist.workers_healthy");
+  obs::Gauge& workers_suspect = obs::gauge("dist.workers_suspect");
+  obs::Gauge& workers_quarantined = obs::gauge("dist.workers_quarantined");
   obs::Histogram& rpc_sec = obs::histogram("dist.rpc_sec");
+  obs::Histogram& heartbeat_rtt_sec = obs::histogram("dist.heartbeat_rtt_sec");
   obs::Histogram& serialize_sec = obs::histogram("dist.serialize_sec");
   obs::Histogram& deserialize_sec = obs::histogram("dist.deserialize_sec");
 };
@@ -59,6 +73,20 @@ Metrics& metrics() {
 }
 
 }  // namespace
+
+const char* to_string(WorkerHealth h) {
+  switch (h) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kSuspect:
+      return "suspect";
+    case WorkerHealth::kQuarantined:
+      return "quarantined";
+    case WorkerHealth::kRetired:
+      return "retired";
+  }
+  return "?";
+}
 
 void CoordinatorOptions::validate() const {
   auto bad = [](const std::string& what) {
@@ -75,6 +103,22 @@ void CoordinatorOptions::validate() const {
     bad("spawn_timeout_sec must be > 0, got " +
         std::to_string(spawn_timeout_sec));
   }
+  if (tcp_port < 0 || tcp_port > 65535) {
+    bad("tcp_port must be in [0, 65535], got " + std::to_string(tcp_port));
+  }
+  if (heartbeat_interval_sec <= 0 || heartbeat_timeout_sec <= 0) {
+    bad("heartbeat intervals must be > 0");
+  }
+  if (quarantine_base_sec <= 0 || quarantine_max_sec < quarantine_base_sec) {
+    bad("quarantine durations must satisfy 0 < base <= max");
+  }
+  if (max_quarantine_episodes < 1) {
+    bad("max_quarantine_episodes must be >= 1, got " +
+        std::to_string(max_quarantine_episodes));
+  }
+  if (retry_budget_factor < 0 || min_retry_budget < 0) {
+    bad("retry budget must be non-negative");
+  }
 }
 
 struct Coordinator::Pending {
@@ -84,20 +128,53 @@ struct Coordinator::Pending {
 };
 
 struct Coordinator::Slot {
-  subprocess::Child proc;
+  std::unique_ptr<Connection> conn;
   bool alive = false;
   bool current = false;     ///< replica bound and synced to the design
-  bool restart = false;     ///< next successful spawn is a restart
+  bool restart = false;     ///< next successful establish is a restart
   std::vector<std::uint8_t> rbuf;
   Pending* inflight = nullptr;
   std::uint64_t inflight_req = 0;
   double sent_at = 0;
   double deadline = 0;
+  // Supervision state (see WorkerHealth).
+  WorkerHealth health = WorkerHealth::kHealthy;
+  double failure_score = 0;
+  int quarantine_episodes = 0;
+  double quarantined_until = 0;
+  double last_activity = 0;   ///< last byte received (or establish time)
+  bool ping_outstanding = false;
+  std::uint64_t ping_seq = 0;
+  double ping_sent_at = 0;
+  double ping_deadline = 0;
 };
 
-Coordinator::Coordinator(CoordinatorOptions opts) : opts_(opts) {
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
   opts_.validate();
-  worker_path_ = resolve_worker_path(opts_.worker_path);
+  slots_.resize(static_cast<std::size_t>(opts_.num_workers));
+  if (opts_.transport == TransportKind::kTcp) {
+    TcpTransportOptions topts;
+    topts.host = opts_.tcp_host;
+    topts.port = opts_.tcp_port;
+    topts.secret = opts_.secret;
+    topts.io_timeout_sec = opts_.request_timeout_sec;
+    if (opts_.tcp_self_spawn) {
+      topts.worker_path = resolve_worker_path(opts_.worker_path);
+    }
+    // Bind failure throws (a config error, unlike per-worker failures).
+    transport_ = std::make_unique<TcpTransport>(std::move(topts));
+  } else {
+    std::string path = resolve_worker_path(opts_.worker_path);
+    // Empty path leaves transport_ null; the first dispatch degrades to
+    // all-local with a single warning (see ensure_worker).
+    if (!path.empty()) transport_ = make_socketpair_transport(path);
+  }
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts,
+                         std::unique_ptr<Transport> transport)
+    : opts_(std::move(opts)), transport_(std::move(transport)) {
+  opts_.validate();
   slots_.resize(static_cast<std::size_t>(opts_.num_workers));
 }
 
@@ -105,17 +182,13 @@ Coordinator::~Coordinator() { shutdown_workers(); }
 
 void Coordinator::shutdown_workers() {
   for (Slot& s : slots_) {
-    if (s.alive) {
+    if (s.alive && s.conn) {
       std::vector<std::uint8_t> frame = encode_frame(MsgType::kShutdown, {});
-      subprocess::write_all(s.proc.fd, frame.data(), frame.size());
+      s.conn->write_all(frame.data(), frame.size());
     }
-    if (s.proc.fd >= 0) {
-      close(s.proc.fd);
-      s.proc.fd = -1;
-    }
-    if (s.proc.pid > 0) {
-      subprocess::kill_and_reap(s.proc.pid);
-      s.proc.pid = -1;
+    if (s.conn) {
+      s.conn->hard_close();
+      s.conn.reset();
     }
     s.alive = false;
     s.current = false;
@@ -123,98 +196,151 @@ void Coordinator::shutdown_workers() {
   }
 }
 
-bool Coordinator::send_frame_to(Slot& slot, std::vector<std::uint8_t> frame) {
-  stats_.bytes_sent += static_cast<long>(frame.size());
-  metrics().bytes_sent.add(static_cast<long>(frame.size()));
-  if (subprocess::write_all(slot.proc.fd, frame.data(), frame.size())) {
-    return true;
+int Coordinator::alive_workers() const {
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.alive) ++n;
   }
-  worker_died(slot, "send failed");
+  return n;
+}
+
+WorkerHealth Coordinator::worker_health(int widx) const {
+  return slots_.at(static_cast<std::size_t>(widx)).health;
+}
+
+void Coordinator::update_health_gauges() {
+  int healthy = 0, suspect = 0, quarantined = 0;
+  for (const Slot& s : slots_) {
+    switch (s.health) {
+      case WorkerHealth::kHealthy:
+        ++healthy;
+        break;
+      case WorkerHealth::kSuspect:
+        ++suspect;
+        break;
+      case WorkerHealth::kQuarantined:
+        ++quarantined;
+        break;
+      case WorkerHealth::kRetired:
+        break;
+    }
+  }
+  metrics().workers_healthy.set(healthy);
+  metrics().workers_suspect.set(suspect);
+  metrics().workers_quarantined.set(quarantined);
+}
+
+void Coordinator::note_failure(Slot& slot) {
+  slot.failure_score += 1.0;
+  if (slot.health == WorkerHealth::kRetired) return;
+  if (slot.failure_score >= kQuarantineScore) {
+    ++slot.quarantine_episodes;
+    if (slot.quarantine_episodes > opts_.max_quarantine_episodes) {
+      slot.health = WorkerHealth::kRetired;
+      log_warn("dist: worker slot retired after ",
+               opts_.max_quarantine_episodes,
+               " quarantine episodes; fleet shrinks to ", alive_workers(),
+               " live workers");
+    } else {
+      // Episode length doubles each time a slot re-offends; the score
+      // resets so a re-admitted worker gets a clean (if suspect) start.
+      double dur = opts_.quarantine_base_sec *
+                   static_cast<double>(1 << std::min(
+                       slot.quarantine_episodes - 1, 20));
+      dur = std::min(dur, opts_.quarantine_max_sec);
+      slot.health = WorkerHealth::kQuarantined;
+      slot.quarantined_until = clock_.seconds() + dur;
+      slot.failure_score = 0;
+      log_warn("dist: worker slot quarantined for ", dur, "s (episode ",
+               slot.quarantine_episodes, "/", opts_.max_quarantine_episodes,
+               ")");
+    }
+  } else if (slot.health == WorkerHealth::kHealthy) {
+    slot.health = WorkerHealth::kSuspect;
+  }
+  update_health_gauges();
+}
+
+void Coordinator::note_success(Slot& slot) {
+  slot.failure_score *= 0.5;
+  if (slot.health == WorkerHealth::kSuspect &&
+      slot.failure_score < kSuspectScore) {
+    slot.health = WorkerHealth::kHealthy;
+  }
+  update_health_gauges();
+}
+
+bool Coordinator::send_frame_to(Slot& slot, std::vector<std::uint8_t> frame) {
+  std::size_t written = slot.conn->write_all(frame.data(), frame.size());
+  stats_.bytes_sent += static_cast<long>(written);
+  metrics().bytes_sent.add(static_cast<long>(written));
+  if (written == frame.size()) return true;
+  // Mid-frame short write: the stream cannot be re-framed, so the unsent
+  // tail is dropped along with the connection.
+  stats_.bytes_dropped += static_cast<long>(frame.size() - written);
+  metrics().bytes_dropped.add(static_cast<long>(frame.size() - written));
+  worker_died(slot, "send failed mid-frame");
   return false;
 }
 
 bool Coordinator::ensure_worker(Slot& slot) {
   if (slot.alive) return true;
   if (spawn_broken_) return false;
-  if (worker_path_.empty()) {
+  if (slot.health == WorkerHealth::kRetired) return false;
+  if (slot.health == WorkerHealth::kQuarantined) {
+    if (clock_.seconds() < slot.quarantined_until) return false;
+    // Quarantine served: fall through to a re-admission probe.
+  }
+  if (!transport_) {
     log_warn("dist: no worker binary configured (set VM1_WORKER); "
              "falling back to local solves");
     spawn_broken_ = true;
     return false;
   }
-  slot.proc = subprocess::spawn_worker(worker_path_, {});
-  bool ok = slot.proc.valid();
-  // Wait for the kHello frame; a missing/broken binary surfaces as
-  // immediate EOF (the child _exit(127)s after a failed exec).
-  const double spawn_deadline = clock_.seconds() + opts_.spawn_timeout_sec;
-  while (ok) {
-    std::optional<Frame> f;
-    try {
-      f = extract_frame(slot.rbuf);
-    } catch (const WireError& e) {
-      log_warn("dist: worker handshake garbled: ", e.what());
-      ok = false;
-      break;
-    }
-    if (f) {
-      ok = false;
-      if (f->type == MsgType::kHello) {
-        try {
-          WireHello hello = decode_hello(f->payload);
-          if (hello.num_fault_sites == fault::kNumSites) {
-            ok = true;
-          } else {
-            log_warn("dist: worker fault-site count mismatch (stale binary)");
-          }
-        } catch (const WireError& e) {
-          log_warn("dist: bad worker hello: ", e.what());
-        }
-      }
-      break;
-    }
-    if (clock_.seconds() >= spawn_deadline) {
-      log_warn("dist: worker hello timed out");
-      ok = false;
-      break;
-    }
-    pollfd pfd{slot.proc.fd, POLLIN, 0};
-    int pr = poll(&pfd, 1, 100);
-    if (pr < 0) {
-      ok = false;
-      break;
-    }
-    if (pr == 0) continue;
-    std::uint8_t chunk[4096];
-    long n = subprocess::read_some(slot.proc.fd, chunk, sizeof chunk);
-    if (n <= 0) {
-      ok = false;
-      break;
-    }
-    slot.rbuf.insert(slot.rbuf.end(), chunk, chunk + n);
+  std::optional<Established> est =
+      transport_->establish(opts_.spawn_timeout_sec);
+  if (est && est->hello.num_fault_sites != fault::kNumSites) {
+    log_warn("dist: worker fault-site count mismatch (stale binary)");
+    est->conn->hard_close();
+    est.reset();
   }
-  if (!ok) {
-    if (slot.proc.fd >= 0) close(slot.proc.fd);
-    if (slot.proc.pid > 0) subprocess::kill_and_reap(slot.proc.pid);
-    slot.proc = {};
-    slot.rbuf.clear();
+  if (!est) {
+    ++stats_.connect_failures;
+    metrics().connect_failures.add();
+    note_failure(slot);
     if (++consecutive_spawn_failures_ >= kMaxConsecutiveSpawnFailures) {
       spawn_broken_ = true;
-      log_warn("dist: worker spawning declared broken after ",
+      log_warn("dist: worker establishment declared broken after ",
                consecutive_spawn_failures_,
-               " consecutive failures; solving locally (worker: ",
-               worker_path_, ")");
+               " consecutive failures; solving locally (transport: ",
+               transport_->name(), ")");
     }
     return false;
   }
   consecutive_spawn_failures_ = 0;
+  slot.conn = std::move(est->conn);
+  slot.rbuf = std::move(est->leftover);
   slot.alive = true;
   slot.current = false;
+  slot.last_activity = clock_.seconds();
+  slot.ping_outstanding = false;
+  if (slot.health == WorkerHealth::kQuarantined) {
+    log_info("dist: quarantined worker slot re-admitted on probation");
+    slot.health = WorkerHealth::kSuspect;
+    slot.failure_score = kSuspectScore;
+  }
   if (slot.restart) {
     ++stats_.worker_restarts;
     metrics().worker_restarts.add();
   }
   slot.restart = true;
+  update_health_gauges();
   return true;
+}
+
+int Coordinator::connect_workers() {
+  for (Slot& s : slots_) ensure_worker(s);
+  return alive_workers();
 }
 
 const std::vector<std::uint8_t>& Coordinator::snapshot(const Design& d) {
@@ -237,15 +363,100 @@ bool Coordinator::bind_if_stale(Slot& slot, const Design& d) {
 }
 
 void Coordinator::worker_died(Slot& slot, const char* why) {
-  log_warn("dist: worker ", slot.proc.pid, " lost (", why,
-           "), window will be retried or solved locally");
-  if (slot.proc.fd >= 0) close(slot.proc.fd);
-  if (slot.proc.pid > 0) subprocess::kill_and_reap(slot.proc.pid);
-  slot.proc = {};
+  log_warn("dist: worker ", slot.conn ? slot.conn->pid() : -1, " lost (",
+           why, "), window will be retried or solved locally");
+  if (slot.conn) {
+    slot.conn->hard_close();
+    slot.conn.reset();
+  }
   slot.alive = false;
   slot.current = false;
   slot.rbuf.clear();
+  slot.ping_outstanding = false;
+  note_failure(slot);
   // The caller requeues slot.inflight; worker_died only severs the link.
+}
+
+void Coordinator::send_ping(Slot& slot) {
+  WirePing ping;
+  ping.seq = ++ping_seq_;
+  if (!send_frame_to(slot,
+                     encode_frame(MsgType::kPing, encode_ping(ping)))) {
+    return;
+  }
+  slot.ping_outstanding = true;
+  slot.ping_seq = ping.seq;
+  slot.ping_sent_at = clock_.seconds();
+  slot.ping_deadline = slot.ping_sent_at + opts_.heartbeat_timeout_sec;
+}
+
+void Coordinator::handle_pong(Slot& slot, std::uint64_t seq) {
+  if (!slot.ping_outstanding || seq != slot.ping_seq) return;  // stale
+  slot.ping_outstanding = false;
+  metrics().heartbeat_rtt_sec.observe(clock_.seconds() - slot.ping_sent_at);
+  note_success(slot);
+}
+
+int Coordinator::heartbeat(double timeout_sec) {
+  for (Slot& s : slots_) {
+    if (!s.alive || s.inflight || s.ping_outstanding) continue;
+    send_ping(s);
+  }
+  const double deadline = clock_.seconds() + timeout_sec;
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<Slot*> fd_slots;
+    for (Slot& s : slots_) {
+      if (!s.alive || !s.ping_outstanding) continue;
+      fds.push_back(pollfd{s.conn->fd(), POLLIN, 0});
+      fd_slots.push_back(&s);
+    }
+    if (fds.empty()) break;
+    double wait = deadline - clock_.seconds();
+    if (wait <= 0) {
+      for (Slot* s : fd_slots) {
+        ++stats_.heartbeats_missed;
+        metrics().heartbeats_missed.add();
+        worker_died(*s, "heartbeat missed");
+      }
+      break;
+    }
+    poll(fds.data(), static_cast<nfds_t>(fds.size()),
+         static_cast<int>(std::min(wait * 1000.0 + 1.0, 100.0)));
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      Slot& slot = *fd_slots[i];
+      if (!slot.alive) continue;
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      std::uint8_t chunk[4096];
+      long n = slot.conn->read_some(chunk, sizeof chunk);
+      if (n <= 0) {
+        ++stats_.heartbeats_missed;
+        metrics().heartbeats_missed.add();
+        worker_died(slot, n == 0 ? "worker exited" : "read error");
+        continue;
+      }
+      stats_.bytes_received += n;
+      metrics().bytes_received.add(n);
+      slot.last_activity = clock_.seconds();
+      slot.rbuf.insert(slot.rbuf.end(), chunk, chunk + n);
+      try {
+        std::optional<Frame> f;
+        while (slot.alive && (f = extract_frame(slot.rbuf))) {
+          if (f->type == MsgType::kPong) {
+            handle_pong(slot, decode_ping(f->payload).seq);
+          } else if (f->type == MsgType::kHello ||
+                     f->type == MsgType::kError) {
+            // Tolerated between batches; nothing is in flight.
+          } else {
+            throw WireError("unexpected frame during heartbeat");
+          }
+        }
+      } catch (const WireError& e) {
+        worker_died(slot, e.what());
+      }
+    }
+  }
+  return alive_workers();
 }
 
 void Coordinator::begin_pass(const Design& d) {
@@ -255,6 +466,14 @@ void Coordinator::begin_pass(const Design& d) {
   }
   last_digest_ = digest;
   snapshot_.reset();
+  // Catch silently-dead peers before the pass dispatches to them.
+  const double now = clock_.seconds();
+  for (const Slot& s : slots_) {
+    if (s.alive && now - s.last_activity >= opts_.heartbeat_interval_sec) {
+      heartbeat(opts_.heartbeat_timeout_sec);
+      break;
+    }
+  }
 }
 
 void Coordinator::end_pass(const Design& d) {
@@ -291,10 +510,19 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
   }
   std::size_t remaining = pendings.size();
 
+  // Retry budget: a storm of failures must not turn into quadratic
+  // re-dispatching — once the batch's budget is spent, further failures
+  // skip the queue and go straight to the guaranteed local path.
+  long retry_budget = std::max<long>(
+      opts_.min_retry_budget,
+      static_cast<long>(std::ceil(opts_.retry_budget_factor *
+                                  static_cast<double>(jobs.size()))));
+
   auto fail_attempt = [&](Pending* p) {
-    if (++p->attempts >= kMaxAttempts) {
+    if (++p->attempts >= kMaxAttempts || retry_budget <= 0) {
       local.push_back(p);
     } else {
+      --retry_budget;
       ++stats_.retries;
       metrics().retries.add();
       queue.push_back(p);
@@ -322,6 +550,19 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       if (!ensure_worker(slot)) continue;
       Pending* p = queue.front();
       queue.pop_front();
+      if (fault_on && fault::should_fire(fault::Site::kConnectRefused,
+                                         p->rj.job->key)) {
+        // Unlike connect_timeout, a refusal discredits the connection:
+        // tear it down so the next dispatch has to re-establish. Checked
+        // before connect_timeout so a key firing both still exercises the
+        // teardown path (the timeout drill has no side effects to shadow).
+        log_warn("dist: injected connect_refused, window ", p->rj.job->widx);
+        ++stats_.connect_failures;
+        metrics().connect_failures.add();
+        worker_died(slot, "injected connect refused");
+        fail_attempt(p);
+        continue;
+      }
       if (fault_on && fault::should_fire(fault::Site::kConnectTimeout,
                                          p->rj.job->key)) {
         log_warn("dist: injected connect_timeout, window ", p->rj.job->widx);
@@ -343,6 +584,27 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       {
         obs::ScopedTimer t(metrics().serialize_sec);
         frame = encode_frame(MsgType::kRequest, encode_request(rq));
+      }
+      if (fault_on && fault::should_fire(fault::Site::kPartition,
+                                         p->rj.job->key)) {
+        // Mid-frame partition: half the request leaves, the link dies.
+        // The worker sees a truncated frame then EOF; we account the
+        // stranded tail as dropped and retry elsewhere.
+        std::size_t half = frame.size() / 2;
+        std::size_t written = slot.conn->write_all(frame.data(), half);
+        stats_.bytes_sent += static_cast<long>(written);
+        metrics().bytes_sent.add(static_cast<long>(written));
+        stats_.bytes_dropped += static_cast<long>(frame.size() - written);
+        metrics().bytes_dropped.add(
+            static_cast<long>(frame.size() - written));
+        log_warn("dist: injected partition, window ", p->rj.job->widx);
+        worker_died(slot, "injected mid-frame partition");
+        fail_attempt(p);
+        continue;
+      }
+      if (p->attempts > 0) {
+        stats_.bytes_retransmitted += static_cast<long>(frame.size());
+        metrics().bytes_retransmitted.add(static_cast<long>(frame.size()));
       }
       if (!send_frame_to(slot, std::move(frame))) {
         fail_attempt(p);
@@ -367,25 +629,55 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       }
     }
     if (!any_inflight) {
-      if (spawn_broken_ || worker_path_.empty()) {
-        // No workers will ever come up: everything left solves locally.
+      // Staged degradation: when no worker can take work now — spawning
+      // declared broken, every slot retired, or the whole fleet sitting
+      // out a quarantine — the rest of the batch solves locally rather
+      // than waiting out quarantines window by window.
+      bool any_dispatchable = false;
+      const double now = clock_.seconds();
+      for (const Slot& s : slots_) {
+        if (s.health == WorkerHealth::kRetired) continue;
+        if (s.health == WorkerHealth::kQuarantined &&
+            now < s.quarantined_until && !s.alive) {
+          continue;
+        }
+        any_dispatchable = true;
+        break;
+      }
+      if (spawn_broken_ || !transport_ || !any_dispatchable) {
         while (!queue.empty()) {
           local.push_back(queue.front());
           queue.pop_front();
         }
       }
-      continue;  // either drain `local`, or retry spawning on next lap
+      continue;  // either drain `local`, or retry establishing next lap
     }
 
-    // Wait for replies (or the nearest deadline).
+    // Heartbeat idle-but-live workers mid-batch, so a silently dead peer
+    // is torn down before the next dispatch would trust it.
+    {
+      const double now = clock_.seconds();
+      for (Slot& slot : slots_) {
+        if (!slot.alive || slot.inflight || slot.ping_outstanding) continue;
+        if (now - slot.last_activity >= opts_.heartbeat_interval_sec) {
+          send_ping(slot);
+        }
+      }
+    }
+
+    // Wait for replies (or the nearest deadline). Idle live workers are
+    // polled too: their EOFs and pongs must not wait for a dispatch.
     std::vector<pollfd> fds;
     std::vector<Slot*> fd_slots;
     double next_deadline = std::numeric_limits<double>::infinity();
     for (Slot& slot : slots_) {
-      if (!slot.inflight) continue;
-      fds.push_back(pollfd{slot.proc.fd, POLLIN, 0});
+      if (!slot.alive) continue;
+      fds.push_back(pollfd{slot.conn->fd(), POLLIN, 0});
       fd_slots.push_back(&slot);
-      next_deadline = std::min(next_deadline, slot.deadline);
+      if (slot.inflight) next_deadline = std::min(next_deadline, slot.deadline);
+      if (slot.ping_outstanding) {
+        next_deadline = std::min(next_deadline, slot.ping_deadline);
+      }
     }
     double wait = next_deadline - clock_.seconds();
     int timeout_ms = wait <= 0 ? 0
@@ -398,7 +690,7 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       if (!slot.alive) continue;
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       std::uint8_t chunk[1 << 16];
-      long n = subprocess::read_some(slot.proc.fd, chunk, sizeof chunk);
+      long n = slot.conn->read_some(chunk, sizeof chunk);
       if (n <= 0) {
         Pending* p = slot.inflight;
         worker_died(slot, n == 0 ? "worker exited" : "read error");
@@ -408,6 +700,7 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       }
       stats_.bytes_received += n;
       metrics().bytes_received.add(n);
+      slot.last_activity = clock_.seconds();
       slot.rbuf.insert(slot.rbuf.end(), chunk, chunk + n);
       try {
         std::optional<Frame> f;
@@ -435,6 +728,9 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
             p->done = true;
             --remaining;
             slot.inflight = nullptr;
+            note_success(slot);
+          } else if (f->type == MsgType::kPong) {
+            handle_pong(slot, decode_ping(f->payload).seq);
           } else if (f->type == MsgType::kError) {
             WireErrorMsg e = decode_error(f->payload);
             Pending* p = slot.inflight;
@@ -465,9 +761,19 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
     }
 
     // Deadlines: a silent worker is presumed hung — kill it and retry the
-    // window (reply-drop drills land here).
+    // window (reply-drop and slow-loris drills land here); a silent ping
+    // means the peer died between requests.
     double now = clock_.seconds();
     for (Slot& slot : slots_) {
+      if (slot.alive && slot.ping_outstanding && now >= slot.ping_deadline) {
+        ++stats_.heartbeats_missed;
+        metrics().heartbeats_missed.add();
+        Pending* p = slot.inflight;
+        worker_died(slot, "heartbeat missed");
+        slot.inflight = nullptr;
+        if (p) fail_attempt(p);
+        continue;
+      }
       if (!slot.inflight || now < slot.deadline) continue;
       ++stats_.timeouts;
       metrics().timeouts.add();

@@ -1,37 +1,63 @@
 /// \file coordinator.h
 /// Coordinator side of the distributed window-solve service.
 ///
-/// Owns N worker processes (fork/exec of apps/vm1_worker, one Unix-domain
-/// socketpair each), keeps a full design replica bound on every worker
-/// (kBindDesign on first use / staleness, kSync placement deltas after
-/// every batch), and dispatches prepared WindowSolveJobs with one request
-/// in flight per worker — the bounded in-flight queue that keeps a
-/// request's deadline meaningful.
+/// Owns a fleet of N workers reached through a pluggable transport
+/// (dist/transport.h): fork/exec'd socketpair children, or TCP peers that
+/// attach to the coordinator's listener (dist/tcp.h). Keeps a full design
+/// replica bound on every worker (kBindDesign on first use / staleness,
+/// kSync placement deltas after every batch), and dispatches prepared
+/// WindowSolveJobs with one request in flight per worker — the bounded
+/// in-flight queue that keeps a request's deadline meaningful.
 ///
-/// Failure matrix (see DESIGN.md "Distributed window solving"): worker
-/// crash (EOF), hang (per-request deadline -> SIGKILL), malformed or
-/// corrupted reply (checksum/decode failure -> connection dropped), and
-/// replica desync (typed kError from the worker's signature check) all
-/// funnel through the same policy — retry the window once on a (possibly
-/// respawned) worker, then solve it locally in-process. solve_batch()
-/// therefore always returns with every job's result filled: the DistOpt
-/// apply phase above it cannot tell where a window solved, which is what
-/// keeps the WindowOutcome taxonomy summing to `windows` and the
+/// Supervision (see DESIGN.md "Distributed window solving"):
+///
+///   * Failure matrix — worker crash (EOF), hang (per-request deadline ->
+///     teardown), malformed or corrupted reply (checksum/decode failure ->
+///     connection dropped), replica desync (typed kError from the worker's
+///     signature check), connect refusal, mid-frame partition, and
+///     slow-loris partial replies all funnel through the same policy:
+///     retry the window on a (possibly re-established) worker while the
+///     batch's retry budget lasts, then solve it locally in-process.
+///   * Heartbeats — idle workers are pinged (kPing/kPong) so a silently
+///     dead peer is caught between requests, not discovered by the next
+///     dispatch.
+///   * Health — each worker slot walks healthy -> suspect -> quarantined
+///     on a decaying failure score; quarantine doubles per episode and a
+///     slot that keeps flapping is retired (the fleet shrinks). Staged
+///     degradation ends at all-local solving — never a failed run.
+///
+/// solve_batch() always returns with every job's result filled: the
+/// DistOpt apply phase above it cannot tell where a window solved, which
+/// is what keeps the WindowOutcome taxonomy summing to `windows` and the
 /// processes backend bit-identical to threads.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/incremental.h"
 #include "core/window_solve.h"
+#include "dist/transport.h"
 #include "util/logging.h"
-#include "util/subprocess.h"
 
 namespace vm1::dist {
+
+/// Which transport the coordinator builds for itself (the test-only
+/// constructor overload accepts a ready-made Transport instead).
+enum class TransportKind { kSocketpair, kTcp };
+
+/// Worker slot health, walked by the failure-score supervisor. A failure
+/// (death, timeout, corrupt stream, missed heartbeat, connect error) adds
+/// one point; every success halves the score. One point makes a slot
+/// suspect, three quarantine it (duration doubling per episode), and
+/// flapping past `max_quarantine_episodes` retires it for good.
+enum class WorkerHealth { kHealthy, kSuspect, kQuarantined, kRetired };
+
+const char* to_string(WorkerHealth h);
 
 struct CoordinatorOptions {
   int num_workers = 2;
@@ -39,12 +65,39 @@ struct CoordinatorOptions {
   /// default (VM1_WORKER_DEFAULT, apps/vm1_worker in the build tree).
   std::string worker_path;
   /// Slack added to a request's MIP time limit to form its deadline; a
-  /// worker silent past it is presumed hung and SIGKILLed. Benchmarks keep
+  /// worker silent past it is presumed hung and torn down. Benchmarks keep
   /// the default; fault tests shrink it so reply-drop drills stay fast.
   double request_timeout_sec = 10.0;
-  /// Deadline for the worker's kHello after exec (covers exec failures,
-  /// which surface as immediate EOF).
+  /// Deadline for establishing one worker connection (spawn + kHello, or
+  /// TCP accept + auth handshake).
   double spawn_timeout_sec = 10.0;
+
+  TransportKind transport = TransportKind::kSocketpair;
+  std::string tcp_host = "127.0.0.1";  ///< TCP listen address
+  int tcp_port = 0;                    ///< 0 = ephemeral
+  /// TCP auth secret; empty resolves $VM1_DIST_SECRET.
+  std::string secret;
+  /// TCP only: spawn loopback workers (`vm1_worker --connect`) ourselves.
+  /// false = remote attach only; establish just waits for peers launched
+  /// out-of-band.
+  bool tcp_self_spawn = true;
+
+  /// Idle workers silent this long get a kPing.
+  double heartbeat_interval_sec = 2.0;
+  /// A pinged worker that stays silent this long is presumed dead.
+  double heartbeat_timeout_sec = 5.0;
+
+  /// First quarantine episode length; doubles per episode up to the cap.
+  double quarantine_base_sec = 0.5;
+  double quarantine_max_sec = 30.0;
+  /// Quarantine episodes before a slot is retired (fleet shrink).
+  int max_quarantine_episodes = 4;
+
+  /// Per-batch remote retry budget: max(min_retry_budget,
+  /// ceil(retry_budget_factor * jobs)). Once spent, further failures go
+  /// straight to the local fallback instead of re-queueing.
+  double retry_budget_factor = 0.5;
+  int min_retry_budget = 4;
 
   /// Throws std::invalid_argument on out-of-range fields.
   void validate() const;
@@ -52,6 +105,12 @@ struct CoordinatorOptions {
 
 /// Per-pass transport counters, folded into DistOptStats::remote_* by
 /// dist_opt. take_stats() returns-and-resets.
+///
+/// Byte accounting invariant: bytes_sent counts exactly the bytes handed
+/// to the kernel (short writes included); bytes_dropped is the tail of any
+/// frame that failed mid-write (so bytes_sent + bytes_dropped == bytes
+/// attempted), and bytes_retransmitted is the subset of bytes_sent spent
+/// re-sending a window's request after a failed attempt.
 struct CoordinatorStats {
   long requests = 0;         ///< request frames sent (incl. retries)
   long replies = 0;          ///< well-formed replies accepted
@@ -59,9 +118,13 @@ struct CoordinatorStats {
   long timeouts = 0;         ///< per-request deadlines that fired
   long desyncs = 0;          ///< kDesync errors (replica rebind + retry)
   long local_fallbacks = 0;  ///< windows solved coordinator-side
-  long worker_restarts = 0;  ///< workers respawned after dying
-  long bytes_sent = 0;
+  long worker_restarts = 0;  ///< workers re-established after dying
+  long connect_failures = 0;    ///< failed establishes (incl. auth)
+  long heartbeats_missed = 0;   ///< pings that never saw a pong
+  long bytes_sent = 0;          ///< bytes actually handed to the kernel
   long bytes_received = 0;
+  long bytes_retransmitted = 0;  ///< bytes_sent spent on retry requests
+  long bytes_dropped = 0;        ///< unsent tails of mid-frame failures
 };
 
 /// One prepared window handed to solve_batch. `result` is always filled
@@ -83,21 +146,38 @@ struct RemoteJob {
 class Coordinator {
  public:
   explicit Coordinator(CoordinatorOptions opts = {});
+  /// Test/service seam: run the supervision logic over a caller-provided
+  /// transport (e.g. a TcpTransport whose port the test already knows).
+  Coordinator(CoordinatorOptions opts, std::unique_ptr<Transport> transport);
   ~Coordinator();
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
   int num_workers() const { return opts_.num_workers; }
 
+  /// Eagerly establishes connections for every connectable slot (normally
+  /// they come up lazily at first dispatch). Returns the live count.
+  int connect_workers();
+
+  /// Pings every idle live worker and waits up to `timeout_sec` for the
+  /// pongs; silent workers are torn down (heartbeats_missed). Returns the
+  /// live count after. Also runs implicitly from begin_pass when workers
+  /// have been idle past the heartbeat interval.
+  int heartbeat(double timeout_sec);
+
+  int alive_workers() const;
+  WorkerHealth worker_health(int widx) const;
+
   /// Marks worker replicas stale when `d` differs from the design state
   /// the coordinator last certified (end_pass). Call before the pass's
   /// first solve_batch.
   void begin_pass(const Design& d);
 
-  /// Solves every job, dispatching to workers with retry-once-then-local
-  /// fallback. Serial from the caller's perspective; never throws on
-  /// worker failure. `cancel` is forwarded to local fallback solves only
-  /// (workers are bounded by the request deadline instead).
+  /// Solves every job, dispatching to workers with budgeted retries and a
+  /// guaranteed local fallback. Serial from the caller's perspective;
+  /// never throws on worker failure. `cancel` is forwarded to local
+  /// fallback solves only (workers are bounded by the request deadline
+  /// instead).
   void solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
                    const std::atomic<bool>* cancel);
 
@@ -112,9 +192,9 @@ class Coordinator {
   /// Per-pass counters; returns and resets.
   CoordinatorStats take_stats();
 
-  /// True once worker spawning has been declared broken (repeated spawn
-  /// failures) — every subsequent window solves locally. Exposed for
-  /// tests of the degraded path.
+  /// True once worker connection establishment has been declared broken
+  /// (repeated consecutive failures) — every subsequent window solves
+  /// locally. Exposed for tests of the degraded path.
   bool spawn_broken() const { return spawn_broken_; }
 
  private:
@@ -125,17 +205,23 @@ class Coordinator {
   bool bind_if_stale(Slot& slot, const Design& d);
   const std::vector<std::uint8_t>& snapshot(const Design& d);
   void worker_died(Slot& slot, const char* why);
+  void note_failure(Slot& slot);
+  void note_success(Slot& slot);
+  void update_health_gauges();
+  void send_ping(Slot& slot);
+  void handle_pong(Slot& slot, std::uint64_t seq);
   bool send_frame_to(Slot& slot, std::vector<std::uint8_t> frame);
   void shutdown_workers();
 
   CoordinatorOptions opts_;
-  std::string worker_path_;
+  std::unique_ptr<Transport> transport_;
   std::vector<Slot> slots_;
   Timer clock_;
   CoordinatorStats stats_;
   std::optional<std::uint64_t> last_digest_;
   std::optional<std::vector<std::uint8_t>> snapshot_;
   std::uint64_t seq_ = 0;
+  std::uint64_t ping_seq_ = 0;
   bool spawn_broken_ = false;
   int consecutive_spawn_failures_ = 0;
 };

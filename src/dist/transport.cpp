@@ -1,0 +1,132 @@
+#include "dist/transport.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/subprocess.h"
+
+namespace vm1::dist {
+
+namespace {
+
+/// Connection over the socketpair inherited by a forked vm1_worker. IO is
+/// blocking (the kernel buffers a socketpair generously and the peer is a
+/// local process): deadlines are enforced by the coordinator's poll loop,
+/// exactly as before the transport split.
+class SocketpairConnection final : public Connection {
+ public:
+  explicit SocketpairConnection(subprocess::Child child) : child_(child) {}
+  ~SocketpairConnection() override { hard_close(); }
+
+  int fd() const override { return child_.fd; }
+
+  std::size_t write_all(const void* data, std::size_t len) override {
+    return subprocess::write_upto(child_.fd, data, len);
+  }
+
+  long read_some(void* data, std::size_t len) override {
+    return subprocess::read_some(child_.fd, data, len);
+  }
+
+  void hard_close() override {
+    if (child_.fd >= 0) {
+      close(child_.fd);
+      child_.fd = -1;
+    }
+    if (child_.pid > 0) {
+      subprocess::kill_and_reap(child_.pid);
+      child_.pid = -1;
+    }
+  }
+
+  pid_t pid() const override { return child_.pid; }
+  const char* kind() const override { return "socketpair"; }
+
+ private:
+  subprocess::Child child_;
+};
+
+class SocketpairTransport final : public Transport {
+ public:
+  explicit SocketpairTransport(std::string worker_path)
+      : worker_path_(std::move(worker_path)) {}
+
+  std::optional<Established> establish(double timeout_sec) override {
+    if (worker_path_.empty()) return std::nullopt;
+    subprocess::Child child = subprocess::spawn_worker(worker_path_, {});
+    if (!child.valid()) return std::nullopt;
+    Established est;
+    std::optional<WireHello> hello =
+        read_hello(child.fd, timeout_sec, est.leftover);
+    if (!hello) {
+      close(child.fd);
+      subprocess::kill_and_reap(child.pid);
+      return std::nullopt;
+    }
+    est.hello = *hello;
+    est.conn = std::make_unique<SocketpairConnection>(child);
+    return est;
+  }
+
+  const char* name() const override { return "socketpair"; }
+
+ private:
+  std::string worker_path_;
+};
+
+}  // namespace
+
+std::optional<WireHello> read_hello(int fd, double timeout_sec,
+                                    std::vector<std::uint8_t>& leftover) {
+  Timer clock;
+  const double deadline_abs = timeout_sec;
+  std::vector<std::uint8_t> rbuf;
+  for (;;) {
+    std::optional<Frame> f;
+    try {
+      f = extract_frame(rbuf);
+    } catch (const WireError& e) {
+      log_warn("dist: worker handshake garbled: ", e.what());
+      return std::nullopt;
+    }
+    if (f) {
+      if (f->type != MsgType::kHello) {
+        log_warn("dist: expected hello, got ", to_string(f->type));
+        return std::nullopt;
+      }
+      try {
+        WireHello hello = decode_hello(f->payload);
+        leftover = std::move(rbuf);
+        return hello;
+      } catch (const WireError& e) {
+        log_warn("dist: bad worker hello: ", e.what());
+        return std::nullopt;
+      }
+    }
+    double remaining = deadline_abs - clock.seconds();
+    if (remaining <= 0) {
+      log_warn("dist: worker hello timed out");
+      return std::nullopt;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = poll(&pfd, 1, static_cast<int>(
+                               std::min(remaining * 1000.0 + 1.0, 100.0)));
+    if (pr < 0) return std::nullopt;
+    if (pr == 0) continue;
+    std::uint8_t chunk[4096];
+    long n = subprocess::read_some(fd, chunk, sizeof chunk);
+    if (n <= 0) return std::nullopt;  // EOF: exec failure or peer died
+    rbuf.insert(rbuf.end(), chunk, chunk + n);
+  }
+}
+
+std::unique_ptr<Transport> make_socketpair_transport(std::string worker_path) {
+  return std::make_unique<SocketpairTransport>(std::move(worker_path));
+}
+
+}  // namespace vm1::dist

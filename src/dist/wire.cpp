@@ -21,6 +21,12 @@ const char* to_string(MsgType t) {
       return "error";
     case MsgType::kShutdown:
       return "shutdown";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kChallenge:
+      return "challenge";
   }
   return "?";
 }
@@ -129,7 +135,7 @@ std::optional<Frame> extract_frame(std::vector<std::uint8_t>& buf) {
   std::uint64_t checksum = r.u64();
   if (len > kMaxPayload) throw WireError("wire: oversized frame payload");
   if (type < static_cast<std::uint16_t>(MsgType::kHello) ||
-      type > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+      type > static_cast<std::uint16_t>(MsgType::kChallenge)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   if (buf.size() < kFrameHeaderSize + len) return std::nullopt;
@@ -247,6 +253,10 @@ std::vector<std::uint8_t> encode_hello(const WireHello& h) {
   WireWriter w;
   w.u64(h.pid);
   w.u16(h.num_fault_sites);
+  w.boolean(h.authed);
+  if (h.authed) {
+    for (std::uint8_t b : h.auth) w.u8(b);
+  }
   return w.take();
 }
 
@@ -255,8 +265,43 @@ WireHello decode_hello(const std::vector<std::uint8_t>& payload) {
   WireHello h;
   h.pid = r.u64();
   h.num_fault_sites = r.u16();
+  h.authed = r.boolean();
+  if (h.authed) {
+    for (std::uint8_t& b : h.auth) b = r.u8();
+  }
   r.expect_end();
   return h;
+}
+
+std::vector<std::uint8_t> encode_ping(const WirePing& p) {
+  WireWriter w;
+  w.u64(p.seq);
+  return w.take();
+}
+
+WirePing decode_ping(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WirePing p;
+  p.seq = r.u64();
+  r.expect_end();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_challenge(const WireChallenge& c) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(c.nonce.size()));
+  for (std::uint8_t b : c.nonce) w.u8(b);
+  return w.take();
+}
+
+WireChallenge decode_challenge(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireChallenge c;
+  std::uint32_t n = r.count(1);
+  c.nonce.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) c.nonce.push_back(r.u8());
+  r.expect_end();
+  return c;
 }
 
 std::vector<std::uint8_t> encode_request(const WireRequest& rq) {

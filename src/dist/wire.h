@@ -27,6 +27,7 @@
 /// types are a protocol error at the receiver.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -41,7 +42,9 @@
 namespace vm1::dist {
 
 inline constexpr std::uint32_t kMagic = 0x564D3144u;  // "VM1D"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: kHello gained the optional auth tag (TCP attach handshake), and the
+/// kChallenge/kPing/kPong supervision messages were added.
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Upper bound on a frame payload; larger lengths are treated as stream
 /// corruption (the full aes design snapshot is ~2 MB).
 inline constexpr std::uint32_t kMaxPayload = 1u << 30;
@@ -56,13 +59,16 @@ class WireError : public std::runtime_error {
 };
 
 enum class MsgType : std::uint16_t {
-  kHello = 1,       ///< worker -> coordinator, once after exec
+  kHello = 1,       ///< worker -> coordinator, once after connect
   kBindDesign = 2,  ///< coordinator -> worker: full design replica
   kRequest = 3,     ///< coordinator -> worker: one window subproblem
   kReply = 4,       ///< worker -> coordinator: WindowSolveResult
   kSync = 5,        ///< coordinator -> worker: placement deltas (one-way)
   kError = 6,       ///< worker -> coordinator: typed per-request failure
   kShutdown = 7,    ///< coordinator -> worker: exit cleanly
+  kPing = 8,        ///< coordinator -> worker: heartbeat probe
+  kPong = 9,        ///< worker -> coordinator: heartbeat echo (same seq)
+  kChallenge = 10,  ///< coordinator -> worker: auth nonce (TCP attach)
 };
 
 const char* to_string(MsgType t);
@@ -150,6 +156,25 @@ struct WireHello {
   /// fault::kNumSites of the worker binary; a mismatch means a stale
   /// worker whose fault schedule (part of window signatures) would drift.
   std::uint16_t num_fault_sites = 0;
+  /// HMAC-SHA256($VM1_DIST_SECRET, server nonce) proving the worker saw
+  /// the kChallenge and knows the shared secret. Absent (`authed` false)
+  /// on the socketpair transport, where the kernel already guarantees the
+  /// peer is the process the coordinator forked.
+  bool authed = false;
+  std::array<std::uint8_t, 32> auth{};
+};
+
+/// Heartbeat probe/echo: the worker returns the coordinator's `seq`
+/// verbatim, so the coordinator can match pongs to pings and measure RTT
+/// on its own clock.
+struct WirePing {
+  std::uint64_t seq = 0;
+};
+
+/// Auth nonce sent by the TCP listener immediately after accept; the
+/// worker's hello must carry HMAC(secret, nonce).
+struct WireChallenge {
+  std::vector<std::uint8_t> nonce;
 };
 
 /// One window subproblem. `job` carries the final (deadline-adjusted)
@@ -191,6 +216,12 @@ struct WireErrorMsg {
 
 std::vector<std::uint8_t> encode_hello(const WireHello& h);
 WireHello decode_hello(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_ping(const WirePing& p);
+WirePing decode_ping(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_challenge(const WireChallenge& c);
+WireChallenge decode_challenge(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_request(const WireRequest& rq);
 WireRequest decode_request(const std::vector<std::uint8_t>& payload);

@@ -136,6 +136,21 @@ bool handle_request(int fd, const Design* design,
   std::vector<std::uint8_t> frame =
       encode_frame(MsgType::kReply, encode_reply(rp));
   if (fault::config().enabled() &&
+      fault::should_fire(fault::Site::kSlowLoris, rq.job.key)) {
+    // Slow-loris drill: leak the start of the reply frame, then hold the
+    // connection open without ever finishing it. The coordinator must not
+    // block on the incomplete frame — its per-request deadline fires, the
+    // worker is torn down, and the read below sees EOF.
+    std::size_t drip = std::min<std::size_t>(kFrameHeaderSize, frame.size());
+    log_warn("vm1_worker: injected slow_loris, window ", rq.job.widx);
+    span.arg("outcome", "slow_loris");
+    if (!subprocess::write_all(fd, frame.data(), drip)) return false;
+    std::uint8_t sink[256];
+    while (subprocess::read_some(fd, sink, sizeof sink) > 0) {
+    }
+    return false;
+  }
+  if (fault::config().enabled() &&
       fault::should_fire(fault::Site::kReplyCorrupt, rq.job.key)) {
     // Flip one payload byte after the checksum was computed: the frame
     // still parses, the checksum rejects it, and the stream stays framed.
@@ -150,11 +165,13 @@ bool handle_request(int fd, const Design* design,
 
 }  // namespace
 
-int run_worker(int fd) {
-  WireHello hello;
-  hello.pid = static_cast<std::uint64_t>(getpid());
-  hello.num_fault_sites = static_cast<std::uint16_t>(fault::kNumSites);
-  if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) return 1;
+int run_worker(int fd, bool send_hello) {
+  if (send_hello) {
+    WireHello hello;
+    hello.pid = static_cast<std::uint64_t>(getpid());
+    hello.num_fault_sites = static_cast<std::uint16_t>(fault::kNumSites);
+    if (!send_frame(fd, MsgType::kHello, encode_hello(hello))) return 1;
+  }
 
   std::optional<Design> design;
   std::vector<std::uint8_t> rbuf;
@@ -206,6 +223,15 @@ int run_worker(int fd) {
       case MsgType::kRequest:
         if (!handle_request(fd, design ? &*design : nullptr, f->payload)) {
           return 1;
+        }
+        break;
+      case MsgType::kPing:
+        try {
+          WirePing ping = decode_ping(f->payload);
+          if (!send_frame(fd, MsgType::kPong, encode_ping(ping))) return 1;
+        } catch (const WireError& e) {
+          log_error("vm1_worker: bad ping: ", e.what());
+          if (!send_error(fd, 0, ErrorCode::kBadRequest, e.what())) return 1;
         }
         break;
       case MsgType::kShutdown:

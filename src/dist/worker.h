@@ -4,14 +4,16 @@
 /// executable (apps/vm1_worker.cpp) after fork/exec from the coordinator.
 ///
 /// Protocol (all frames dist/wire.h):
-///   1. worker sends kHello once;
+///   1. worker sends kHello once (skipped for TCP attach, where the hello
+///      already went out authenticated during the tcp_attach handshake);
 ///   2. coordinator sends kBindDesign (full replica) before the first
 ///      request, and again whenever it believes the replica is stale;
 ///   3. kRequest -> solve_window on the replica -> kReply, or kError
 ///      (kDesync when the recomputed window signature disagrees with the
 ///      request's expected signature — the replica missed a sync);
 ///   4. kSync applies placement deltas (one-way, no reply);
-///   5. kShutdown (or EOF) ends the loop.
+///   5. kPing -> kPong echoing the sequence number (heartbeat);
+///   6. kShutdown (or EOF) ends the loop.
 ///
 /// run_worker is also callable in-process from tests: it owns no global
 /// state besides the fault config the requests carry.
@@ -21,6 +23,6 @@ namespace vm1::dist {
 
 /// Serves requests on `fd` until kShutdown/EOF (returns 0), an
 /// unrecoverable stream error (returns 2), or a dead peer (returns 1).
-int run_worker(int fd);
+int run_worker(int fd, bool send_hello = true);
 
 }  // namespace vm1::dist

@@ -7,9 +7,9 @@ namespace vm1::fault {
 namespace {
 
 const char* kSiteNames[kNumSites] = {
-    "build_throw",   "lp_timeout", "no_solution",   "nan_objective",
-    "apply_throw",   "worker_kill", "reply_drop",   "reply_corrupt",
-    "connect_timeout",
+    "build_throw",     "lp_timeout",      "no_solution", "nan_objective",
+    "apply_throw",     "worker_kill",     "reply_drop",  "reply_corrupt",
+    "connect_timeout", "connect_refused", "partition",   "slow_loris",
 };
 
 /// splitmix64 finalizer (same construction as util/rng.h's seeding stage):

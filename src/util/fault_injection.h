@@ -14,13 +14,19 @@
 ///   kApplyThrow     applying the window solution throws mid-mutation
 ///
 /// and, for the distributed backend (src/dist — see DESIGN.md "Distributed
-/// window solving"), four transport-layer drills keyed by the same window
+/// window solving"), seven transport-layer drills keyed by the same window
 /// key so the retry/fallback matrix replays deterministically:
 ///
-///   kWorkerKill     the worker process _exit()s mid-request (crash)
-///   kReplyDrop      the worker solves but never sends the reply (hang)
-///   kReplyCorrupt   the reply frame's payload is bit-flipped in transit
-///   kConnectTimeout dispatching the request to a worker fails outright
+///   kWorkerKill      the worker process _exit()s mid-request (crash)
+///   kReplyDrop       the worker solves but never sends the reply (hang)
+///   kReplyCorrupt    the reply frame's payload is bit-flipped in transit
+///   kConnectTimeout  dispatching the request to a worker fails outright
+///   kConnectRefused  the worker's transport connection is refused/torn
+///                    down at dispatch (the peer must be re-established)
+///   kPartition       the connection dies mid-frame: half the request is
+///                    written, then the link is severed
+///   kSlowLoris       the worker sends a few reply bytes then stalls with
+///                    the connection held open (incomplete frame forever)
 ///
 /// Whether a site fires for a given window is a pure function of
 /// (config seed, site, window key): runs are reproducible bit-for-bit, do
@@ -49,8 +55,11 @@ enum class Site : int {
   kReplyDrop,
   kReplyCorrupt,
   kConnectTimeout,
+  kConnectRefused,
+  kPartition,
+  kSlowLoris,
 };
-inline constexpr int kNumSites = 9;
+inline constexpr int kNumSites = 12;
 
 const char* to_string(Site s);
 
@@ -77,7 +86,8 @@ class InjectedFault : public std::runtime_error {
 /// Parses a spec of comma-separated key=value entries. Keys: `rate` (sets
 /// every site), one of the site names (`build_throw`, `lp_timeout`,
 /// `no_solution`, `nan_objective`, `apply_throw`, `worker_kill`,
-/// `reply_drop`, `reply_corrupt`, `connect_timeout`), and `seed`. Rates
+/// `reply_drop`, `reply_corrupt`, `connect_timeout`, `connect_refused`,
+/// `partition`, `slow_loris`), and `seed`. Rates
 /// must be in [0, 1]. Throws std::invalid_argument on malformed input.
 Config parse_spec(const std::string& spec);
 

@@ -1,0 +1,35 @@
+/// \file hmac.h
+/// Dependency-free SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104) for the
+/// distributed service's auth handshake (dist/tcp.h): a worker attaching
+/// over TCP proves knowledge of the shared secret ($VM1_DIST_SECRET) by
+/// returning HMAC(secret, server_nonce) in its hello frame. Verified
+/// against the FIPS 180-4 and RFC 4231 test vectors in tests/test_tcp.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vm1::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// SHA-256 of `len` bytes at `data`.
+Digest sha256(const void* data, std::size_t len);
+
+/// HMAC-SHA256 with an arbitrary-length key (keys longer than the 64-byte
+/// block are hashed first, per RFC 2104).
+Digest hmac_sha256(const void* key, std::size_t key_len, const void* msg,
+                   std::size_t msg_len);
+
+/// Constant-time digest comparison: the auth check must not leak how many
+/// leading bytes of a forged tag were right.
+bool digest_equal(const Digest& a, const Digest& b);
+
+/// Lowercase hex of a digest (logging / test vectors).
+std::string to_hex(const Digest& d);
+
+}  // namespace vm1::crypto

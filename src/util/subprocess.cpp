@@ -76,19 +76,52 @@ Child spawn_worker(const std::string& path,
   return child;
 }
 
-bool write_all(int fd, const void* data, std::size_t len) {
+pid_t spawn_process(const std::string& path,
+                    const std::vector<std::string>& args) {
+  if (!is_executable(path)) {
+    log_warn("subprocess: binary not executable: ", path);
+    return -1;
+  }
+  std::string argv0 = path;
+  std::size_t slash = argv0.find_last_of('/');
+  if (slash != std::string::npos) argv0 = argv0.substr(slash + 1);
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    log_warn("subprocess: fork failed: ", std::strerror(errno));
+    return -1;
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls until exec.
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(argv0.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(path.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+std::size_t write_upto(int fd, const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    ssize_t n = send(fd, p, len, MSG_NOSIGNAL);
+  std::size_t written = 0;
+  while (written < len) {
+    ssize_t n = send(fd, p + written, len - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      break;
     }
-    if (n == 0) return false;
-    p += n;
-    len -= static_cast<std::size_t>(n);
+    if (n == 0) break;
+    written += static_cast<std::size_t>(n);
   }
-  return true;
+  return written;
+}
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  return write_upto(fd, data, len) == len;
 }
 
 long read_some(int fd, void* data, std::size_t len) {

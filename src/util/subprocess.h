@@ -32,10 +32,22 @@ struct Child {
 Child spawn_worker(const std::string& path,
                    const std::vector<std::string>& args);
 
+/// Forks and execs `path` with `args` and no socketpair — used by the TCP
+/// transport, whose workers connect back over the network instead of
+/// inheriting a socket. Returns -1 (and logs) on failure; never throws.
+pid_t spawn_process(const std::string& path,
+                    const std::vector<std::string>& args);
+
 /// Writes the whole buffer, retrying on EINTR/partial writes. Uses
 /// send(MSG_NOSIGNAL) so a dead peer yields EPIPE instead of SIGPIPE.
 /// Returns false on any unrecoverable error.
 bool write_all(int fd, const void* data, std::size_t len);
+
+/// Like write_all but reports how many bytes actually reached the kernel
+/// before a failure (== len on success) — the coordinator's byte
+/// accounting needs the split between delivered and dropped-mid-frame
+/// bytes when a peer dies mid-write.
+std::size_t write_upto(int fd, const void* data, std::size_t len);
 
 /// Reads up to `len` bytes (one chunk, not a loop). Returns >0 bytes
 /// read, 0 on orderly EOF, -1 on unrecoverable error. Retries EINTR.
