@@ -1,0 +1,276 @@
+/// \file vm1_submit.cpp
+/// Thin client for the placement service (apps/vm1_serve.cpp).
+///
+///   vm1_submit submit --server=127.0.0.1:5117 --tenant=gold
+///              --design=tiny --seed=7 --wait
+///   vm1_submit status --server=... --job=3
+///   vm1_submit result --server=... --job=3
+///   vm1_submit cancel --server=... --job=3
+///
+/// `submit` builds the design client-side (make_design + global placer +
+/// legalizer — the same pipeline the tests use) and ships it inside the
+/// kSubmitJob frame; the service never generates designs. --wait polls
+/// status until the job is terminal, then fetches and summarizes the
+/// result. Auth secret: --secret or $VM1_DIST_SECRET.
+///
+/// Exit codes: 0 success (job done, or query answered), 1 job ended in a
+/// non-done terminal state / submission rejected, 64 bad usage, 65
+/// connect or protocol failure.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "design/design.h"
+#include "dist/tcp.h"
+#include "dist/wire.h"
+#include "place/global_placer.h"
+#include "place/legalizer.h"
+#include "util/subprocess.h"
+
+namespace {
+
+using namespace vm1;
+
+constexpr const char* kUsage =
+    "usage: vm1_submit <submit|status|result|cancel> [options]\n"
+    "common:\n"
+    "  --server=HOST:PORT   vm1_serve address (required)\n"
+    "  --secret=S           auth secret (default $VM1_DIST_SECRET)\n"
+    "  --job=ID             job id (status/result/cancel)\n"
+    "submit:\n"
+    "  --tenant=NAME        billing tenant     (default 'default')\n"
+    "  --name=LABEL         job label          (default design name)\n"
+    "  --deadline=SEC       deadline, 0 = none (default 0)\n"
+    "  --design=NAME        m0|aes|jpeg|vga|tiny (default tiny)\n"
+    "  --arch=closed|open   cell architecture  (default closed)\n"
+    "  --scale=F --utilization=F --seed=K      design generation knobs\n"
+    "  --bw=N --bh=N --lx=N --ly=N             window parameter step\n"
+    "  --wait               poll until terminal, then print the result\n";
+
+struct Client {
+  int fd = -1;
+  std::vector<std::uint8_t> rbuf;
+
+  ~Client() {
+    if (fd >= 0) close(fd);
+  }
+
+  bool connect(const std::string& host, int port, const std::string& secret) {
+    dist::TcpConnectOptions copts;
+    copts.secret = secret;
+    fd = dist::tcp_attach(host, port, copts);
+    return fd >= 0;
+  }
+
+  /// One request/reply exchange; nullopt on any stream failure.
+  std::optional<dist::Frame> call(dist::MsgType type,
+                                  std::vector<std::uint8_t> payload) {
+    std::vector<std::uint8_t> frame =
+        dist::encode_frame(type, std::move(payload));
+    if (!subprocess::write_all(fd, frame.data(), frame.size())) {
+      return std::nullopt;
+    }
+    std::optional<dist::Frame> reply;
+    std::uint8_t chunk[64 * 1024];
+    try {
+      while (!(reply = dist::extract_frame(rbuf))) {
+        long n = subprocess::read_some(fd, chunk, sizeof chunk);
+        if (n <= 0) return std::nullopt;
+        rbuf.insert(rbuf.end(), chunk, chunk + n);
+      }
+    } catch (const dist::WireError& e) {
+      std::fprintf(stderr, "vm1_submit: protocol error: %s\n", e.what());
+      return std::nullopt;
+    }
+    return reply;
+  }
+};
+
+void print_status(const dist::WireJobStatus& st) {
+  std::printf("job %llu: %s", static_cast<unsigned long long>(st.job_id),
+              st.accepted ? dist::to_string(st.state) : "rejected");
+  if (!st.reason.empty()) std::printf(" (%s)", st.reason.c_str());
+  if (st.windows_done > 0) {
+    std::printf("  windows=%ld objective=%.6g", st.windows_done, st.objective);
+  }
+  std::printf("\n");
+}
+
+int print_result(const dist::WireJobResult& r) {
+  std::printf("job %llu: %s", static_cast<unsigned long long>(r.job_id),
+              dist::to_string(r.state));
+  if (!r.error.empty()) std::printf(" (%s)", r.error.c_str());
+  std::printf("\n  objective=%.6g windows=%ld solved=%ld iters=%d "
+              "latency=%.3fs placements=%zu\n",
+              r.objective, r.windows, r.solved, r.outer_iterations, r.seconds,
+              r.placements.size());
+  return r.state == dist::JobState::kDone ? 0 : 1;
+}
+
+std::optional<dist::WireJobStatus> query_status(Client& c,
+                                                std::uint64_t job_id) {
+  dist::WireJobQuery q;
+  q.job_id = job_id;
+  std::optional<dist::Frame> reply =
+      c.call(dist::MsgType::kJobStatus, dist::encode_job_query(q));
+  if (!reply || reply->type != dist::MsgType::kJobStatus) return std::nullopt;
+  return dist::decode_job_status(reply->payload);
+}
+
+int wait_and_fetch(Client& c, std::uint64_t job_id) {
+  for (;;) {
+    std::optional<dist::WireJobStatus> st = query_status(c, job_id);
+    if (!st) return 65;
+    if (!st->accepted) {
+      print_status(*st);
+      return 1;
+    }
+    if (dist::job_state_terminal(st->state)) break;
+    usleep(100'000);
+  }
+  dist::WireJobQuery q;
+  q.job_id = job_id;
+  std::optional<dist::Frame> reply =
+      c.call(dist::MsgType::kJobResult, dist::encode_job_query(q));
+  if (!reply || reply->type != dist::MsgType::kJobResult) return 65;
+  return print_result(dist::decode_job_result(reply->payload));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 64;
+  }
+  std::string cmd = argv[1];
+  std::string server, secret;
+  std::uint64_t job_id = 0;
+  std::string tenant = "default", label, design_name = "tiny", arch = "closed";
+  double deadline = 0, scale = 1.0, utilization = 0.75;
+  std::uint64_t seed = 1;
+  int bw = 20, bh = 0, lx = 4, ly = 1;
+  bool wait = false;
+
+  auto value = [](const char* arg, const char* flag) -> const char* {
+    std::size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const char* v = nullptr;
+    if ((v = value(argv[i], "--server="))) {
+      server = v;
+    } else if ((v = value(argv[i], "--secret="))) {
+      secret = v;
+    } else if ((v = value(argv[i], "--job="))) {
+      job_id = std::strtoull(v, nullptr, 10);
+    } else if ((v = value(argv[i], "--tenant="))) {
+      tenant = v;
+    } else if ((v = value(argv[i], "--name="))) {
+      label = v;
+    } else if ((v = value(argv[i], "--deadline="))) {
+      deadline = std::atof(v);
+    } else if ((v = value(argv[i], "--design="))) {
+      design_name = v;
+    } else if ((v = value(argv[i], "--arch="))) {
+      arch = v;
+    } else if ((v = value(argv[i], "--scale="))) {
+      scale = std::atof(v);
+    } else if ((v = value(argv[i], "--utilization="))) {
+      utilization = std::atof(v);
+    } else if ((v = value(argv[i], "--seed="))) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = value(argv[i], "--bw="))) {
+      bw = std::atoi(v);
+    } else if ((v = value(argv[i], "--bh="))) {
+      bh = std::atoi(v);
+    } else if ((v = value(argv[i], "--lx="))) {
+      lx = std::atoi(v);
+    } else if ((v = value(argv[i], "--ly="))) {
+      ly = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      wait = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n%s", argv[i], kUsage);
+      return 64;
+    }
+  }
+
+  std::size_t colon = server.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == server.size()) {
+    std::fprintf(stderr, "--server=HOST:PORT required\n%s", kUsage);
+    return 64;
+  }
+  std::string host = server.substr(0, colon);
+  int port = std::atoi(server.c_str() + colon + 1);
+
+  Client client;
+  if (!client.connect(host, port, secret)) {
+    std::fprintf(stderr, "vm1_submit: cannot reach %s\n", server.c_str());
+    return 65;
+  }
+
+  try {
+    if (cmd == "submit") {
+      dist::WireSubmitJob sj;
+      sj.tenant = tenant;
+      sj.name = label.empty() ? design_name : label;
+      sj.deadline_sec = deadline;
+      sj.sequence = {dist::WireParamStep{bw, bh, lx, ly}};
+      CellArch cell_arch =
+          arch == "open" ? CellArch::kOpenM1 : CellArch::kClosedM1;
+      DesignOptions dopt;
+      dopt.scale = scale;
+      dopt.utilization = utilization;
+      dopt.seed = seed;
+      Design d = make_design(design_name, cell_arch, dopt);
+      GlobalPlaceOptions gp;
+      gp.seed = seed | 1;
+      global_place(d, gp);
+      legalize(d);
+      sj.design = dist::encode_design(d);
+
+      std::optional<dist::Frame> reply =
+          client.call(dist::MsgType::kSubmitJob, dist::encode_submit_job(sj));
+      if (!reply || reply->type != dist::MsgType::kJobStatus) return 65;
+      dist::WireJobStatus ack = dist::decode_job_status(reply->payload);
+      print_status(ack);
+      if (!ack.accepted) return 1;
+      return wait ? wait_and_fetch(client, ack.job_id) : 0;
+    }
+    if (cmd == "status" || cmd == "cancel") {
+      if (job_id == 0) {
+        std::fprintf(stderr, "--job=ID required\n%s", kUsage);
+        return 64;
+      }
+      dist::WireJobQuery q;
+      q.job_id = job_id;
+      dist::MsgType t = cmd == "cancel" ? dist::MsgType::kCancelJob
+                                        : dist::MsgType::kJobStatus;
+      std::optional<dist::Frame> reply =
+          client.call(t, dist::encode_job_query(q));
+      if (!reply || reply->type != dist::MsgType::kJobStatus) return 65;
+      dist::WireJobStatus st = dist::decode_job_status(reply->payload);
+      print_status(st);
+      return st.accepted ? 0 : 1;
+    }
+    if (cmd == "result") {
+      if (job_id == 0) {
+        std::fprintf(stderr, "--job=ID required\n%s", kUsage);
+        return 64;
+      }
+      return wait_and_fetch(client, job_id);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vm1_submit: %s\n", e.what());
+    return 65;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(), kUsage);
+  return 64;
+}

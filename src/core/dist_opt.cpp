@@ -70,6 +70,12 @@ void DistOptOptions::validate() const {
   if (backend == DistBackend::kThreads && coordinator != nullptr) {
     bad("coordinator given but backend is threads");
   }
+  if (fleet_token != 0 && coordinator == nullptr) {
+    bad("fleet_token given but no coordinator to lease");
+  }
+  if (throttle != nullptr && fleet_token == 0) {
+    bad("throttle given without a fleet_token");
+  }
   mip.validate();
 }
 
@@ -145,7 +151,30 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   std::vector<std::vector<int>> incident_nets;
   if (inc || coord) incident_nets = window_incident_nets(grid, d.netlist());
   if (inc) inc->bind(d);
-  if (coord) coord->begin_pass(d);
+  // Fleet-shared mode (src/svc): the coordinator is multiplexed between
+  // jobs, so the pass-level begin_pass/end_pass certification is replaced
+  // by per-batch leasing inside the throttle gate — calling it here would
+  // race with another job's batch, and its O(design) digest per batch
+  // would dominate small batches anyway.
+  const bool fleet = coord && opts.fleet_token != 0;
+  dist::CoordinatorStats fleet_stats;  // per-batch take_stats, accumulated
+  auto accumulate_fleet = [&fleet_stats](const dist::CoordinatorStats& cs) {
+    fleet_stats.requests += cs.requests;
+    fleet_stats.replies += cs.replies;
+    fleet_stats.retries += cs.retries;
+    fleet_stats.timeouts += cs.timeouts;
+    fleet_stats.desyncs += cs.desyncs;
+    fleet_stats.local_fallbacks += cs.local_fallbacks;
+    fleet_stats.worker_restarts += cs.worker_restarts;
+    fleet_stats.connect_failures += cs.connect_failures;
+    fleet_stats.heartbeats_missed += cs.heartbeats_missed;
+    fleet_stats.bytes_sent += cs.bytes_sent;
+    fleet_stats.bytes_received += cs.bytes_received;
+    fleet_stats.bytes_retransmitted += cs.bytes_retransmitted;
+    fleet_stats.bytes_dropped += cs.bytes_dropped;
+    fleet_stats.faults_scheduled += cs.faults_scheduled;
+  };
+  if (coord && !fleet) coord->begin_pass(d);
 
   // Pass-level cancellation token: set by the deadline, by an external
   // opts.cancel, and observed by every window's branch-and-bound.
@@ -193,6 +222,25 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       job->in.params = opts.params;
       job->in.mip = opts.mip;
       jobs.push_back(std::move(job));
+    }
+    if (jobs.empty()) continue;  // nothing to solve, sync, or account
+
+    // Fleet gate: from first dispatch through sync and stats collection
+    // the shared coordinator belongs to this job. acquire() blocks until
+    // the fair-share scheduler grants the slot; lease() rebinds replicas
+    // when another job ran since our last batch.
+    struct Gate {
+      BatchThrottle* t = nullptr;
+      ~Gate() {
+        if (t) t->release();
+      }
+    } gate;
+    if (fleet) {
+      if (opts.throttle) {
+        opts.throttle->acquire(static_cast<int>(jobs.size()));
+        gate.t = opts.throttle;
+      }
+      coord->lease(opts.fleet_token);
     }
 
     // Shared per-window preparation: cancellation/deadline check, memo
@@ -533,11 +581,17 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     }
 
     if (coord) coord->sync(batch_changed);
+    if (fleet) accumulate_fleet(coord->take_stats());
   }
 
   if (coord) {
-    coord->end_pass(d);
-    dist::CoordinatorStats cs = coord->take_stats();
+    dist::CoordinatorStats cs;
+    if (fleet) {
+      cs = fleet_stats;
+    } else {
+      coord->end_pass(d);
+      cs = coord->take_stats();
+    }
     stats.remote_requests = cs.requests;
     stats.remote_replies = cs.replies;
     stats.remote_retries = cs.retries;
@@ -551,6 +605,7 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     stats.wire_bytes_received = cs.bytes_received;
     stats.wire_bytes_retransmitted = cs.bytes_retransmitted;
     stats.wire_bytes_dropped = cs.bytes_dropped;
+    stats.remote_faults_scheduled = cs.faults_scheduled;
   }
 
   stats.deadline_hit = deadline_fired.load();

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "core/milp_builder.h"
 #include "milp/branch_and_bound.h"
@@ -64,6 +65,21 @@ enum class DistTransport {
 
 class IncrementalState;  // core/incremental.h
 
+/// Fleet-sharing gate for the placement service (src/svc). When a
+/// DistOptOptions carries a throttle, the pass brackets every window batch
+/// with acquire(windows)/release(): acquire blocks until the scheduler
+/// grants this job the shared coordinator (weighted deficit round-robin
+/// across tenants), and the gate spans dispatch through sync + stats
+/// collection so no two jobs ever touch the non-thread-safe Coordinator
+/// concurrently. `windows` is the batch's job count — the cost the
+/// fair-share scheduler charges against the tenant's deficit.
+class BatchThrottle {
+ public:
+  virtual ~BatchThrottle() = default;
+  virtual void acquire(int windows) = 0;
+  virtual void release() = 0;
+};
+
 struct DistOptOptions {
   int bw = 20;  ///< window width in sites
   int bh = 3;   ///< window height in rows
@@ -109,6 +125,16 @@ struct DistOptOptions {
   /// worker processes, and fork safety forbids pool threads anyway.
   DistBackend backend = DistBackend::kThreads;
   dist::Coordinator* coordinator = nullptr;
+  /// Fleet sharing (src/svc): when `fleet_token` is nonzero the coordinator
+  /// is shared between jobs. The pass then (a) brackets each batch with
+  /// `throttle` acquire/release if one is given, (b) re-leases the
+  /// coordinator under its token at every batch (cheap when consecutive),
+  /// and (c) skips the pass-level begin_pass/end_pass certification — the
+  /// lease protocol replaces it, and calling into a shared coordinator
+  /// outside the gate would race. Zero (the default) is the exclusive
+  /// single-job mode with unchanged behaviour.
+  std::uint64_t fleet_token = 0;
+  BatchThrottle* throttle = nullptr;
 
   /// Throws std::invalid_argument on out-of-range fields (non-positive
   /// bw/bh, negative lx/ly or budgets, invalid `mip`, backend/coordinator
@@ -162,6 +188,10 @@ struct DistOptStats {
   long wire_bytes_received = 0;
   long wire_bytes_retransmitted = 0;  ///< sent bytes spent on retries
   long wire_bytes_dropped = 0;   ///< unsent tails of mid-frame failures
+  /// Transport drills scheduled for this pass's windows (see
+  /// CoordinatorStats::faults_scheduled): timing-invariant, unlike the
+  /// per-drill counters above.
+  long remote_faults_scheduled = 0;
   double objective = 0;      ///< full-design objective after this DistOpt
   double seconds = 0;
 

@@ -34,21 +34,37 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
   // outright), and the threads backend needs no worker processes.
   std::optional<ThreadPool> pool;
   std::optional<dist::Coordinator> coord;
+  dist::Coordinator* run_coord = nullptr;
+  std::uint64_t fleet_token = 0;
   if (opts.backend == DistBackend::kProcesses) {
-    dist::CoordinatorOptions co;
-    co.num_workers = opts.dist_workers;
-    co.worker_path = opts.dist_worker_path;
-    co.transport = opts.dist_transport == DistTransport::kTcp
-                       ? dist::TransportKind::kTcp
-                       : dist::TransportKind::kSocketpair;
-    co.tcp_host = opts.dist_tcp_host;
-    co.tcp_port = opts.dist_tcp_port;
-    co.secret = opts.dist_secret;
-    coord.emplace(co);
-    run_span.arg("backend", "processes");
-    run_span.arg("transport", opts.dist_transport == DistTransport::kTcp
-                                  ? "tcp"
-                                  : "socketpair");
+    if (opts.coordinator) {
+      // Borrowed fleet (src/svc): the caller owns the coordinator and
+      // shares it between jobs, so every batch runs under a lease. A token
+      // of 0 would mean "exclusive" to dist_opt; synthesize a unique one.
+      run_coord = opts.coordinator;
+      fleet_token = opts.fleet_token;
+      if (fleet_token == 0) {
+        static std::atomic<std::uint64_t> next_token{1};
+        fleet_token = next_token.fetch_add(1, std::memory_order_relaxed);
+      }
+      run_span.arg("backend", "processes-shared");
+    } else {
+      dist::CoordinatorOptions co;
+      co.num_workers = opts.dist_workers;
+      co.worker_path = opts.dist_worker_path;
+      co.transport = opts.dist_transport == DistTransport::kTcp
+                         ? dist::TransportKind::kTcp
+                         : dist::TransportKind::kSocketpair;
+      co.tcp_host = opts.dist_tcp_host;
+      co.tcp_port = opts.dist_tcp_port;
+      co.secret = opts.dist_secret;
+      coord.emplace(co);
+      run_coord = &*coord;
+      run_span.arg("backend", "processes");
+      run_span.arg("transport", opts.dist_transport == DistTransport::kTcp
+                                    ? "tcp"
+                                    : "socketpair");
+    }
   } else {
     pool.emplace(opts.threads);
   }
@@ -89,6 +105,7 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     stats.wire_bytes_received += s.wire_bytes_received;
     stats.wire_bytes_retransmitted += s.wire_bytes_retransmitted;
     stats.wire_bytes_dropped += s.wire_bytes_dropped;
+    stats.remote_faults_scheduled += s.remote_faults_scheduled;
   };
   auto cancelled = [&opts] {
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
@@ -119,7 +136,9 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       move_pass.incremental = opts.incremental;
       move_pass.inc = opts.incremental ? &inc_state : nullptr;
       move_pass.backend = opts.backend;
-      move_pass.coordinator = coord ? &*coord : nullptr;
+      move_pass.coordinator = run_coord;
+      move_pass.fleet_token = fleet_token;
+      move_pass.throttle = opts.throttle;
       DistOptStats ms = dist_opt(d, move_pass, pool ? &*pool : nullptr);
       accumulate(ms);
       obj = ms.objective;

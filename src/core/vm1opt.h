@@ -60,6 +60,16 @@ struct VM1OptOptions {
   std::string dist_tcp_host = "127.0.0.1";
   int dist_tcp_port = 0;
   std::string dist_secret;
+  /// Borrowed coordinator (src/svc fleet sharing): when non-null and the
+  /// backend is kProcesses, the run uses this caller-owned coordinator
+  /// instead of building its own, leasing it per batch under `fleet_token`
+  /// (a fresh token is generated when 0) and gating each batch through
+  /// `throttle` if one is given. The transport/worker knobs above are
+  /// ignored — the fleet is whatever the owner built. Results remain
+  /// bit-identical to an exclusive run.
+  dist::Coordinator* coordinator = nullptr;
+  std::uint64_t fleet_token = 0;
+  BatchThrottle* throttle = nullptr;
   milp::BranchAndBound::Options mip = default_mip();
   /// Per-DistOpt-pass wall-clock budget forwarded to
   /// DistOptOptions::time_budget_sec (0 = unlimited). See DESIGN.md
@@ -120,6 +130,7 @@ struct VM1OptStats {
   long wire_bytes_received = 0;
   long wire_bytes_retransmitted = 0;
   long wire_bytes_dropped = 0;
+  long remote_faults_scheduled = 0;  ///< timing-invariant drill census
   /// True when a parameter set's inner loop exited because a full
   /// move+flip iteration changed zero cells (sweep-level early
   /// termination), rather than via theta or max_inner_iters.

@@ -481,6 +481,19 @@ void Coordinator::end_pass(const Design& d) {
   snapshot_.reset();
 }
 
+bool Coordinator::lease(std::uint64_t token) {
+  if (token == lease_) return true;
+  lease_ = token;
+  // Another job owned the replicas (or this is the first lease): whatever
+  // design they track is not this owner's. Drop the certification so the
+  // next dispatch rebinds, exactly as begin_pass does on a digest change —
+  // but without the O(design) digest, since ownership alone decides.
+  for (Slot& s : slots_) s.current = false;
+  last_digest_.reset();
+  snapshot_.reset();
+  return false;
+}
+
 void Coordinator::sync(const std::vector<std::pair<int, Placement>>& changed) {
   snapshot_.reset();
   if (changed.empty()) return;
@@ -500,6 +513,26 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
   obs::ObsSpan span("dist.solve_batch");
   span.arg("jobs", jobs.size());
   const bool fault_on = fault::config().enabled();
+
+  if (fault_on) {
+    // Timing-invariant drill census: which transport drills the seeded
+    // schedule covers for this batch, counted up front. Whether each one
+    // actually fires depends on dispatch order and quarantine state, but
+    // the schedule itself is a pure function of (config, window keys) —
+    // the fault-storm tests assert on this aggregate instead of the
+    // per-drill counters.
+    static constexpr fault::Site kTransportSites[] = {
+        fault::Site::kWorkerKill,     fault::Site::kReplyDrop,
+        fault::Site::kReplyCorrupt,   fault::Site::kConnectTimeout,
+        fault::Site::kConnectRefused, fault::Site::kPartition,
+        fault::Site::kSlowLoris,
+    };
+    for (const RemoteJob& rj : jobs) {
+      for (fault::Site s : kTransportSites) {
+        if (fault::should_fire(s, rj.job->key)) ++stats_.faults_scheduled;
+      }
+    }
+  }
 
   std::vector<Pending> pendings(jobs.size());
   std::deque<Pending*> queue;

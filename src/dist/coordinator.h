@@ -125,6 +125,13 @@ struct CoordinatorStats {
   long bytes_received = 0;
   long bytes_retransmitted = 0;  ///< bytes_sent spent on retry requests
   long bytes_dropped = 0;        ///< unsent tails of mid-frame failures
+  /// Transport-site fault drills *scheduled* for this batch's windows: for
+  /// every job, every transport site whose seeded schedule fires on the
+  /// window key counts once, at solve_batch entry. A pure function of
+  /// (fault config, window keys) — unlike the per-drill counters above it
+  /// is independent of dispatch timing and quarantine state, which is what
+  /// lets the fault-storm tests assert on it without flaking.
+  long faults_scheduled = 0;
 };
 
 /// One prepared window handed to solve_batch. `result` is always filled
@@ -172,6 +179,15 @@ class Coordinator {
   /// the coordinator last certified (end_pass). Call before the pass's
   /// first solve_batch.
   void begin_pass(const Design& d);
+
+  /// Fleet-sharing seam for the placement service (src/svc): multiple jobs
+  /// multiplex their batches onto one coordinator, each under a distinct
+  /// nonzero token. When the token differs from the previous lease the
+  /// replicas are marked stale and the cached snapshot/digest dropped, so
+  /// the next dispatch rebinds the new owner's design — O(1) when the same
+  /// job keeps the lease across its own batches. Returns true when the
+  /// lease was already held (replicas still current for this owner).
+  bool lease(std::uint64_t token);
 
   /// Solves every job, dispatching to workers with budgeted retries and a
   /// guaranteed local fallback. Serial from the caller's perspective;
@@ -222,6 +238,7 @@ class Coordinator {
   std::optional<std::vector<std::uint8_t>> snapshot_;
   std::uint64_t seq_ = 0;
   std::uint64_t ping_seq_ = 0;
+  std::uint64_t lease_ = 0;
   bool spawn_broken_ = false;
   int consecutive_spawn_failures_ = 0;
 };

@@ -62,6 +62,11 @@ class TcpTransport final : public Transport {
   /// The actually bound port (resolves port=0 ephemeral binds).
   int listen_port() const { return listen_port_; }
 
+  /// The listening socket, for callers that poll() for pending accepts and
+  /// only then pay establish()'s handshake timeout (the placement service's
+  /// serve loop). Owned by the transport; do not close or read it.
+  int listen_fd() const { return listen_fd_; }
+
  private:
   TcpTransportOptions opts_;
   int listen_fd_ = -1;

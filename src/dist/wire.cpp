@@ -27,8 +27,41 @@ const char* to_string(MsgType t) {
       return "pong";
     case MsgType::kChallenge:
       return "challenge";
+    case MsgType::kSubmitJob:
+      return "submit_job";
+    case MsgType::kJobStatus:
+      return "job_status";
+    case MsgType::kJobResult:
+      return "job_result";
+    case MsgType::kCancelJob:
+      return "cancel_job";
   }
   return "?";
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kAdmitted:
+      return "admitted";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled || s == JobState::kDeadlineExceeded;
 }
 
 void WireWriter::f64(double v) {
@@ -135,7 +168,7 @@ std::optional<Frame> extract_frame(std::vector<std::uint8_t>& buf) {
   std::uint64_t checksum = r.u64();
   if (len > kMaxPayload) throw WireError("wire: oversized frame payload");
   if (type < static_cast<std::uint16_t>(MsgType::kHello) ||
-      type > static_cast<std::uint16_t>(MsgType::kChallenge)) {
+      type > static_cast<std::uint16_t>(MsgType::kCancelJob)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   if (buf.size() < kFrameHeaderSize + len) return std::nullopt;
@@ -470,6 +503,160 @@ WireErrorMsg decode_error(const std::vector<std::uint8_t>& payload) {
   e.message = r.str();
   r.expect_end();
   return e;
+}
+
+// ---------------------------------------------------------------------------
+// Placement-service job messages.
+
+namespace {
+
+JobState get_job_state(WireReader& r) {
+  std::uint8_t raw = r.u8();
+  if (raw < static_cast<std::uint8_t>(JobState::kQueued) ||
+      raw > static_cast<std::uint8_t>(JobState::kDeadlineExceeded)) {
+    throw WireError("wire: unknown job state " + std::to_string(raw));
+  }
+  return static_cast<JobState>(raw);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_submit_job(const WireSubmitJob& j) {
+  WireWriter w;
+  w.str(j.tenant);
+  w.str(j.name);
+  w.f64(j.deadline_sec);
+  w.f64(j.theta);
+  w.i32(j.max_inner_iters);
+  w.boolean(j.flip_pass);
+  w.boolean(j.shift_windows);
+  w.boolean(j.incremental);
+  w.u32(static_cast<std::uint32_t>(j.sequence.size()));
+  for (const WireParamStep& s : j.sequence) {
+    w.i32(s.bw);
+    w.i32(s.bh);
+    w.i32(s.lx);
+    w.i32(s.ly);
+  }
+  put_params(w, j.params);
+  put_mip(w, j.mip);
+  w.u32(static_cast<std::uint32_t>(j.design.size()));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), j.design.begin(), j.design.end());
+  return out;
+}
+
+WireSubmitJob decode_submit_job(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireSubmitJob j;
+  j.tenant = r.str();
+  j.name = r.str();
+  j.deadline_sec = r.f64();
+  j.theta = r.f64();
+  j.max_inner_iters = r.i32();
+  j.flip_pass = r.boolean();
+  j.shift_windows = r.boolean();
+  j.incremental = r.boolean();
+  std::uint32_t ns = r.count(16);
+  j.sequence.reserve(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    WireParamStep s;
+    s.bw = r.i32();
+    s.bh = r.i32();
+    s.lx = r.i32();
+    s.ly = r.i32();
+    // bh == 0 is legal: ParamSet derives the height from bw.
+    if (s.bw <= 0 || s.bh < 0) {
+      throw WireError("wire: bad window dims in job sequence");
+    }
+    j.sequence.push_back(s);
+  }
+  j.params = get_params(r);
+  j.mip = get_mip(r);
+  std::uint32_t nd = r.count(1);
+  if (nd != r.remaining()) {
+    throw WireError("wire: embedded design length mismatch");
+  }
+  j.design.resize(nd);
+  for (std::uint32_t i = 0; i < nd; ++i) j.design[i] = r.u8();
+  r.expect_end();
+  return j;
+}
+
+std::vector<std::uint8_t> encode_job_query(const WireJobQuery& q) {
+  WireWriter w;
+  w.u64(q.job_id);
+  return w.take();
+}
+
+WireJobQuery decode_job_query(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireJobQuery q;
+  q.job_id = r.u64();
+  r.expect_end();
+  return q;
+}
+
+std::vector<std::uint8_t> encode_job_status(const WireJobStatus& s) {
+  WireWriter w;
+  w.u64(s.job_id);
+  w.u8(static_cast<std::uint8_t>(s.state));
+  w.boolean(s.accepted);
+  w.str(s.reason);
+  w.f64(s.objective);
+  w.i64(s.windows_done);
+  return w.take();
+}
+
+WireJobStatus decode_job_status(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireJobStatus s;
+  s.job_id = r.u64();
+  s.state = get_job_state(r);
+  s.accepted = r.boolean();
+  s.reason = r.str();
+  s.objective = r.f64();
+  s.windows_done = r.i64();
+  r.expect_end();
+  return s;
+}
+
+std::vector<std::uint8_t> encode_job_result(const WireJobResult& jr) {
+  WireWriter w;
+  w.u64(jr.job_id);
+  w.u8(static_cast<std::uint8_t>(jr.state));
+  w.str(jr.error);
+  w.f64(jr.objective);
+  w.i64(jr.windows);
+  w.i64(jr.solved);
+  w.i32(jr.outer_iterations);
+  w.f64(jr.seconds);
+  w.u32(static_cast<std::uint32_t>(jr.placements.size()));
+  for (const Placement& p : jr.placements) put_placement(w, p);
+  return w.take();
+}
+
+WireJobResult decode_job_result(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireJobResult jr;
+  jr.job_id = r.u64();
+  jr.state = get_job_state(r);
+  jr.error = r.str();
+  jr.objective = r.f64();
+  jr.windows = r.i64();
+  jr.solved = r.i64();
+  jr.outer_iterations = r.i32();
+  jr.seconds = r.f64();
+  std::uint32_t np = r.count(9);
+  jr.placements.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    jr.placements.push_back(get_placement(r));
+  }
+  r.expect_end();
+  if (jr.state != JobState::kDone && !jr.placements.empty()) {
+    throw WireError("wire: non-done job result carries placements");
+  }
+  return jr;
 }
 
 // ---------------------------------------------------------------------------

@@ -69,9 +69,34 @@ enum class MsgType : std::uint16_t {
   kPing = 8,        ///< coordinator -> worker: heartbeat probe
   kPong = 9,        ///< worker -> coordinator: heartbeat echo (same seq)
   kChallenge = 10,  ///< coordinator -> worker: auth nonce (TCP attach)
+  // Placement-service job frames (src/svc). Client <-> service, multiplexed
+  // on the same framing + auth handshake as the worker protocol. Added
+  // without a version bump per the versioning rules above: new types, no
+  // existing layout changed.
+  kSubmitJob = 11,  ///< client -> service: WireSubmitJob; ack is kJobStatus
+  kJobStatus = 12,  ///< client -> service: WireJobQuery; reply WireJobStatus
+  kJobResult = 13,  ///< client -> service: WireJobQuery; reply WireJobResult
+  kCancelJob = 14,  ///< client -> service: WireJobQuery; ack is kJobStatus
 };
 
 const char* to_string(MsgType t);
+
+/// Lifecycle of a placement-service job. Wire-stable: values are part of
+/// the kJobStatus/kJobResult payloads, so renumbering is a layout change
+/// and requires a kWireVersion bump.
+enum class JobState : std::uint8_t {
+  kQueued = 1,            ///< accepted by admission control, waiting
+  kAdmitted = 2,          ///< claimed by an executor, about to run
+  kRunning = 3,           ///< vm1opt in flight
+  kDone = 4,              ///< terminal: completed, result available
+  kFailed = 5,            ///< terminal: solver threw; reason recorded
+  kCancelled = 6,         ///< terminal: client cancel honoured
+  kDeadlineExceeded = 7,  ///< terminal: deadline fired before completion
+};
+
+const char* to_string(JobState s);
+/// True for the four terminal states (kDone..kDeadlineExceeded).
+bool job_state_terminal(JobState s);
 
 /// Little-endian payload builder.
 class WireWriter {
@@ -214,6 +239,67 @@ struct WireErrorMsg {
   std::string message;
 };
 
+// ---------------------------------------------------------------------------
+// Placement-service job payloads (src/svc).
+
+/// One window-parameter step of the outer sweep (mirrors
+/// vm1::ParamSet without dragging core/vm1opt.h into the wire layer).
+struct WireParamStep {
+  std::int32_t bw = 0;
+  std::int32_t bh = 0;
+  std::int32_t lx = 0;
+  std::int32_t ly = 0;
+};
+
+/// A complete design job: the design plus every optimizer knob needed to
+/// reproduce a standalone vm1opt run bit-exactly on the service side.
+struct WireSubmitJob {
+  std::string tenant;      ///< admission/fair-share accounting key
+  std::string name;        ///< client-chosen label (diagnostics only)
+  double deadline_sec = 0; ///< seconds from admission; 0 = no deadline
+  double theta = 0.01;
+  std::int32_t max_inner_iters = 4;
+  bool flip_pass = true;
+  bool shift_windows = true;
+  bool incremental = true;
+  std::vector<WireParamStep> sequence;
+  VM1Params params;
+  milp::BranchAndBound::Options mip;
+  std::vector<std::uint8_t> design;  ///< encode_design() bytes
+};
+
+/// Client -> service query naming one job (kJobStatus / kJobResult /
+/// kCancelJob requests all carry exactly this).
+struct WireJobQuery {
+  std::uint64_t job_id = 0;
+};
+
+/// Service -> client status snapshot; also the ack for kSubmitJob (where
+/// `accepted` false + `reason` reports an admission rejection) and for
+/// kCancelJob.
+struct WireJobStatus {
+  std::uint64_t job_id = 0;
+  JobState state = JobState::kQueued;
+  bool accepted = true;     ///< false: rejected at admission, see reason
+  std::string reason;       ///< rejection/failure detail, else empty
+  double objective = 0;     ///< final objective once terminal, else 0
+  std::int64_t windows_done = 0;  ///< windows served so far (progress)
+};
+
+/// Service -> client full result for a terminal job. `placements` is empty
+/// unless state == kDone.
+struct WireJobResult {
+  std::uint64_t job_id = 0;
+  JobState state = JobState::kDone;
+  std::string error;        ///< failure/cancel reason, else empty
+  double objective = 0;
+  std::int64_t windows = 0;
+  std::int64_t solved = 0;
+  std::int32_t outer_iterations = 0;
+  double seconds = 0;       ///< service-side wall clock, submit -> terminal
+  std::vector<Placement> placements;
+};
+
 std::vector<std::uint8_t> encode_hello(const WireHello& h);
 WireHello decode_hello(const std::vector<std::uint8_t>& payload);
 
@@ -234,6 +320,18 @@ WireSync decode_sync(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_error(const WireErrorMsg& e);
 WireErrorMsg decode_error(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_submit_job(const WireSubmitJob& j);
+WireSubmitJob decode_submit_job(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_job_query(const WireJobQuery& q);
+WireJobQuery decode_job_query(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_job_status(const WireJobStatus& s);
+WireJobStatus decode_job_status(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_job_result(const WireJobResult& r);
+WireJobResult decode_job_result(const std::vector<std::uint8_t>& payload);
 
 /// Full design replica: tech knobs, library, netlist, floorplan,
 /// placements, IO positions. The decode side reconstructs a Design whose

@@ -1,0 +1,58 @@
+#include "svc/admission.h"
+
+#include <stdexcept>
+
+namespace vm1::svc {
+
+AdmissionController::AdmissionController(
+    int max_queue_depth, const std::vector<TenantConfig>& tenants)
+    : max_queue_depth_(max_queue_depth) {
+  if (max_queue_depth <= 0) {
+    throw std::invalid_argument("svc: max_queue_depth must be > 0");
+  }
+  for (const TenantConfig& t : tenants) {
+    if (t.name.empty()) {
+      throw std::invalid_argument("svc: tenant name must not be empty");
+    }
+    if (t.max_jobs <= 0) {
+      throw std::invalid_argument("svc: tenant " + t.name +
+                                  " max_jobs must be > 0");
+    }
+    if (!tenants_.emplace(t.name, Tenant{t.max_jobs, 0}).second) {
+      throw std::invalid_argument("svc: duplicate tenant " + t.name);
+    }
+  }
+}
+
+std::optional<std::string> AdmissionController::try_admit(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return "unknown tenant '" + tenant + "'";
+  }
+  if (it->second.outstanding >= it->second.max_jobs) {
+    return "tenant '" + tenant + "' quota exhausted (" +
+           std::to_string(it->second.max_jobs) + " jobs outstanding)";
+  }
+  if (queued_ >= max_queue_depth_) {
+    return "service queue full (" + std::to_string(max_queue_depth_) +
+           " jobs queued)";
+  }
+  ++it->second.outstanding;
+  ++queued_;
+  return std::nullopt;
+}
+
+void AdmissionController::on_started(const std::string& tenant) {
+  (void)tenant;
+  --queued_;
+}
+
+void AdmissionController::on_terminal(const std::string& tenant,
+                                      bool was_queued) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) --it->second.outstanding;
+  if (was_queued) --queued_;
+}
+
+}  // namespace vm1::svc

@@ -1,0 +1,54 @@
+/// \file admission.h
+/// Admission control for the placement service: a bounded total backlog
+/// plus per-tenant quotas, so one tenant's burst degrades into typed
+/// rejections instead of unbounded queue growth.
+///
+/// Not synchronized — the JobManager calls every method under its own
+/// lock, which is also what makes try_admit + enqueue atomic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/job.h"
+
+namespace vm1::svc {
+
+class AdmissionController {
+ public:
+  /// `max_queue_depth` bounds jobs in kQueued across all tenants (running
+  /// jobs have left the queue). Throws std::invalid_argument on a
+  /// non-positive depth, duplicate tenant, or invalid tenant config.
+  AdmissionController(int max_queue_depth,
+                      const std::vector<TenantConfig>& tenants);
+
+  /// Returns the rejection reason, or nullopt when the job was admitted
+  /// (the queued/outstanding counters are then already charged — pair
+  /// every admit with exactly one on_started + on_terminal).
+  std::optional<std::string> try_admit(const std::string& tenant);
+
+  /// The job left the queue for an executor (queued -> admitted).
+  void on_started(const std::string& tenant);
+  /// The job reached a terminal state. `was_queued` is true when it never
+  /// started (rejected queued deadline / queued cancel), so the queue
+  /// counter is released too.
+  void on_terminal(const std::string& tenant, bool was_queued);
+
+  int queue_depth() const { return queued_; }
+  bool has_tenant(const std::string& tenant) const {
+    return tenants_.count(tenant) != 0;
+  }
+
+ private:
+  struct Tenant {
+    int max_jobs = 0;
+    int outstanding = 0;  ///< queued + admitted + running
+  };
+  int max_queue_depth_;
+  int queued_ = 0;
+  std::unordered_map<std::string, Tenant> tenants_;
+};
+
+}  // namespace vm1::svc

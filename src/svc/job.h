@@ -1,0 +1,80 @@
+/// \file job.h
+/// Job-facing value types of the placement service (src/svc).
+///
+/// A *job* is one whole design plus every optimizer knob needed to
+/// reproduce a standalone vm1opt() run bit-exactly, tagged with the tenant
+/// it is billed to and an optional deadline. Jobs walk the lifecycle
+///
+///   queued -> admitted -> running -> {done, failed, cancelled,
+///                                     deadline_exceeded}
+///
+/// (dist::JobState, wire-stable) under the JobManager; these structs are
+/// the inputs and the observable snapshots of that machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/vm1opt.h"
+#include "dist/wire.h"
+
+namespace vm1::svc {
+
+/// One tenant of the service: a fair-share weight and an admission quota.
+struct TenantConfig {
+  std::string name;
+  /// Relative share of fleet window-batches under saturation (deficit
+  /// round-robin, see scheduler.h). Must be > 0.
+  double weight = 1.0;
+  /// Max jobs simultaneously queued+running for this tenant; further
+  /// submissions are rejected with a reason. Must be > 0.
+  int max_jobs = 4;
+};
+
+/// A submitted design job. Move-only (owns the Design).
+struct JobSpec {
+  std::string tenant;
+  std::string name;          ///< client label, diagnostics only
+  /// Seconds from submission until the job is force-terminated
+  /// (kDeadlineExceeded if still queued or mid-run). 0 = no deadline.
+  double deadline_sec = 0;
+  /// The design to optimize. Optional only so the spec is
+  /// default-constructible; submission without one is rejected.
+  std::optional<Design> design;
+  std::vector<ParamSet> sequence = {ParamSet{20, 0, 4, 1}};
+  double theta = 0.01;
+  int max_inner_iters = 4;
+  bool flip_pass = true;
+  bool shift_windows = true;
+  bool incremental = true;
+  VM1Params params;
+  milp::BranchAndBound::Options mip = VM1OptOptions::default_mip();
+};
+
+/// Lightweight status snapshot (the kJobStatus payload's source).
+struct JobInfo {
+  std::uint64_t id = 0;
+  dist::JobState state = dist::JobState::kQueued;
+  std::string tenant;
+  std::string reason;        ///< failure/cancel/rejection detail
+  double objective = 0;      ///< final objective once terminal, else 0
+  long windows_done = 0;     ///< windows charged to this job so far
+};
+
+/// Full outcome of a terminal job (the kJobResult payload's source).
+/// `placements` is filled only for kDone.
+struct JobOutcome {
+  std::uint64_t id = 0;
+  dist::JobState state = dist::JobState::kQueued;
+  std::string error;
+  double objective = 0;
+  long windows = 0;
+  long solved = 0;
+  int outer_iterations = 0;
+  double seconds = 0;        ///< submit -> terminal wall clock
+  std::vector<Placement> placements;
+};
+
+}  // namespace vm1::svc

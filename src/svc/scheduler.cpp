@@ -1,0 +1,124 @@
+#include "svc/scheduler.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace vm1::svc {
+
+namespace {
+
+// Per-tenant SLO counter; the registry deduplicates by name, so repeated
+// lookups return the same handle.
+obs::Counter& served_counter(const std::string& tenant) {
+  return obs::counter("svc.tenant." + tenant + ".windows_served");
+}
+
+}  // namespace
+
+FairScheduler::FairScheduler(const std::vector<TenantConfig>& tenants) {
+  for (const TenantConfig& t : tenants) {
+    if (t.weight <= 0) {
+      throw std::invalid_argument("svc: tenant " + t.name +
+                                  " weight must be > 0");
+    }
+    if (!tenants_.emplace(t.name, Tenant{t.weight, 0, 0, {}}).second) {
+      throw std::invalid_argument("svc: duplicate tenant " + t.name);
+    }
+    order_.push_back(t.name);
+  }
+}
+
+void FairScheduler::acquire(const std::string& tenant, int windows) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument("svc: acquire for unknown tenant " + tenant);
+  }
+  Waiter w;
+  w.cost = windows > 0 ? windows : 1;  // zero-cost grants must still rotate
+  it->second.queue.push_back(&w);
+  grant_next_locked();
+  cv_.wait(lock, [&w] { return w.granted; });
+}
+
+void FairScheduler::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  busy_ = false;
+  grant_next_locked();
+}
+
+void FairScheduler::grant_next_locked() {
+  if (busy_) return;
+
+  // Deficit round-robin: the next grant goes to the waiting tenant whose
+  // head batch becomes affordable first as deficits fill at `weight` per
+  // unit of virtual time — i.e. the argmin of (cost - deficit) / weight.
+  // Everyone waiting advances by that same virtual-time slice, so over a
+  // saturated interval each tenant's served windows grow proportionally
+  // to its weight regardless of batch sizes.
+  Tenant* pick = nullptr;
+  const std::string* pick_name = nullptr;
+  double pick_need = std::numeric_limits<double>::infinity();
+  for (const std::string& name : order_) {
+    Tenant& t = tenants_[name];
+    if (t.queue.empty()) continue;
+    double need = (static_cast<double>(t.queue.front()->cost) - t.deficit) /
+                  t.weight;
+    if (need < pick_need) {
+      pick = &t;
+      pick_name = &name;
+      pick_need = need;
+    }
+  }
+  if (!pick) return;
+
+  if (pick_need > 0) {
+    for (const std::string& name : order_) {
+      Tenant& t = tenants_[name];
+      if (!t.queue.empty()) t.deficit += pick_need * t.weight;
+    }
+  }
+
+  Waiter* w = pick->queue.front();
+  pick->queue.pop_front();
+  pick->deficit -= static_cast<double>(w->cost);
+  pick->served += w->cost;
+  // Classic DRR: an emptied queue forfeits its residual credit instead of
+  // banking unbounded burst allowance for later.
+  if (pick->queue.empty()) pick->deficit = 0;
+  served_counter(*pick_name).add(w->cost);
+  w->granted = true;
+  busy_ = true;
+  cv_.notify_all();
+}
+
+void FairScheduler::credit(const std::string& tenant, long windows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument("svc: credit for unknown tenant " + tenant);
+  }
+  it->second.served += windows;
+  served_counter(tenant).add(windows);
+}
+
+long FairScheduler::served_windows(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.served;
+}
+
+std::vector<std::pair<std::string, long>> FairScheduler::served_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, long>> out;
+  out.reserve(order_.size());
+  for (const std::string& name : order_) {
+    out.emplace_back(name, tenants_.at(name).served);
+  }
+  return out;
+}
+
+}  // namespace vm1::svc

@@ -1,0 +1,82 @@
+/// \file service.h
+/// Network front-end of the placement service: accepts client connections
+/// on a TCP listener (same framing + challenge/HMAC handshake as the
+/// worker protocol — dist/tcp.h), decodes the kSubmitJob / kJobStatus /
+/// kJobResult / kCancelJob job frames, and forwards them to a JobManager.
+///
+/// Protocol, per connection (client side is apps/vm1_submit.cpp):
+///
+///   kSubmitJob  -> kJobStatus ack (accepted=false + reason on rejection)
+///   kJobStatus  -> kJobStatus snapshot (accepted=false for unknown ids)
+///   kJobResult  -> kJobResult (placements only once the job is kDone)
+///   kCancelJob  -> kJobStatus snapshot after the cancel
+///   kShutdown   -> connection closed (client goodbye)
+///
+/// A malformed frame (WireError) drops the connection — never the
+/// service. serve() is a single-threaded poll loop; job execution
+/// happens on the JobManager's executor threads, so a slow client stalls
+/// only its own connection's replies, not the fleet.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/tcp.h"
+#include "svc/job_manager.h"
+
+namespace vm1::svc {
+
+struct ServiceOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; see Service::port()
+  /// Client auth secret; empty resolves $VM1_DIST_SECRET.
+  std::string secret;
+  /// Per-read/write deadline on client connections.
+  double io_timeout_sec = 30.0;
+  /// Handshake deadline for one pending accept.
+  double handshake_timeout_sec = 5.0;
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+class Service {
+ public:
+  /// Binds the listener immediately (throws std::runtime_error when the
+  /// address is taken). `manager` is borrowed and must outlive serve().
+  Service(ServiceOptions opts, JobManager* manager);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// The bound port (resolves port=0).
+  int port() const { return transport_->listen_port(); }
+
+  /// Runs the accept/dispatch loop until stop(). Returns after draining
+  /// the manager (running jobs finish; queued jobs are cancelled).
+  void serve();
+
+  /// Signal-safe stop flag; serve() exits at its next poll tick.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Client {
+    std::unique_ptr<dist::Connection> conn;
+    std::vector<std::uint8_t> rbuf;
+  };
+
+  /// Decodes and answers one frame. Returns false when the connection
+  /// should close (kShutdown or protocol error).
+  bool handle_frame(Client& client, const dist::Frame& frame);
+  bool send_frame(Client& client, dist::MsgType type,
+                  std::vector<std::uint8_t> payload);
+
+  ServiceOptions opts_;
+  JobManager* manager_;
+  std::unique_ptr<dist::TcpTransport> transport_;
+  std::vector<Client> clients_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace vm1::svc

@@ -442,6 +442,161 @@ TEST_F(CoordinatorFaults, MidFramePartitionDropsBytesButStaysBitExact) {
   EXPECT_TRUE(is_legal(dp));
 }
 
+// ---------------------------------------------------------------------
+// CoordinatorStats byte-accounting invariants, at the struct level: drive
+// solve_batch directly on prepared windows and check the counters against
+// the contract documented on CoordinatorStats (bytes_sent = bytes handed
+// to the kernel; bytes_dropped = stranded mid-frame tails; retransmitted
+// = the subset of bytes_sent spent on retries), clean and after drills.
+
+using CoordinatorStatsInvariants = DistFixture;
+
+/// Up to `maxn` solvable windows of `d`, prepared exactly the way
+/// dist_opt hands them to solve_batch (distinct keys; results pinned).
+struct PreparedBatch {
+  std::vector<WindowSolveJob> jobs;
+  std::vector<WindowSolveResult> results;
+  std::vector<RemoteJob> remote;
+};
+
+PreparedBatch prepare_batch(const Design& d, const DistOptOptions& o,
+                            std::size_t maxn) {
+  WindowGrid grid = partition_windows(d, o.tx, o.ty, o.bw, o.bh);
+  std::vector<std::vector<int>> nets =
+      window_incident_nets(grid, d.netlist());
+  PreparedBatch b;
+  for (std::size_t w = 0; w < grid.windows.size() && b.jobs.size() < maxn;
+       ++w) {
+    if (grid.movable[w].size() < 2) continue;
+    WindowSolveJob j;
+    j.widx = static_cast<int>(w);
+    j.key = 1000 + static_cast<std::uint64_t>(w);
+    j.window = grid.windows[w];
+    j.movable = grid.movable[w];
+    j.lx = o.lx;
+    j.ly = o.ly;
+    j.allow_move = o.allow_move;
+    j.allow_flip = o.allow_flip;
+    j.rounding_fallback = o.rounding_fallback;
+    j.params = o.params;
+    j.mip = o.mip;
+    b.jobs.push_back(std::move(j));
+  }
+  EXPECT_GE(b.jobs.size(), 2u) << "need at least two solvable windows";
+  b.results.resize(b.jobs.size());
+  for (std::size_t i = 0; i < b.jobs.size(); ++i) {
+    RemoteJob rj;
+    rj.job = &b.jobs[i];
+    rj.result = &b.results[i];
+    rj.greedy_fallback = o.greedy_fallback;
+    rj.sig_mip = o.mip;
+    rj.expected_sig = window_signature(
+        d, b.jobs[i].window, b.jobs[i].movable,
+        nets[static_cast<std::size_t>(b.jobs[i].widx)], o);
+    b.remote.push_back(rj);
+  }
+  return b;
+}
+
+TEST_F(CoordinatorStatsInvariants, CleanBatchSendsEverythingDropsNothing) {
+  Design d = placed_design(40);
+  DistOptOptions o = base_opts();
+  Coordinator coord(CoordinatorOptions{});
+  PreparedBatch b = prepare_batch(d, o, 4);
+
+  coord.begin_pass(d);
+  coord.solve_batch(d, b.remote, nullptr);
+  CoordinatorStats cs = coord.take_stats();
+
+  const long n = static_cast<long>(b.remote.size());
+  EXPECT_EQ(cs.requests, n);
+  EXPECT_EQ(cs.replies, n);
+  EXPECT_EQ(cs.retries, 0);
+  EXPECT_EQ(cs.local_fallbacks, 0);
+  EXPECT_GT(cs.bytes_sent, 0);
+  EXPECT_GT(cs.bytes_received, 0);
+  // Nothing failed mid-frame and nothing was retried, so both deltas of
+  // the byte-accounting invariant are exactly zero.
+  EXPECT_EQ(cs.bytes_dropped, 0);
+  EXPECT_EQ(cs.bytes_retransmitted, 0);
+  EXPECT_EQ(cs.faults_scheduled, 0) << "census must be zero with faults off";
+}
+
+TEST_F(CoordinatorStatsInvariants, PartitionStormAccountsDropsNotRetransmits) {
+  // Every request is cut mid-frame. The injection accounts the sent half +
+  // the stranded tail and tears the link down BEFORE any retransmit
+  // accounting: a partitioned retry must never count as retransmitted.
+  fault::set_config(fault::parse_spec("partition=1.0,seed=9"));
+  Design d = placed_design(41);
+  DistOptOptions o = base_opts();
+  CoordinatorOptions co;
+  co.quarantine_base_sec = 0.05;
+  Coordinator coord(co);
+  PreparedBatch b = prepare_batch(d, o, 4);
+
+  coord.begin_pass(d);
+  coord.solve_batch(d, b.remote, nullptr);
+  CoordinatorStats cs = coord.take_stats();
+
+  const long n = static_cast<long>(b.remote.size());
+  EXPECT_EQ(cs.requests, 0) << "a cut frame must not count as a request";
+  EXPECT_EQ(cs.replies, 0);
+  EXPECT_GT(cs.bytes_sent, 0) << "the pre-cut half is real kernel traffic";
+  EXPECT_GT(cs.bytes_dropped, 0);
+  EXPECT_EQ(cs.bytes_retransmitted, 0);
+  EXPECT_EQ(cs.local_fallbacks, n);
+  // Rate 1.0 schedules the partition drill for every window, exactly once.
+  EXPECT_EQ(cs.faults_scheduled, n);
+}
+
+TEST_F(CoordinatorStatsInvariants, ConnectTimeoutStormSendsNoBytes) {
+  // The timeout drill fails the attempt before a single frame is built:
+  // the whole batch degrades to local with zero wire traffic.
+  fault::set_config(fault::parse_spec("connect_timeout=1.0,seed=9"));
+  Design d = placed_design(42);
+  DistOptOptions o = base_opts();
+  CoordinatorOptions co;
+  co.quarantine_base_sec = 0.05;
+  Coordinator coord(co);
+  PreparedBatch b = prepare_batch(d, o, 4);
+
+  coord.begin_pass(d);
+  coord.solve_batch(d, b.remote, nullptr);
+  CoordinatorStats cs = coord.take_stats();
+
+  EXPECT_EQ(cs.bytes_sent, 0);
+  EXPECT_EQ(cs.bytes_dropped, 0);
+  EXPECT_EQ(cs.bytes_retransmitted, 0);
+  EXPECT_EQ(cs.requests, 0);
+  EXPECT_EQ(cs.replies, 0);
+  EXPECT_EQ(cs.local_fallbacks, static_cast<long>(b.remote.size()));
+  EXPECT_EQ(cs.faults_scheduled, static_cast<long>(b.remote.size()));
+}
+
+TEST_F(CoordinatorStatsInvariants, CorruptRepliesRetransmitWithinBytesSent) {
+  // Every reply is corrupted: each window burns its retry (retransmitted
+  // bytes) and then falls back locally. Retransmitted bytes are a strict
+  // subset of bytes_sent — the invariant the struct doc promises.
+  fault::set_config(fault::parse_spec("reply_corrupt=1.0,seed=9"));
+  Design d = placed_design(43);
+  DistOptOptions o = base_opts();
+  CoordinatorOptions co;
+  co.quarantine_base_sec = 0.05;
+  Coordinator coord(co);
+  PreparedBatch b = prepare_batch(d, o, 4);
+
+  coord.begin_pass(d);
+  coord.solve_batch(d, b.remote, nullptr);
+  CoordinatorStats cs = coord.take_stats();
+
+  EXPECT_GT(cs.retries, 0);
+  EXPECT_GT(cs.bytes_retransmitted, 0);
+  EXPECT_LT(cs.bytes_retransmitted, cs.bytes_sent);
+  EXPECT_EQ(cs.replies, 0) << "a corrupt reply must never be accepted";
+  EXPECT_EQ(cs.local_fallbacks, static_cast<long>(b.remote.size()));
+  EXPECT_EQ(cs.faults_scheduled, static_cast<long>(b.remote.size()));
+}
+
 TEST_F(CoordinatorFaults, CoordinatorReusableAcrossPassesAfterStorm) {
   fault::Config fc = fault::parse_spec("worker_kill=0.3,seed=5");
   fault::set_config(fc);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -223,7 +225,10 @@ long count_occurrences(const std::string& hay, const std::string& needle) {
 class TraceFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "obs_trace_test.json";
+    // Pid-unique: the same tests run in the tier1 and concurrency
+    // binaries, which a parallel ctest schedules concurrently.
+    path_ = ::testing::TempDir() + "obs_trace_test." +
+            std::to_string(::getpid()) + ".json";
   }
   void TearDown() override {
     obs::trace_stop();
@@ -285,7 +290,8 @@ TEST_F(TraceFileTest, RingWrapsKeepingNewestAndReportsDropped) {
 }
 
 TEST_F(TraceFileTest, RestartFlushesPreviousSession) {
-  std::string path2 = ::testing::TempDir() + "obs_trace_test2.json";
+  std::string path2 = ::testing::TempDir() + "obs_trace_test2." +
+                      std::to_string(::getpid()) + ".json";
   obs::trace_start(path_);
   { obs::ObsSpan span("test.first"); }
   obs::trace_start(path2);  // implicit stop + flush of session one
