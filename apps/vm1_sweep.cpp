@@ -1,0 +1,158 @@
+/// \file vm1_sweep.cpp
+/// Scenario sweep driver: runs the declarative scenario matrix end-to-end,
+/// extracts metrics through the spec file, gates them against the golden
+/// corpus under tests/golden/scenarios/, and writes one TREND_<name>.json
+/// per scenario. Exits nonzero naming every out-of-tolerance
+/// scenario/metric pair.
+///
+/// Usage:
+///   vm1_sweep [--quick] [--golden=DIR] [--out=DIR] [--only=SUBSTR]
+///             [--spec=FILE] [--update-golden] [--no-trends] [--list]
+///             [--perturb=KIND]
+///
+///   --quick           CI matrix (3 archs x 4 utilizations + aspect /
+///                     channel-capacity / backend points); default is the
+///                     full matrix (a superset)
+///   --golden=DIR      golden corpus root (default tests/golden/scenarios)
+///   --out=DIR         trend JSON destination (default .)
+///   --only=SUBSTR     run only scenarios whose name contains SUBSTR
+///   --spec=FILE       metric spec file (default: built-in spec)
+///   --update-golden   regenerate the corpus instead of gating
+///                     (VM1_UPDATE_GOLDEN=1 in the environment also works)
+///   --no-trends       skip TREND_*.json emission
+///   --list            print the scenario matrix and exit
+///   --perturb=KIND    seeded-regression drill: deliberately perturb every
+///                     flow (KIND: greedy — cap the MILP at one node so
+///                     window quality degrades; capacity — double the
+///                     channel capacity) and expect the gate to trip
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace {
+
+bool arg_value(const char* arg, const char* key, std::string* out) {
+  std::size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--golden=DIR] [--out=DIR] "
+               "[--only=SUBSTR] [--spec=FILE] [--update-golden] "
+               "[--no-trends] [--list] [--perturb=greedy|capacity]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vm1::scenario;
+
+  bool quick = false;
+  bool list = false;
+  std::string only;
+  std::string spec_path;
+  std::string perturb_kind;
+  RunnerOptions opts;
+  opts.golden_dir = "tests/golden/scenarios";
+  opts.update_golden = std::getenv("VM1_UPDATE_GOLDEN") != nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--update-golden") == 0) {
+      opts.update_golden = true;
+    } else if (std::strcmp(argv[i], "--no-trends") == 0) {
+      opts.write_trends = false;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (arg_value(argv[i], "--golden", &v)) {
+      opts.golden_dir = v;
+    } else if (arg_value(argv[i], "--out", &v)) {
+      opts.out_dir = v;
+    } else if (arg_value(argv[i], "--only", &v)) {
+      only = v;
+    } else if (arg_value(argv[i], "--spec", &v)) {
+      spec_path = v;
+    } else if (arg_value(argv[i], "--perturb", &v)) {
+      perturb_kind = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!spec_path.empty()) {
+    std::ifstream in(spec_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "vm1_sweep: cannot read spec %s\n",
+                   spec_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    if (!parse_metric_specs(ss.str(), &opts.specs, &err)) {
+      std::fprintf(stderr, "vm1_sweep: %s: %s\n", spec_path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+
+  if (!perturb_kind.empty()) {
+    if (perturb_kind == "greedy") {
+      // One-node MILPs keep whatever the root produced instead of the
+      // proven optimum, so final quality (HPWL/alignments/vias) drifts off
+      // the goldens — the exact/monotonic gates must trip.
+      opts.perturb = [](vm1::FlowOptions& f) { f.vm1.mip.max_nodes = 1; };
+    } else if (perturb_kind == "capacity") {
+      opts.perturb = [](vm1::FlowOptions& f) {
+        f.router.cost.wire_capacity *= 2;
+      };
+    } else {
+      std::fprintf(stderr, "vm1_sweep: unknown --perturb kind '%s'\n",
+                   perturb_kind.c_str());
+      return 2;
+    }
+    if (opts.update_golden) {
+      std::fprintf(stderr,
+                   "vm1_sweep: refusing --perturb with --update-golden "
+                   "(would poison the corpus)\n");
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> matrix =
+      filter_scenarios(sweep_matrix(quick), only);
+  if (matrix.empty()) {
+    std::fprintf(stderr, "vm1_sweep: no scenario matches --only=%s\n",
+                 only.c_str());
+    return 2;
+  }
+  if (list) {
+    for (const Scenario& s : matrix) std::printf("%s\n", s.name.c_str());
+    return 0;
+  }
+
+  opts.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  SweepSummary sum = run_sweep(matrix, opts);
+  std::printf("\n%d scenario(s) run, %d golden(s) written, %zu violation(s)\n",
+              sum.scenarios_run, sum.goldens_written, sum.violations.size());
+  for (const auto& v : sum.violations) {
+    std::fprintf(stderr, "FAIL %s\n", v.str().c_str());
+  }
+  return sum.pass() ? 0 : 1;
+}

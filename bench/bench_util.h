@@ -9,10 +9,8 @@
 /// tracking.
 #pragma once
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <initializer_list>
 #include <string>
 #include <thread>
@@ -22,6 +20,7 @@
 #include "core/flow.h"
 #include "io/report.h"
 #include "obs/metrics.h"
+#include "util/json_writer.h"
 #include "util/stats.h"
 
 // Baked in per-binary by bench/CMakeLists.txt; fall back for ad-hoc builds.
@@ -34,93 +33,10 @@
 
 namespace vm1::benchutil {
 
-/// Minimal streaming JSON emitter for bench result files. Usage:
-///   JsonWriter jw("BENCH_solver.json");
-///   jw.begin_object();
-///   jw.field("wall_s", 1.25);
-///   jw.begin_array("rows");
-///   jw.begin_object(); jw.field("bw", 20); jw.end_object();
-///   jw.end_array();
-///   jw.end_object();   // closes the file when the root closes
-class JsonWriter {
- public:
-  explicit JsonWriter(const std::string& path)
-      : f_(std::fopen(path.c_str(), "w")) {
-    if (!f_) std::fprintf(stderr, "JsonWriter: cannot open %s\n", path.c_str());
-  }
-  ~JsonWriter() {
-    if (f_) std::fclose(f_);
-  }
-  JsonWriter(const JsonWriter&) = delete;
-  JsonWriter& operator=(const JsonWriter&) = delete;
-
-  void begin_object() { open('{'); }
-  void begin_object(const char* key) { open('{', key); }
-  void end_object() { close('}'); }
-  void begin_array(const char* key) { open('[', key); }
-  void end_array() { close(']'); }
-
-  void field(const char* key, double v) {
-    prefix(key);
-    put("%.10g", v);
-  }
-  void field(const char* key, long v) {
-    prefix(key);
-    put("%ld", v);
-  }
-  void field(const char* key, int v) { field(key, static_cast<long>(v)); }
-  void field(const char* key, bool v) {
-    prefix(key);
-    put("%s", v ? "true" : "false");
-  }
-  void field(const char* key, const char* v) {
-    prefix(key);
-    put_string(v);
-  }
-  void field(const char* key, const std::string& v) { field(key, v.c_str()); }
-
- private:
-  void open(char c, const char* key = nullptr) {
-    prefix(key);
-    put("%c", c);
-    comma_.push_back(false);
-  }
-  void close(char c) {
-    assert(!comma_.empty());
-    comma_.pop_back();
-    put("%c\n", c);
-    if (f_ && comma_.empty()) {
-      std::fclose(f_);
-      f_ = nullptr;
-    }
-  }
-  void prefix(const char* key) {
-    if (!comma_.empty()) {
-      if (comma_.back()) put(",\n");
-      comma_.back() = true;
-    }
-    if (key) {
-      put_string(key);
-      put(": ");
-    }
-  }
-  void put_string(const char* s) {
-    if (!f_) return;
-    std::fputc('"', f_);
-    for (; *s; ++s) {
-      if (*s == '"' || *s == '\\') std::fputc('\\', f_);
-      std::fputc(*s, f_);
-    }
-    std::fputc('"', f_);
-  }
-  template <typename... Args>
-  void put(const char* fmt, Args... args) {
-    if (f_) std::fprintf(f_, fmt, args...);
-  }
-
-  std::FILE* f_;
-  std::vector<bool> comma_;  ///< per open scope: "needs a comma first"
-};
+/// The streaming JSON emitter lives in src/util/json_writer.h so the
+/// scenario harness (src/scenario) emits trend files in the identical
+/// format; benches keep addressing it by its historical unqualified name.
+using vm1::JsonWriter;
 
 /// Emits the guardrail outcome counters (the WindowOutcome taxonomy of
 /// core/dist_opt.h) summed over one or more DistOpt passes, as a nested
@@ -167,14 +83,7 @@ inline void write_window_outcomes(
   jw.end_object();
 }
 
-inline std::string iso_timestamp_utc() {
-  std::time_t now = std::time(nullptr);
-  std::tm tm{};
-  gmtime_r(&now, &tm);
-  char buf[32];
-  std::strftime(buf, sizeof buf, "%FT%TZ", &tm);
-  return buf;
-}
+using vm1::iso_timestamp_utc;
 
 /// Shared run-metadata block: every bench JSON carries the same provenance
 /// fields so result files can be diffed across commits and machines.

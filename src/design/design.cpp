@@ -76,12 +76,13 @@ Design make_design(const std::string& design_name, CellArch arch,
 
   Tech tech = Tech::make_7nm();
 
-  // Floorplan: near-square core (in DBU) at the requested utilization.
+  // Floorplan: core with width/height ~= opts.aspect (in DBU) at the
+  // requested utilization; aspect 1.0 is the historical near-square shape.
   double total_sites = static_cast<double>(nl->total_sites());
   double core_sites = total_sites / opts.utilization;
   double h = static_cast<double>(tech.row_height());
   int sites_per_row = std::max(
-      16, static_cast<int>(std::ceil(std::sqrt(core_sites * h))));
+      16, static_cast<int>(std::ceil(std::sqrt(core_sites * h * opts.aspect))));
   int num_rows = std::max(
       2, static_cast<int>(std::ceil(core_sites / sites_per_row)));
 

@@ -81,6 +81,10 @@ struct DesignOptions {
   double utilization = 0.75;
   double scale = 1.0;       ///< netlist size multiplier
   std::uint64_t seed = 0;   ///< 0 = use the design's default seed
+  /// Core aspect ratio width/height (in DBU). 1.0 reproduces the historical
+  /// near-square floorplan bit-for-bit; >1 widens rows, <1 stacks more of
+  /// them. Swept by the scenario harness (Fig. 5/8-style studies).
+  double aspect = 1.0;
 };
 
 /// Builds one of the named benchmark designs ("m0", "aes", "jpeg", "vga",

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace vm1 {
 
@@ -29,7 +30,26 @@ std::string write_def(const Design& d) {
        << (nl.io(io).is_input ? "INPUT" : "OUTPUT") << " ( " << pos.x << " "
        << pos.y << " ) ;\n";
   }
-  os << "END PINS\nEND DESIGN\n";
+  os << "END PINS\n";
+  // Full connectivity: connection order (driver first when one exists) is
+  // preserved so the def_reader reconstructs identical net pin indices.
+  os << "NETS " << nl.num_nets() << " ;\n";
+  for (int n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    os << "- " << net.name;
+    for (const NetPin& np : net.pins) {
+      if (np.is_io()) {
+        os << " ( PIN " << nl.io(np.pin).name << " )";
+      } else {
+        os << " ( " << nl.instance(np.inst).name << " "
+           << nl.cell_of(np.inst).pins[np.pin].name << " )";
+      }
+    }
+    if (net.is_clock) os << " + USE CLOCK";
+    os << " ;\n";
+  }
+  os << "END NETS\n";
+  os << "END DESIGN\n";
   return os.str();
 }
 
@@ -52,6 +72,7 @@ std::vector<std::string> read_def_placement(const std::string& text,
   std::istringstream in(text);
   std::string line;
   bool in_components = false;
+  std::unordered_set<std::string> seen;
   while (std::getline(in, line)) {
     std::istringstream ls(line);
     std::string tok;
@@ -75,6 +96,20 @@ std::vector<std::string> read_def_placement(const std::string& text,
     auto it = by_name.find(name);
     if (it == by_name.end()) {
       problems.push_back("unknown instance " + name);
+      continue;
+    }
+    if (!seen.insert(name).second) {
+      problems.push_back("duplicate component " + name);
+      continue;  // the first record wins; never silently overwrite
+    }
+    // Reject placements outside the restoring design's DIEAREA: the DEF may
+    // come from a different floorplan, and applying an out-of-core
+    // placement would silently corrupt downstream window/route state.
+    int width = nl.cell_of(it->second).width_sites;
+    if (x < 0 || row < 0 || row >= d.num_rows() ||
+        x + width > d.sites_per_row()) {
+      problems.push_back("placement outside DIEAREA for " + name + " (" +
+                         std::to_string(x) + ", " + std::to_string(row) + ")");
       continue;
     }
     d.set_placement(it->second, Placement{x, row, orient == "FS"});

@@ -1,14 +1,32 @@
 #include "io/lef_writer.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
 namespace vm1 {
+namespace {
+
+/// Shortest decimal form that round-trips the double exactly — the LEF
+/// vendor properties carry electrical data the reader must restore
+/// bit-for-bit (the write_lef -> read_lef property test compares ==).
+std::string fmt_double(double v) {
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+}  // namespace
 
 std::string write_lef(const Tech& tech, const Library& lib) {
   std::ostringstream os;
   os << "VERSION 5.7 ;\n";
   os << "# OpenVM1 synthetic " << to_string(lib.arch()) << " library\n";
+  // Vendor property: lets the reader restore the architecture without
+  // guessing it from pin layers (Conventional12T and ClosedM1 both use M1
+  // pin stubs).
+  os << "PROPERTY vm1_arch " << to_string(lib.arch()) << " ;\n";
   os << "UNITS\n  DATABASE SITES 1 ;\nEND UNITS\n\n";
   os << "SITE core\n  SIZE 1 BY " << tech.row_height() << " ;\nEND core\n\n";
   for (const Layer& l : tech.layers()) {
@@ -21,9 +39,23 @@ std::string write_lef(const Tech& tech, const Library& lib) {
     os << "  CLASS " << (c.filler ? "CORE SPACER" : "CORE") << " ;\n";
     os << "  SIZE " << c.width_sites << " BY " << tech.row_height()
        << " ;\n";
+    // Electrical/flavour data LEF has no standard home for (it lives in
+    // Liberty in a real flow) rides as vendor properties; the reader falls
+    // back to defaults when they are absent.
+    os << "  PROPERTY vm1_vt " << to_string(c.vt) << " vm1_sequential "
+       << (c.sequential ? 1 : 0) << " vm1_drive_res " << fmt_double(c.drive_res)
+       << " vm1_intrinsic " << fmt_double(c.intrinsic_delay) << " vm1_leakage "
+       << fmt_double(c.leakage) << " ;\n";
     for (const PinInfo& p : c.pins) {
       os << "  PIN " << p.name << "\n    DIRECTION "
          << (p.dir == PinDir::kInput ? "INPUT" : "OUTPUT") << " ;\n";
+      // Access geometry the optimizer consumes (x_track/span/y_off): the
+      // physical PORT shapes below do not fully determine it (ClosedM1 pin
+      // stubs all span y in [3, 11] regardless of y_off), so it is recorded
+      // explicitly.
+      os << "    PROPERTY vm1_x_track " << p.x_track << " vm1_xmin " << p.xmin
+         << " vm1_xmax " << p.xmax << " vm1_y_off " << p.y_off << " vm1_cap "
+         << fmt_double(p.cap) << " ;\n";
       for (const PinShape& s : p.shapes) {
         os << "    PORT LAYER "
            << tech.layer(s.layer).name << " RECT " << s.box.lx << " "

@@ -1,0 +1,75 @@
+/// \file text_tokens.h
+/// Shared line-numbered tokenizer for the LEF/DEF readers: whitespace
+/// separated, with '(' ')' ';' always standing alone (LEF/DEF allow them
+/// glued to operands) and '#' starting a to-end-of-line comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vm1::iodetail {
+
+struct Tok {
+  std::string s;
+  int line = 0;  ///< 1-based source line
+};
+
+inline std::vector<Tok> tokenize(const std::string& text) {
+  std::vector<Tok> toks;
+  int line = 1;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      toks.push_back({cur, line});
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '#') {
+      flush();
+      while (i < text.size() && text[i] != '\n') ++i;
+      if (i < text.size()) ++line;
+      continue;
+    }
+    if (c == '\n') {
+      flush();
+      ++line;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      flush();
+    } else if (c == '(' || c == ')' || c == ';') {
+      flush();
+      toks.push_back({std::string(1, c), line});
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return toks;
+}
+
+/// Cursor over a token stream with bounds-safe accessors.
+class TokenCursor {
+ public:
+  explicit TokenCursor(const std::vector<Tok>& toks) : toks_(&toks) {}
+
+  bool done() const { return pos_ >= toks_->size(); }
+  const std::string& peek() const { return (*toks_)[pos_].s; }
+  int line() const {
+    if (done()) return toks_->empty() ? 0 : toks_->back().line;
+    return (*toks_)[pos_].line;
+  }
+  const std::string& next() { return (*toks_)[pos_++].s; }
+  void skip() { ++pos_; }
+  /// Consumes tokens up to and including the next ';' (statement skip).
+  void skip_statement() {
+    while (!done() && next() != ";") {
+    }
+  }
+
+ private:
+  const std::vector<Tok>* toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vm1::iodetail

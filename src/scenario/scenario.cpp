@@ -1,0 +1,125 @@
+#include "scenario/scenario.h"
+
+#include "core/milp_builder.h"
+
+namespace vm1::scenario {
+namespace {
+
+std::string arch_tag(CellArch arch) {
+  switch (arch) {
+    case CellArch::kConventional12T:
+      return "conv12t";
+    case CellArch::kClosedM1:
+      return "closedm1";
+    case CellArch::kOpenM1:
+      return "openm1";
+  }
+  return "unknown";
+}
+
+Scenario base(CellArch arch, double util) {
+  Scenario s;
+  s.arch = arch;
+  s.utilization = util;
+  s.name = arch_tag(arch) + "_u" + std::to_string(int(util * 100 + 0.5));
+  return s;
+}
+
+}  // namespace
+
+FlowOptions Scenario::to_flow() const {
+  FlowOptions f;
+  f.design_name = design;
+  f.arch = arch;
+  f.design.utilization = utilization;
+  f.design.scale = scale;
+  f.design.aspect = aspect;
+  f.router.cost.wire_capacity = wire_capacity;
+  f.vm1.params.alpha = paper_alpha(alpha_nm);
+  f.vm1.sequence = sequence;
+  f.vm1.max_inner_iters = max_inner_iters;
+  f.vm1.backend = backend;
+  f.vm1.threads = threads;
+  f.vm1.dist_workers = dist_workers;
+  // Per-window wall-clock caps make results load-dependent; golden-gated
+  // runs must be governed by the deterministic node cap alone (same
+  // reasoning as the quickstart golden test).
+  f.vm1.mip.time_limit_sec = 3600;
+  f.vm1.mip.lp_options.time_limit_sec = 3600;
+  return f;
+}
+
+std::vector<Scenario> sweep_matrix(bool quick) {
+  std::vector<Scenario> m;
+  const CellArch archs[] = {CellArch::kConventional12T, CellArch::kClosedM1,
+                            CellArch::kOpenM1};
+  // Utilization sweep across all three cell architectures (Table-2 style).
+  for (CellArch arch : archs) {
+    for (double util : {0.55, 0.65, 0.75, 0.85}) {
+      m.push_back(base(arch, util));
+    }
+  }
+  // Aspect-ratio sweep (wide vs tall floorplans) at the reference point.
+  for (double aspect : {0.5, 2.0}) {
+    Scenario s = base(CellArch::kClosedM1, 0.75);
+    s.aspect = aspect;
+    s.name += aspect < 1 ? "_tall" : "_wide";
+    m.push_back(s);
+  }
+  // Channel-capacity sweep: a relaxed router (capacity 2) has fewer DRVs,
+  // so the gate catches congestion-model drift.
+  {
+    Scenario s = base(CellArch::kClosedM1, 0.75);
+    s.wire_capacity = 2;
+    s.name += "_cap2";
+    m.push_back(s);
+  }
+  // Backend axis: single-threaded and the processes backend must both be
+  // bit-identical to the threads(2) reference scenario (their goldens are
+  // independent files, but regenerated together they always agree).
+  {
+    Scenario s = base(CellArch::kClosedM1, 0.75);
+    s.threads = 1;
+    s.name += "_t1";
+    m.push_back(s);
+  }
+  {
+    Scenario s = base(CellArch::kClosedM1, 0.75);
+    s.backend = DistBackend::kProcesses;
+    s.dist_workers = 2;
+    s.name += "_proc2";
+    m.push_back(s);
+  }
+  if (!quick) {
+    // The full grid widens the axes: scaled netlist and extreme points.
+    for (CellArch arch : archs) {
+      Scenario s = base(arch, 0.9);
+      m.push_back(s);
+    }
+    {
+      Scenario s = base(CellArch::kClosedM1, 0.75);
+      s.scale = 2.0;
+      s.name += "_x2";
+      m.push_back(s);
+    }
+    {
+      Scenario s = base(CellArch::kClosedM1, 0.75);
+      s.aspect = 4.0;
+      s.name += "_wide4";
+      m.push_back(s);
+    }
+  }
+  return m;
+}
+
+std::vector<Scenario> filter_scenarios(const std::vector<Scenario>& all,
+                                       const std::string& substr) {
+  if (substr.empty()) return all;
+  std::vector<Scenario> out;
+  for (const Scenario& s : all) {
+    if (s.name.find(substr) != std::string::npos) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace vm1::scenario

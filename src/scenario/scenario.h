@@ -1,0 +1,53 @@
+/// \file scenario.h
+/// Scenario definitions for the sweep harness: one Scenario = one fully
+/// pinned end-to-end flow configuration (design, cell architecture,
+/// utilization, aspect ratio, channel capacity, backend) plus the metric
+/// spec that gates it against the golden corpus.
+///
+/// Scenarios are deterministic by construction: per-window wall-clock caps
+/// are lifted (the node cap governs, as in the golden quickstart run) so
+/// results do not depend on machine load, and every knob that feeds the
+/// window signature is pinned by the scenario itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow.h"
+#include "scenario/metric_spec.h"
+
+namespace vm1::scenario {
+
+struct Scenario {
+  std::string name;          ///< golden/trend file key ([a-z0-9_]+)
+  std::string design = "tiny";
+  CellArch arch = CellArch::kClosedM1;
+  double utilization = 0.75;
+  double aspect = 1.0;       ///< core width/height ratio
+  double scale = 1.0;        ///< netlist size multiplier
+  double alpha_nm = 1200;    ///< paper-style alpha (nm HPWL units)
+  int wire_capacity = 1;     ///< router channel capacity per track edge
+  DistBackend backend = DistBackend::kThreads;
+  unsigned threads = 2;
+  int dist_workers = 2;
+  std::vector<ParamSet> sequence = {ParamSet{12, 0, 4, 1}};
+  int max_inner_iters = 1;
+
+  /// Flow options implementing this scenario (time limits pinned for
+  /// determinism).
+  FlowOptions to_flow() const;
+};
+
+/// The sweep matrix. `quick` (the CI grid, VM1_BENCH_QUICK-style) covers:
+///   * the three cell architectures x four utilization points,
+///   * two aspect-ratio points and a channel-capacity point,
+///   * the threads(1) and processes(2) backends (bit-identity in practice:
+///     their goldens must match the threads(2) baseline scenario).
+/// The full matrix widens utilization/aspect and adds the m0 design.
+std::vector<Scenario> sweep_matrix(bool quick);
+
+/// Scenarios whose name contains `substr` (empty = all).
+std::vector<Scenario> filter_scenarios(const std::vector<Scenario>& all,
+                                       const std::string& substr);
+
+}  // namespace vm1::scenario

@@ -1,0 +1,117 @@
+/// \file json_writer.h
+/// Minimal streaming JSON emitter shared by the bench binaries
+/// (bench/bench_util.h) and the scenario harness (src/scenario) — both emit
+/// machine-readable result files (BENCH_*.json, TREND_*.json) that are
+/// diffed across commits, so they must agree on formatting. Usage:
+///   JsonWriter jw("BENCH_solver.json");
+///   jw.begin_object();
+///   jw.field("wall_s", 1.25);
+///   jw.begin_array("rows");
+///   jw.begin_object(); jw.field("bw", 20); jw.end_object();
+///   jw.end_array();
+///   jw.end_object();   // closes the file when the root closes
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+namespace vm1 {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path)
+      : f_(std::fopen(path.c_str(), "w")) {
+    if (!f_) std::fprintf(stderr, "JsonWriter: cannot open %s\n", path.c_str());
+  }
+  ~JsonWriter() {
+    if (f_) std::fclose(f_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// False when the output file could not be opened (fields are dropped).
+  bool ok() const { return f_ != nullptr || closed_; }
+
+  void begin_object() { open('{'); }
+  void begin_object(const char* key) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, double v) {
+    prefix(key);
+    put("%.10g", v);
+  }
+  void field(const char* key, long v) {
+    prefix(key);
+    put("%ld", v);
+  }
+  void field(const char* key, int v) { field(key, static_cast<long>(v)); }
+  void field(const char* key, bool v) {
+    prefix(key);
+    put("%s", v ? "true" : "false");
+  }
+  void field(const char* key, const char* v) {
+    prefix(key);
+    put_string(v);
+  }
+  void field(const char* key, const std::string& v) { field(key, v.c_str()); }
+
+ private:
+  void open(char c, const char* key = nullptr) {
+    prefix(key);
+    put("%c", c);
+    comma_.push_back(false);
+  }
+  void close(char c) {
+    assert(!comma_.empty());
+    comma_.pop_back();
+    put("%c\n", c);
+    if (f_ && comma_.empty()) {
+      std::fclose(f_);
+      f_ = nullptr;
+      closed_ = true;
+    }
+  }
+  void prefix(const char* key) {
+    if (!comma_.empty()) {
+      if (comma_.back()) put(",\n");
+      comma_.back() = true;
+    }
+    if (key) {
+      put_string(key);
+      put(": ");
+    }
+  }
+  void put_string(const char* s) {
+    if (!f_) return;
+    std::fputc('"', f_);
+    for (; *s; ++s) {
+      if (*s == '"' || *s == '\\') std::fputc('\\', f_);
+      std::fputc(*s, f_);
+    }
+    std::fputc('"', f_);
+  }
+  template <typename... Args>
+  void put(const char* fmt, Args... args) {
+    if (f_) std::fprintf(f_, fmt, args...);
+  }
+
+  std::FILE* f_;
+  bool closed_ = false;
+  std::vector<bool> comma_;  ///< per open scope: "needs a comma first"
+};
+
+inline std::string iso_timestamp_utc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%FT%TZ", &tm);
+  return buf;
+}
+
+}  // namespace vm1

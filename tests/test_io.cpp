@@ -2,6 +2,8 @@
 
 #include "cells/library_builder.h"
 #include "io/def_io.h"
+#include "io/def_reader.h"
+#include "io/lef_reader.h"
 #include "io/lef_writer.h"
 #include "io/report.h"
 #include "place/global_placer.h"
@@ -56,6 +58,195 @@ TEST(DefIo, OrientationPreserved) {
   read_def_placement(def, d2);
   EXPECT_TRUE(d2.placement(0).flipped);
   EXPECT_FALSE(d2.placement(1).flipped);
+}
+
+TEST(DefIo, DuplicateComponentReportedFirstWins) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  std::string def =
+      "COMPONENTS 2 ;\n"
+      "- u0 INV_X1_SVT + PLACED ( 3 2 ) N ;\n"
+      "- u0 INV_X1_SVT + PLACED ( 9 1 ) N ;\n"
+      "END COMPONENTS\n";
+  auto problems = read_def_placement(def, d);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("duplicate"), std::string::npos) << problems[0];
+  EXPECT_NE(problems[0].find("u0"), std::string::npos);
+  // The first record wins; the later one is rejected, not applied.
+  EXPECT_EQ(d.placement(0), (Placement{3, 2, false}));
+}
+
+TEST(DefIo, OutsideDieAreaRejected) {
+  Design d = make_design("tiny", CellArch::kClosedM1);
+  Placement before = d.placement(0);
+  std::string def =
+      "COMPONENTS 3 ;\n"
+      "- u0 INV_X1_SVT + PLACED ( 100000 2 ) N ;\n"
+      "- u1 INV_X1_SVT + PLACED ( 3 -1 ) N ;\n"
+      "- u2 INV_X1_SVT + PLACED ( 3 100000 ) N ;\n"
+      "END COMPONENTS\n";
+  auto problems = read_def_placement(def, d);
+  ASSERT_EQ(problems.size(), 3u);
+  for (const std::string& p : problems) {
+    EXPECT_NE(p.find("DIEAREA"), std::string::npos) << p;
+  }
+  EXPECT_EQ(d.placement(0), before);  // rejected records leave d untouched
+}
+
+// ---------------------------------------------------------------------------
+// Full LEF/DEF ingestion (read_lef + read_def_design): every malformed
+// input yields a typed IoError and never a partially-constructed result.
+
+/// A placed small design plus its serialized LEF/DEF pair.
+struct Ingest {
+  Design d;
+  std::string lef;
+  std::string def;
+};
+
+Ingest make_ingest(CellArch arch) {
+  DesignOptions opts;
+  opts.scale = 0.3;
+  Design d = make_design("tiny", arch, opts);
+  global_place(d);
+  legalize(d);
+  std::string lef = write_lef(d.tech(), d.library());
+  std::string def = write_def(d);
+  return {std::move(d), std::move(lef), std::move(def)};
+}
+
+TEST(LefReader, RoundTripsOwnWriter) {
+  for (CellArch arch : {CellArch::kConventional12T, CellArch::kClosedM1,
+                        CellArch::kOpenM1}) {
+    Tech tech = Tech::make_7nm();
+    Library lib = build_library(arch);
+    std::string lef = write_lef(tech, lib);
+    LefContents back;
+    IoError err;
+    ASSERT_TRUE(read_lef(lef, &back, &err)) << err.str();
+    EXPECT_EQ(back.lib.arch(), arch);
+    EXPECT_EQ(back.lib.num_cells(), lib.num_cells());
+    // Bit-exact: the reparsed library serializes to the identical LEF.
+    EXPECT_EQ(write_lef(back.tech, back.lib), lef) << to_string(arch);
+  }
+}
+
+TEST(LefReader, TruncatedFileIsTypedError) {
+  Ingest in = make_ingest(CellArch::kClosedM1);
+  // Cut mid-MACRO: everything after the first PIN keyword disappears.
+  std::string cut = in.lef.substr(0, in.lef.find("PIN") + 3);
+  LefContents out;
+  IoError err;
+  EXPECT_FALSE(read_lef(cut, &out, &err));
+  EXPECT_EQ(err.kind, IoErrorKind::kTruncated) << err.str();
+  EXPECT_EQ(out.lib.num_cells(), 0);  // untouched, not partially filled
+}
+
+TEST(LefReader, DuplicateMacroIsTypedError) {
+  Tech tech = Tech::make_7nm();
+  Library lib = build_library(CellArch::kClosedM1);
+  std::string lef = write_lef(tech, lib);
+  std::size_t m = lef.find("\nMACRO ");
+  ASSERT_NE(m, std::string::npos);
+  std::size_t name_at = m + 7;
+  std::string name =
+      lef.substr(name_at, lef.find('\n', name_at) - name_at);
+  std::size_t end = lef.find("END " + name, m);
+  ASSERT_NE(end, std::string::npos);
+  end = lef.find('\n', end) + 1;
+  // Splice the first MACRO block in a second time.
+  std::string block = lef.substr(m + 1, end - m - 1);
+  std::string dup = lef.substr(0, end) + block + lef.substr(end);
+  LefContents out;
+  IoError err;
+  EXPECT_FALSE(read_lef(dup, &out, &err));
+  EXPECT_EQ(err.kind, IoErrorKind::kDuplicateComponent) << err.str();
+}
+
+TEST(DefReader, BuildsCompleteDesign) {
+  Ingest in = make_ingest(CellArch::kOpenM1);
+  IoError err;
+  std::unique_ptr<Design> d2 =
+      read_def_design(in.def, in.d.tech(), in.d.library(), &err);
+  ASSERT_NE(d2, nullptr) << err.str();
+  EXPECT_EQ(d2->name(), in.d.name());
+  EXPECT_EQ(d2->netlist().num_instances(), in.d.netlist().num_instances());
+  EXPECT_EQ(d2->netlist().num_nets(), in.d.netlist().num_nets());
+  EXPECT_EQ(d2->netlist().num_ios(), in.d.netlist().num_ios());
+  EXPECT_EQ(d2->num_rows(), in.d.num_rows());
+  EXPECT_EQ(d2->sites_per_row(), in.d.sites_per_row());
+  for (int i = 0; i < in.d.netlist().num_instances(); ++i) {
+    EXPECT_EQ(d2->placement(i), in.d.placement(i)) << "instance " << i;
+  }
+}
+
+TEST(DefReader, TruncatedFileIsTypedError) {
+  Ingest in = make_ingest(CellArch::kClosedM1);
+  for (const char* marker : {"END COMPONENTS", "END NETS", "END DESIGN"}) {
+    std::string cut = in.def.substr(0, in.def.find(marker));
+    IoError err;
+    EXPECT_EQ(read_def_design(cut, in.d.tech(), in.d.library(), &err),
+              nullptr);
+    EXPECT_EQ(err.kind, IoErrorKind::kTruncated)
+        << marker << ": " << err.str();
+  }
+}
+
+TEST(DefReader, UnknownMasterIsTypedError) {
+  Ingest in = make_ingest(CellArch::kClosedM1);
+  std::string bad = in.def;
+  std::size_t name = bad.find("- u0 ") + 5;
+  bad.replace(name, bad.find(' ', name) - name, "NO_SUCH_CELL");
+  IoError err;
+  EXPECT_EQ(read_def_design(bad, in.d.tech(), in.d.library(), &err), nullptr);
+  EXPECT_EQ(err.kind, IoErrorKind::kUnknownMaster) << err.str();
+  EXPECT_NE(err.message.find("NO_SUCH_CELL"), std::string::npos);
+}
+
+TEST(DefReader, DuplicateInstanceIsTypedError) {
+  Ingest in = make_ingest(CellArch::kClosedM1);
+  std::string bad = in.def;
+  std::size_t a = bad.find("- u0 ");
+  std::size_t e = bad.find('\n', a) + 1;
+  std::string line = bad.substr(a, e - a);
+  bad.insert(e, line);  // u0 declared twice (count now off by one too)
+  IoError err;
+  EXPECT_EQ(read_def_design(bad, in.d.tech(), in.d.library(), &err), nullptr);
+  EXPECT_EQ(err.kind, IoErrorKind::kDuplicateComponent) << err.str();
+}
+
+TEST(DefReader, DanglingNetPinIsTypedError) {
+  Ingest in = make_ingest(CellArch::kClosedM1);
+  // A net referencing an instance that is never declared.
+  {
+    std::string bad = in.def;
+    std::size_t n = bad.find("- n0 (");
+    bad.replace(n, bad.find('\n', n) - n, "- n0 ( phantom A ) ;");
+    IoError err;
+    EXPECT_EQ(read_def_design(bad, in.d.tech(), in.d.library(), &err),
+              nullptr);
+    EXPECT_EQ(err.kind, IoErrorKind::kDanglingNetPin) << err.str();
+    EXPECT_NE(err.message.find("phantom"), std::string::npos);
+  }
+  // A net referencing a pin its master does not have.
+  {
+    std::string bad = in.def;
+    std::size_t n = bad.find("- n0 (");
+    bad.replace(n, bad.find('\n', n) - n, "- n0 ( u0 NOT_A_PIN ) ;");
+    IoError err;
+    EXPECT_EQ(read_def_design(bad, in.d.tech(), in.d.library(), &err),
+              nullptr);
+    EXPECT_EQ(err.kind, IoErrorKind::kDanglingNetPin) << err.str();
+  }
+}
+
+TEST(DefReader, OutsideDieAreaIsTypedError) {
+  Ingest in = make_ingest(CellArch::kClosedM1);
+  std::string bad = in.def;
+  std::size_t a = bad.find("+ PLACED ( ");
+  bad.replace(a, bad.find(')', a) - a, "+ PLACED ( 100000 0 ");
+  IoError err;
+  EXPECT_EQ(read_def_design(bad, in.d.tech(), in.d.library(), &err), nullptr);
+  EXPECT_EQ(err.kind, IoErrorKind::kOutsideDieArea) << err.str();
 }
 
 TEST(Report, TableRendering) {
