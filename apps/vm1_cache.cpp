@@ -1,0 +1,128 @@
+/// \file vm1_cache.cpp
+/// Operator CLI for persistent solve-cache stores (src/cache):
+///
+///   vm1_cache inspect DIR   header + per-entry table + open anomalies
+///   vm1_cache verify  DIR   decode every value; exit 65 if any is bad
+///   vm1_cache prune   DIR   compact the log (drop overwritten/evicted
+///                           records); add --clear to empty the store
+///
+/// Opening a store adopts it: a stale-epoch or old-format log is discarded
+/// on open (that is the cache contract — see DESIGN.md "Solve cache"), so
+/// point this tool only at stores you mean to touch. All subcommands take
+/// the store's single-writer lock; run them while no server holds it.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cache/solve_cache.h"
+#include "cache/store.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: vm1_cache <inspect|verify|prune> DIR [--epoch=N] [--clear]\n"
+    "  inspect  print header summary and the entry table\n"
+    "  verify   decode every entry's memo; exit 65 on any bad value\n"
+    "  prune    compact the log; with --clear, drop every entry\n"
+    "  --epoch=N  open with epoch N instead of this build's default\n"
+    "             (an epoch mismatch discards the log -- cache contract)\n";
+
+void print_report(const vm1::cache::CacheStore& store) {
+  const vm1::cache::OpenReport& r = store.open_report();
+  std::printf("store: %s\n", store.options().dir.c_str());
+  std::printf("  epoch        %llu\n",
+              (unsigned long long)store.options().epoch);
+  std::printf("  entries      %zu (%zu payload bytes)\n", store.entries(),
+              store.bytes());
+  std::printf("  evictions    %ld\n", store.evictions());
+  if (r.created) std::printf("  note: created fresh (no usable log)\n");
+  if (r.stale_epoch) std::printf("  note: discarded stale-epoch log\n");
+  if (r.version_mismatch) std::printf("  note: discarded old-format log\n");
+  if (r.truncated_tail) std::printf("  note: dropped truncated tail\n");
+  if (r.corrupt_records) {
+    std::printf("  note: skipped %ld corrupt record(s)\n", r.corrupt_records);
+  }
+  for (const vm1::cache::CacheError& e : r.errors) {
+    std::printf("  anomaly: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cmd;
+  std::string dir;
+  bool clear = false;
+  std::uint64_t epoch = vm1::cache::default_epoch();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--epoch=", 8) == 0) {
+      epoch = std::strtoull(argv[i] + 8, nullptr, 0);
+    } else if (std::strcmp(argv[i], "--clear") == 0) {
+      clear = true;
+    } else if (cmd.empty()) {
+      cmd = argv[i];
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n%s", argv[i], kUsage);
+      return 64;
+    }
+  }
+  if (dir.empty() ||
+      (cmd != "inspect" && cmd != "verify" && cmd != "prune")) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 64;
+  }
+
+  try {
+    vm1::cache::StoreOptions so;
+    so.dir = dir;
+    so.epoch = epoch;
+    vm1::cache::CacheStore store(so);
+
+    if (cmd == "inspect") {
+      print_report(store);
+      std::printf("  %-16s %-16s %10s %8s\n", "key.a", "key.b", "bytes",
+                  "last_use");
+      for (const auto& e : store.list()) {
+        std::printf("  %016llx %016llx %10zu %8llu\n",
+                    (unsigned long long)e.a, (unsigned long long)e.b,
+                    e.value_bytes, (unsigned long long)e.last_use);
+      }
+      return 0;
+    }
+    if (cmd == "verify") {
+      long bad = 0, checked = 0;
+      for (const auto& e : store.list()) {
+        auto value = store.lookup(e.a, e.b);
+        ++checked;
+        if (!value ||
+            !vm1::cache::decode_memo(value->data(), value->size())) {
+          ++bad;
+          std::printf("bad entry %016llx%016llx (%zu bytes)\n",
+                      (unsigned long long)e.a, (unsigned long long)e.b,
+                      e.value_bytes);
+        }
+      }
+      std::printf("verify: %ld/%ld entries decode cleanly\n", checked - bad,
+                  checked);
+      return bad ? 65 : 0;
+    }
+    // prune
+    std::size_t before = store.entries();
+    if (clear) {
+      store.clear();
+    } else {
+      store.compact();
+    }
+    std::printf("prune: %zu -> %zu entries%s\n", before, store.entries(),
+                clear ? " (cleared)" : " (compacted)");
+    return 0;
+  } catch (const vm1::cache::CacheError& e) {
+    std::fprintf(stderr, "vm1_cache: %s\n", e.what());
+    return e.kind() == vm1::cache::CacheErrorKind::kLocked ? 75 : 74;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vm1_cache: %s\n", e.what());
+    return 1;
+  }
+}

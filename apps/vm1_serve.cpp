@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/solve_cache.h"
+#include "cache/store.h"
 #include "dist/coordinator.h"
 #include "svc/service.h"
 
@@ -38,7 +40,9 @@ constexpr const char* kUsage =
     "                       with threads instead      (default 2)\n"
     "  --max-running=N      concurrent jobs           (default 2)\n"
     "  --max-queue=N        queued-job bound          (default 64)\n"
-    "  --job-threads=N      threads per job when --workers=0 (default 1)\n";
+    "  --job-threads=N      threads per job when --workers=0 (default 1)\n"
+    "  --cache=DIR          persistent solve cache shared by all tenants;\n"
+    "                       resubmitted designs are served from the store\n";
 
 vm1::svc::Service* g_service = nullptr;
 
@@ -69,6 +73,7 @@ int main(int argc, char** argv) {
   int max_running = 2;
   int max_queue = 64;
   int job_threads = 1;
+  std::string cache_dir;
   std::vector<vm1::svc::TenantConfig> tenants;
 
   auto value = [](const char* arg, const char* flag) -> const char* {
@@ -91,6 +96,8 @@ int main(int argc, char** argv) {
       max_queue = std::atoi(v);
     } else if ((v = value(argv[i], "--job-threads="))) {
       job_threads = std::atoi(v);
+    } else if ((v = value(argv[i], "--cache="))) {
+      cache_dir = v;
     } else if ((v = value(argv[i], "--tenant="))) {
       vm1::svc::TenantConfig t;
       if (!parse_tenant(v, t)) {
@@ -109,6 +116,18 @@ int main(int argc, char** argv) {
   }
 
   try {
+    std::optional<vm1::cache::CacheStore> store;
+    std::optional<vm1::cache::PersistentCache> pcache;
+    if (!cache_dir.empty()) {
+      vm1::cache::StoreOptions cs;
+      cs.dir = cache_dir;
+      cs.epoch = vm1::cache::default_epoch();
+      store.emplace(cs);
+      pcache.emplace(&*store);
+      std::printf("vm1_serve: solve cache at %s (%zu entries)\n",
+                  cache_dir.c_str(), store->entries());
+    }
+
     std::optional<vm1::dist::Coordinator> coord;
     if (workers > 0) {
       vm1::dist::CoordinatorOptions co;
@@ -121,6 +140,7 @@ int main(int argc, char** argv) {
     jo.max_running = max_running;
     jo.max_queue_depth = max_queue;
     jo.coordinator = coord ? &*coord : nullptr;
+    jo.cache = pcache ? &*pcache : nullptr;
     jo.job_threads = static_cast<unsigned>(job_threads > 0 ? job_threads : 1);
     vm1::svc::JobManager manager(jo);
 

@@ -1,0 +1,290 @@
+// Solve-cache benchmark (src/cache): cold vs warm runs through a
+// persistent store, and frame economy of the cache-aware coalesced
+// dispatch (dist::Coordinator coalesce / kRequestBatch / kCacheQuery).
+//
+// The cache contract is "bit-identical, just cheaper", so every row must
+// reproduce the reference objective exactly; what varies is how many
+// MILPs actually ran and how many wire frames moved. Reported per
+// configuration: wall-clock, MILP-solved windows, cache hits/stores,
+// skip rate (windows served without a MILP), and frames-per-window for
+// the processes rows. Results land in BENCH_cache.json.
+//
+// VM1_BENCH_QUICK: CI perf-smoke mode with two hard gates —
+//   1. a warm rerun through the store must skip >= 90% of the cold run's
+//      MILP solves while matching its objective bit for bit;
+//   2. coalesced dispatch (coalesce=16) must spend < 1.0 wire frames per
+//      window, and strictly fewer than the historical one-request-per-
+//      frame dispatch (coalesce=1).
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/solve_cache.h"
+#include "cache/store.h"
+#include "core/vm1opt.h"
+#include "dist/coordinator.h"
+
+using namespace vm1;
+using namespace vm1::benchutil;
+
+namespace {
+
+/// Fresh store directory under /tmp, removed at process exit by the
+/// destructor (benches must not leave state that warms their next run).
+struct TempStoreDir {
+  std::string path;
+  TempStoreDir() {
+    char tmpl[] = "/tmp/vm1_bench_cacheXXXXXX";
+    if (mkdtemp(tmpl)) path = tmpl;
+  }
+  ~TempStoreDir() {
+    if (!path.empty()) std::system(("rm -rf " + path).c_str());
+  }
+};
+
+struct RunRow {
+  double wall = 0;
+  VM1OptStats stats;
+};
+
+long milp_solves(const VM1OptStats& s) {
+  return s.solved + s.fallback_rounding + s.fallback_greedy;
+}
+
+double skip_rate(const VM1OptStats& s) {
+  return s.windows > 0
+             ? static_cast<double>(s.skipped + s.cached_remote) / s.windows
+             : 0.0;
+}
+
+double frames_per_window(const VM1OptStats& s) {
+  return s.windows > 0
+             ? static_cast<double>(s.remote_frames_sent) / s.windows
+             : 0.0;
+}
+
+RunRow run_once(const FlowOptions& base, const std::vector<Placement>& snap0,
+                CacheBackend* cb, dist::Coordinator* coord) {
+  Design d = design_from_snapshot(base, snap0);
+  VM1OptOptions o = base.vm1;
+  o.cache = cb;
+  if (coord) {
+    o.backend = DistBackend::kProcesses;
+    o.coordinator = coord;
+  }
+  // Deterministic truncation only: wall-clock-limited solves are excluded
+  // from memoization, so a time limit would silently empty the cache.
+  o.mip.time_limit_sec = 3600;
+  o.mip.lp_options.time_limit_sec = 0;
+  Timer timer;
+  RunRow r;
+  r.stats = vm1opt(d, o);
+  r.wall = timer.seconds();
+  return r;
+}
+
+int quick_smoke(double scale) {
+  FlowOptions base = paper_flow("aes", CellArch::kClosedM1, 1200, scale);
+  Design d0 = prepare_design(base, nullptr);
+  std::vector<Placement> snap0 = d0.placements();
+  int rc = 0;
+
+  // Gate 1: warm rerun skips >= 90% of the cold run's MILP solves,
+  // bit-identically.
+  TempStoreDir dir;
+  cache::StoreOptions so;
+  so.dir = dir.path;
+  so.epoch = cache::default_epoch();
+  cache::CacheStore store(so);
+  cache::PersistentCache pc(&store);
+  RunRow cold = run_once(base, snap0, &pc, nullptr);
+  RunRow warm = run_once(base, snap0, &pc, nullptr);
+  std::printf("quick: cold %.2fs (%ld MILP solves, %ld stores), warm %.2fs "
+              "(%ld MILP solves, %ld hits, skip rate %.0f%%)\n",
+              cold.wall, milp_solves(cold.stats), cold.stats.cache_stores,
+              warm.wall, milp_solves(warm.stats), warm.stats.cache_hits,
+              skip_rate(warm.stats) * 100.0);
+  if (warm.stats.final.value != cold.stats.final.value ||
+      warm.stats.final.hpwl != cold.stats.final.hpwl) {
+    std::fprintf(stderr,
+                 "FAIL: warm rerun diverged (objective %.17g vs %.17g)\n",
+                 warm.stats.final.value, cold.stats.final.value);
+    rc = 1;
+  }
+  if (milp_solves(warm.stats) * 10 > milp_solves(cold.stats)) {
+    std::fprintf(stderr,
+                 "FAIL: warm rerun solved %ld MILPs, > 10%% of the cold "
+                 "run's %ld\n",
+                 milp_solves(warm.stats), milp_solves(cold.stats));
+    rc = 1;
+  }
+  if (warm.stats.cache_hits <= 0) {
+    std::fprintf(stderr, "FAIL: warm rerun reported no persistent hits\n");
+    rc = 1;
+  }
+
+  // Gate 2: coalesced dispatch spends < 1.0 frames per window, and fewer
+  // than the one-request-per-frame baseline on the same workload.
+  double fpw1 = 0, fpw16 = 0;
+  double obj = 0;
+  {
+    dist::CoordinatorOptions co;
+    co.num_workers = 2;
+    co.coalesce = 1;
+    dist::Coordinator coord(co);
+    RunRow r = run_once(base, snap0, nullptr, &coord);
+    fpw1 = frames_per_window(r.stats);
+    obj = r.stats.final.value;
+  }
+  {
+    dist::CoordinatorOptions co;
+    co.num_workers = 2;
+    co.coalesce = 16;
+    dist::Coordinator coord(co);
+    RunRow r = run_once(base, snap0, nullptr, &coord);
+    fpw16 = frames_per_window(r.stats);
+    if (r.stats.final.value != obj || obj != cold.stats.final.value) {
+      std::fprintf(stderr,
+                   "FAIL: coalesced dispatch diverged (objective %.17g)\n",
+                   r.stats.final.value);
+      rc = 1;
+    }
+  }
+  std::printf("quick: frames/window %.2f (coalesce=1) -> %.2f "
+              "(coalesce=16)\n",
+              fpw1, fpw16);
+  if (fpw16 >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: coalesced dispatch spent %.2f frames/window "
+                 "(gate < 1.0)\n",
+                 fpw16);
+    rc = 1;
+  }
+  if (fpw16 >= fpw1) {
+    std::fprintf(stderr,
+                 "FAIL: coalescing did not reduce frames/window "
+                 "(%.2f vs %.2f)\n",
+                 fpw16, fpw1);
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main() {
+  print_run_header("bench_cache");
+  double scale = env_scale(0.25);
+  const char* quick_env = std::getenv("VM1_BENCH_QUICK");
+  if (quick_env && *quick_env && *quick_env != '0') {
+    return quick_smoke(scale);
+  }
+  std::printf("Solve-cache benchmark (aes, ClosedM1, scale=%.2f)\n\n", scale);
+
+  FlowOptions base = paper_flow("aes", CellArch::kClosedM1, 1200, scale);
+  double place_s = 0;
+  Design d0 = prepare_design(base, &place_s);
+  std::vector<Placement> snap0 = d0.placements();
+
+  TempStoreDir dir;
+  cache::StoreOptions so;
+  so.dir = dir.path;
+  so.epoch = cache::default_epoch();
+  cache::CacheStore store(so);
+  cache::PersistentCache pc(&store);
+
+  struct Config {
+    const char* name;
+    bool use_store;   // attach the persistent tier (store warms across rows)
+    int workers;      // 0 = threads backend
+    int coalesce;
+  };
+  // Row order matters: the first store-backed row populates the cache the
+  // later ones consume, mirroring a cold CI run followed by warm reruns.
+  const Config configs[] = {
+      {"threads-cold", true, 0, 0},
+      {"threads-warm", true, 0, 0},
+      {"proc2-c1", false, 2, 1},
+      {"proc2-c8", false, 2, 8},
+      {"proc2-c32", false, 2, 32},
+      {"proc2-warm-c8", true, 2, 8},
+  };
+
+  Table t({"config", "wall_s", "objective", "milp", "cached", "hits",
+           "stores", "skip%", "frames/win"});
+
+  JsonWriter jw("BENCH_cache.json");
+  jw.begin_object();
+  write_run_metadata(jw);
+  jw.field("bench", "cache");
+  jw.field("design", base.design_name);
+  jw.field("scale", scale);
+  jw.begin_array("rows");
+
+  double ref_objective = 0;
+  int rc = 0;
+  for (const Config& c : configs) {
+    obs::reset_metrics();
+    std::optional<dist::Coordinator> coord;
+    if (c.workers > 0) {
+      dist::CoordinatorOptions co;
+      co.num_workers = c.workers;
+      co.coalesce = c.coalesce;
+      coord.emplace(co);
+    }
+    RunRow r = run_once(base, snap0, c.use_store ? &pc : nullptr,
+                        coord ? &*coord : nullptr);
+    if (ref_objective == 0) {
+      ref_objective = r.stats.final.value;
+    } else if (r.stats.remote_local_fallbacks == 0 &&
+               r.stats.final.value != ref_objective) {
+      std::fprintf(stderr,
+                   "FAIL: %s objective %.17g != reference %.17g — the cache "
+                   "contract is bit-identity\n",
+                   c.name, r.stats.final.value, ref_objective);
+      rc = 1;
+    }
+    t.add_row({c.name, fmt(r.wall, 2), fmt(r.stats.final.value, 1),
+               fmt(milp_solves(r.stats), 0), fmt(r.stats.cached_remote, 0),
+               fmt(r.stats.cache_hits, 0), fmt(r.stats.cache_stores, 0),
+               fmt(skip_rate(r.stats) * 100.0, 0),
+               c.workers > 0 ? fmt(frames_per_window(r.stats), 2)
+                             : std::string("-")});
+
+    jw.begin_object();
+    jw.field("config", c.name);
+    jw.field("workers", c.workers);
+    jw.field("coalesce", c.coalesce);
+    jw.field("persistent_store", c.use_store);
+    jw.field("wall_s", r.wall);
+    jw.field("objective", r.stats.final.value);
+    jw.field("hpwl", r.stats.final.hpwl);
+    jw.field("windows", r.stats.windows);
+    jw.field("milp_solves", milp_solves(r.stats));
+    jw.field("cached_remote", r.stats.cached_remote);
+    jw.field("cache_hits", r.stats.cache_hits);
+    jw.field("cache_stores", r.stats.cache_stores);
+    jw.field("skipped", r.stats.skipped);
+    jw.field("skip_rate", skip_rate(r.stats));
+    jw.field("remote_cache_queries", r.stats.remote_cache_queries);
+    jw.field("remote_cache_query_hits", r.stats.remote_cache_query_hits);
+    jw.field("remote_frames_sent", r.stats.remote_frames_sent);
+    jw.field("remote_frames_received", r.stats.remote_frames_received);
+    jw.field("frames_per_window", frames_per_window(r.stats));
+    jw.field("wire_bytes_sent", r.stats.wire_bytes_sent);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+
+  std::printf("%s", t.render().c_str());
+  std::printf("\nEvery row reproduces the reference objective bit for bit; "
+              "rows differ only in\nhow many MILPs ran (cache tiers) and "
+              "how many frames moved (coalescing).\n");
+  std::printf("store: %zu entries, %zu bytes, %ld evictions "
+              "(BENCH_cache.json written)\n",
+              store.entries(), store.bytes(), store.evictions());
+  return rc;
+}

@@ -47,7 +47,9 @@ inline void write_window_outcomes(
     JsonWriter& jw, std::initializer_list<const DistOptStats*> passes) {
   int windows = 0, solved = 0, fallback_rounding = 0, fallback_greedy = 0;
   int rejected_audit = 0, kept = 0, faulted = 0, skipped = 0;
+  int cached_remote = 0;
   long faults_injected = 0, signature_hits = 0, signature_misses = 0;
+  long cache_hits = 0, cache_stores = 0;
   bool deadline_hit = false;
   for (const DistOptStats* s : passes) {
     windows += s->windows;
@@ -58,9 +60,12 @@ inline void write_window_outcomes(
     kept += s->kept;
     faulted += s->faulted;
     skipped += s->skipped;
+    cached_remote += s->cached_remote;
     faults_injected += s->faults_injected;
     signature_hits += s->signature_hits;
     signature_misses += s->signature_misses;
+    cache_hits += s->cache_hits;
+    cache_stores += s->cache_stores;
     deadline_hit = deadline_hit || s->deadline_hit;
   }
   jw.begin_object("window_outcomes");
@@ -72,14 +77,21 @@ inline void write_window_outcomes(
   jw.field("kept", kept);
   jw.field("faulted", faulted);
   jw.field("skipped", skipped);
+  jw.field("cached_remote", cached_remote);
   jw.field("faults_injected", faults_injected);
   jw.field("deadline_hit", deadline_hit);
   // Incremental-engine accounting: signature hits either replayed a window
   // (counted in `skipped`) or short-circuited an empty build.
   jw.field("signature_hits", signature_hits);
   jw.field("signature_misses", signature_misses);
+  // Solve-cache accounting (src/cache): tier-2 replays and write-throughs.
+  jw.field("cache_hits", cache_hits);
+  jw.field("cache_stores", cache_stores);
+  // Windows served without running a MILP, whatever the tier.
   jw.field("skip_rate",
-           windows > 0 ? static_cast<double>(skipped) / windows : 0.0);
+           windows > 0
+               ? static_cast<double>(skipped + cached_remote) / windows
+               : 0.0);
   jw.end_object();
 }
 

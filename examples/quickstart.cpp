@@ -4,6 +4,7 @@
 //
 //   $ ./quickstart [design] [alpha_nm] [--backend=threads|processes]
 //                  [--workers=N] [--transport=socketpair|tcp] [--port=P]
+//                  [--cache=DIR]
 //
 // design: tiny | m0 | aes | jpeg | vga   (default tiny)
 // alpha_nm: paper-style alpha in nm HPWL units (default 1200)
@@ -13,11 +14,17 @@
 // --transport=tcp listens on 127.0.0.1:P (--port, default ephemeral) and
 // the workers attach over loopback TCP with the HMAC handshake ($VM1_DIST_SECRET
 // if set). Implies --backend=processes.
+// --cache=DIR opens (or creates) a persistent solve cache there; a second
+// run with the same DIR serves its window solves from the store,
+// bit-identical to solving. The summary line reports hits/stores.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "cache/solve_cache.h"
+#include "cache/store.h"
 #include "core/flow.h"
 #include "util/stats.h"
 
@@ -27,6 +34,7 @@ int main(int argc, char** argv) {
   FlowOptions flow;
   flow.arch = CellArch::kClosedM1;
   double alpha_nm = 1200.0;
+  std::string cache_dir;
   int pos = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
@@ -52,6 +60,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
       flow.vm1.dist_tcp_port = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      cache_dir = argv[i] + 8;
     } else if (pos == 0) {
       flow.design_name = argv[i];
       ++pos;
@@ -63,6 +73,23 @@ int main(int argc, char** argv) {
   if (flow.design_name.empty()) flow.design_name = "tiny";
   flow.vm1.params.alpha = paper_alpha(alpha_nm);
   flow.vm1.sequence = {ParamSet{20, 0, 4, 1}};  // the paper's best sequence
+
+  std::optional<cache::CacheStore> store;
+  std::optional<cache::PersistentCache> pcache;
+  if (!cache_dir.empty()) {
+    cache::StoreOptions so;
+    so.dir = cache_dir;
+    so.epoch = cache::default_epoch();
+    try {
+      store.emplace(so);
+    } catch (const cache::CacheError& e) {
+      std::fprintf(stderr, "cache: cannot open '%s': %s\n", cache_dir.c_str(),
+                   e.what());
+      return 66;
+    }
+    pcache.emplace(&*store);
+    flow.vm1.cache = &*pcache;
+  }
 
   std::printf("OpenVM1 quickstart: design=%s arch=%s alpha=%.0fnm "
               "backend=%s%s\n",
@@ -104,6 +131,12 @@ int main(int argc, char** argv) {
                 r.opt.remote_timeouts, r.opt.remote_local_fallbacks,
                 r.opt.worker_restarts, r.opt.wire_bytes_sent / 1024.0,
                 r.opt.wire_bytes_received / 1024.0);
+  }
+  if (!cache_dir.empty()) {
+    std::printf("cache: %ld hits, %ld stores, %ld windows served remotely "
+                "(%s)\n",
+                r.opt.cache_hits, r.opt.cache_stores, r.opt.cached_remote,
+                cache_dir.c_str());
   }
   return 0;
 }

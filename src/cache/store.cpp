@@ -1,0 +1,444 @@
+#include "cache/store.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/hash.h"
+
+namespace vm1::cache {
+
+namespace {
+
+std::string errno_msg(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+/// write() the whole buffer, riding out EINTR and short writes.
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw CacheError(CacheErrorKind::kIo, errno_msg("write cache.log"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> read_whole(int fd) {
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  if (::lseek(fd, 0, SEEK_SET) < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("lseek cache.log"));
+  }
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw CacheError(CacheErrorKind::kIo, errno_msg("read cache.log"));
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  return data;
+}
+
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::counter("cache.evictions");
+  return c;
+}
+
+obs::Gauge& bytes_gauge() {
+  static obs::Gauge& g = obs::gauge("cache.bytes");
+  return g;
+}
+
+}  // namespace
+
+const char* to_string(CacheErrorKind k) {
+  switch (k) {
+    case CacheErrorKind::kIo:
+      return "cache io error";
+    case CacheErrorKind::kLocked:
+      return "cache locked";
+    case CacheErrorKind::kVersionMismatch:
+      return "cache format version mismatch";
+    case CacheErrorKind::kStaleEpoch:
+      return "cache stale epoch";
+    case CacheErrorKind::kCorrupt:
+      return "cache corrupt record";
+    case CacheErrorKind::kTruncated:
+      return "cache truncated record";
+  }
+  return "?";
+}
+
+void StoreOptions::validate() const {
+  if (dir.empty()) throw std::invalid_argument("StoreOptions: dir is empty");
+  if (max_entries == 0) {
+    throw std::invalid_argument("StoreOptions: max_entries must be > 0");
+  }
+  if (max_bytes == 0) {
+    throw std::invalid_argument("StoreOptions: max_bytes must be > 0");
+  }
+  if (!(evict_to_fraction > 0) || evict_to_fraction > 1) {
+    throw std::invalid_argument(
+        "StoreOptions: evict_to_fraction must be in (0, 1]");
+  }
+}
+
+CacheStore::CacheStore(StoreOptions opts) : opts_(std::move(opts)) {
+  opts_.validate();
+  open_locked();
+}
+
+CacheStore::~CacheStore() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+}
+
+void CacheStore::open_locked() {
+  // mkdir -p: a cache path like <out_dir>/cache_<scenario> routinely names
+  // a parent that does not exist yet.
+  for (std::size_t slash = opts_.dir.find('/', 1);;
+       slash = opts_.dir.find('/', slash + 1)) {
+    const std::string prefix =
+        slash == std::string::npos ? opts_.dir : opts_.dir.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      throw CacheError(CacheErrorKind::kIo, errno_msg("mkdir " + prefix));
+    }
+    if (slash == std::string::npos) break;
+  }
+  // The lock file is never renamed (compaction renames cache.log), so the
+  // flock stays pinned to one inode for the store's whole life. flock is
+  // per open-file-description: a second CacheStore in the *same* process
+  // conflicts just like one in another process would.
+  const std::string lock_path = opts_.dir + "/lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("open " + lock_path));
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    int e = errno;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    if (e == EWOULDBLOCK) {
+      throw CacheError(CacheErrorKind::kLocked,
+                       "another store has " + lock_path);
+    }
+    errno = e;
+    throw CacheError(CacheErrorKind::kIo, errno_msg("flock " + lock_path));
+  }
+
+  const std::string log_path = opts_.dir + "/cache.log";
+  log_fd_ = ::open(log_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (log_fd_ < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("open " + log_path));
+  }
+
+  std::vector<std::uint8_t> data = read_whole(log_fd_);
+  if (data.empty()) {
+    report_.created = true;
+    write_header_locked();
+  } else if (data.size() < kStoreHeaderSize ||
+             rd_u32(data.data()) != kStoreMagic) {
+    report_.created = true;
+    report_.errors.emplace_back(CacheErrorKind::kCorrupt,
+                                "unrecognized log header; starting fresh");
+    write_header_locked();
+  } else if (rd_u32(data.data() + 4) != kStoreFormatVersion) {
+    report_.version_mismatch = true;
+    report_.errors.emplace_back(
+        CacheErrorKind::kVersionMismatch,
+        "log format v" + std::to_string(rd_u32(data.data() + 4)) +
+            " != v" + std::to_string(kStoreFormatVersion) +
+            "; discarding log");
+    write_header_locked();
+  } else if (rd_u64(data.data() + 8) != opts_.epoch) {
+    report_.stale_epoch = true;
+    report_.errors.emplace_back(
+        CacheErrorKind::kStaleEpoch,
+        "log epoch " + std::to_string(rd_u64(data.data() + 8)) +
+            " != configured " + std::to_string(opts_.epoch) +
+            "; discarding log");
+    write_header_locked();
+  } else {
+    scan_log_locked(data);
+  }
+  set_bytes_gauge_locked();
+}
+
+void CacheStore::scan_log_locked(const std::vector<std::uint8_t>& data) {
+  std::size_t off = kStoreHeaderSize;
+  std::size_t good_end = off;  // byte after the last intact record
+  while (off < data.size()) {
+    if (data.size() - off < kRecordHeaderSize) {
+      report_.truncated_tail = true;
+      report_.errors.emplace_back(
+          CacheErrorKind::kTruncated,
+          "partial record header at offset " + std::to_string(off));
+      break;
+    }
+    std::uint32_t magic = rd_u32(data.data() + off);
+    std::uint32_t len = rd_u32(data.data() + off + 4);
+    std::uint64_t sum = rd_u64(data.data() + off + 8);
+    if (magic != kRecordMagic || len < 16 || len > kMaxRecordPayload) {
+      // Framing is gone; nothing past this offset can be trusted.
+      report_.errors.emplace_back(
+          CacheErrorKind::kCorrupt,
+          "bad record framing at offset " + std::to_string(off) +
+              "; dropping the rest of the log");
+      ++report_.corrupt_records;
+      break;
+    }
+    if (data.size() - off - kRecordHeaderSize < len) {
+      report_.truncated_tail = true;
+      report_.errors.emplace_back(
+          CacheErrorKind::kTruncated,
+          "partial record payload at offset " + std::to_string(off));
+      break;
+    }
+    const std::uint8_t* payload = data.data() + off + kRecordHeaderSize;
+    off += kRecordHeaderSize + len;
+    if (hash::fnv1a64(payload, len) != sum) {
+      // Framing held, so later records are fine — skip just this one.
+      ++report_.corrupt_records;
+      report_.errors.emplace_back(
+          CacheErrorKind::kCorrupt,
+          "checksum mismatch in record ending at offset " +
+              std::to_string(off));
+      good_end = off;
+      continue;
+    }
+    std::uint64_t a = rd_u64(payload);
+    std::uint64_t b = rd_u64(payload + 8);
+    Rec& rec = index_[{a, b}];
+    if (!rec.value.empty() || rec.last_use != 0) bytes_ -= 16 + rec.value.size();
+    rec.value.assign(payload + 16, payload + len);
+    rec.last_use = ++use_clock_;
+    bytes_ += 16 + rec.value.size();
+    good_end = off;
+  }
+  report_.records_loaded = static_cast<long>(index_.size());
+  if (good_end != data.size()) {
+    if (::ftruncate(log_fd_, static_cast<off_t>(good_end)) != 0) {
+      throw CacheError(CacheErrorKind::kIo, errno_msg("ftruncate cache.log"));
+    }
+  }
+  if (::lseek(log_fd_, 0, SEEK_END) < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("lseek cache.log"));
+  }
+}
+
+void CacheStore::write_header_locked() {
+  index_.clear();
+  bytes_ = 0;
+  if (::ftruncate(log_fd_, 0) != 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("ftruncate cache.log"));
+  }
+  if (::lseek(log_fd_, 0, SEEK_SET) < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("lseek cache.log"));
+  }
+  std::vector<std::uint8_t> hdr;
+  put_u32(hdr, kStoreMagic);
+  put_u32(hdr, kStoreFormatVersion);
+  put_u64(hdr, opts_.epoch);
+  write_all(log_fd_, hdr.data(), hdr.size());
+}
+
+void CacheStore::append_record_locked(
+    std::uint64_t a, std::uint64_t b,
+    const std::vector<std::uint8_t>& value) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kRecordHeaderSize + 16 + value.size());
+  put_u32(rec, kRecordMagic);
+  put_u32(rec, static_cast<std::uint32_t>(16 + value.size()));
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 + value.size());
+  put_u64(payload, a);
+  put_u64(payload, b);
+  payload.insert(payload.end(), value.begin(), value.end());
+  put_u64(rec, hash::fnv1a64(payload.data(), payload.size()));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  write_all(log_fd_, rec.data(), rec.size());
+}
+
+std::optional<std::vector<std::uint8_t>> CacheStore::lookup(std::uint64_t a,
+                                                            std::uint64_t b) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find({a, b});
+  if (it == index_.end()) return std::nullopt;
+  it->second.last_use = ++use_clock_;
+  return it->second.value;
+}
+
+void CacheStore::put(std::uint64_t a, std::uint64_t b,
+                     std::vector<std::uint8_t> value) {
+  if (16 + value.size() > kMaxRecordPayload) {
+    throw std::invalid_argument("CacheStore::put: value too large");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  Rec& rec = index_[{a, b}];
+  if (!rec.value.empty() || rec.last_use != 0) bytes_ -= 16 + rec.value.size();
+  bytes_ += 16 + value.size();
+  rec.last_use = ++use_clock_;
+  rec.value = std::move(value);
+  append_record_locked(a, b, rec.value);
+  evict_if_over_locked();
+  set_bytes_gauge_locked();
+}
+
+std::size_t CacheStore::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.size();
+}
+
+std::size_t CacheStore::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+long CacheStore::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+
+std::vector<CacheStore::EntryInfo> CacheStore::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(index_.size());
+  for (const auto& [key, rec] : index_) {
+    out.push_back({key.first, key.second, rec.value.size(), rec.last_use});
+  }
+  return out;
+}
+
+void CacheStore::compact() {
+  std::lock_guard<std::mutex> lk(mu_);
+  rewrite_locked();
+}
+
+void CacheStore::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  write_header_locked();
+  set_bytes_gauge_locked();
+}
+
+void CacheStore::evict_if_over_locked() {
+  if (index_.size() <= opts_.max_entries && bytes_ <= opts_.max_bytes) return;
+  const auto target_entries = static_cast<std::size_t>(
+      static_cast<double>(opts_.max_entries) * opts_.evict_to_fraction);
+  const auto target_bytes = static_cast<std::size_t>(
+      static_cast<double>(opts_.max_bytes) * opts_.evict_to_fraction);
+
+  // Oldest-first by last-use ordinal; drop until back under both targets.
+  std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>>
+      by_age;
+  by_age.reserve(index_.size());
+  for (const auto& [key, rec] : index_) by_age.push_back({rec.last_use, key});
+  std::sort(by_age.begin(), by_age.end());
+  long dropped = 0;
+  for (const auto& [use, key] : by_age) {
+    if (index_.size() <= target_entries && bytes_ <= target_bytes) break;
+    auto it = index_.find(key);
+    bytes_ -= 16 + it->second.value.size();
+    index_.erase(it);
+    ++dropped;
+  }
+  evictions_ += dropped;
+  evictions_counter().add(dropped);
+  rewrite_locked();
+}
+
+void CacheStore::rewrite_locked() {
+  const std::string log_path = opts_.dir + "/cache.log";
+  const std::string tmp_path = log_path + ".tmp";
+  int tmp_fd = ::open(tmp_path.c_str(),
+                      O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("open " + tmp_path));
+  }
+  try {
+    std::vector<std::uint8_t> buf;
+    put_u32(buf, kStoreMagic);
+    put_u32(buf, kStoreFormatVersion);
+    put_u64(buf, opts_.epoch);
+    for (const auto& [key, rec] : index_) {
+      put_u32(buf, kRecordMagic);
+      put_u32(buf, static_cast<std::uint32_t>(16 + rec.value.size()));
+      std::vector<std::uint8_t> payload;
+      payload.reserve(16 + rec.value.size());
+      put_u64(payload, key.first);
+      put_u64(payload, key.second);
+      payload.insert(payload.end(), rec.value.begin(), rec.value.end());
+      put_u64(buf, hash::fnv1a64(payload.data(), payload.size()));
+      buf.insert(buf.end(), payload.begin(), payload.end());
+      if (buf.size() >= (1u << 20)) {
+        write_all(tmp_fd, buf.data(), buf.size());
+        buf.clear();
+      }
+    }
+    if (!buf.empty()) write_all(tmp_fd, buf.data(), buf.size());
+    if (::fsync(tmp_fd) != 0) {
+      throw CacheError(CacheErrorKind::kIo, errno_msg("fsync " + tmp_path));
+    }
+  } catch (...) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  ::close(tmp_fd);
+  if (::rename(tmp_path.c_str(), log_path.c_str()) != 0) {
+    int e = errno;
+    ::unlink(tmp_path.c_str());
+    errno = e;
+    throw CacheError(CacheErrorKind::kIo,
+                     errno_msg("rename " + tmp_path + " -> " + log_path));
+  }
+  int new_fd = ::open(log_path.c_str(), O_RDWR | O_CLOEXEC);
+  if (new_fd < 0) {
+    throw CacheError(CacheErrorKind::kIo, errno_msg("reopen " + log_path));
+  }
+  if (::lseek(new_fd, 0, SEEK_END) < 0) {
+    ::close(new_fd);
+    throw CacheError(CacheErrorKind::kIo, errno_msg("lseek " + log_path));
+  }
+  ::close(log_fd_);
+  log_fd_ = new_fd;
+}
+
+void CacheStore::set_bytes_gauge_locked() {
+  bytes_gauge().set(static_cast<double>(bytes_));
+}
+
+}  // namespace vm1::cache

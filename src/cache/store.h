@@ -1,0 +1,184 @@
+/// \file store.h
+/// Crash-safe persistent content-addressed byte store — the on-disk tier
+/// of the solve cache (see DESIGN.md "Solve cache").
+///
+/// A store is a directory holding one append-only record log (`cache.log`)
+/// plus a `lock` file guarding single-writer access:
+///
+///   header:  [magic u32 "VM1C" | format u32 | epoch u64]
+///   record*: [magic u32 "VM1R" | payload_len u32 | checksum u64 | payload]
+///   payload: [key.a u64 | key.b u64 | value bytes]
+///
+/// all little-endian, `checksum` the FNV-1a 64 of the payload (the same
+/// function as the wire-frame checksum, util/hash.h). Records append one
+/// write() at a time; the full in-memory index (key -> value + last-use
+/// ordinal) is rebuilt by scanning the log at open.
+///
+/// Failure policy — a damaged store degrades to misses, never wrong hits:
+///
+///   * truncated tail (crash mid-append): the partial record is dropped
+///     and the file truncated back to the last good byte;
+///   * bit-flipped record (checksum mismatch): the record is skipped —
+///     framing survives because the length field was consistent;
+///   * unparseable framing: everything from the bad offset on is dropped;
+///   * stale epoch / format version / foreign magic: the whole log is
+///     discarded and rewritten fresh (a clean miss for every key);
+///   * second concurrent open (same or another process): CacheError
+///     kLocked — single-writer by design, no torn logs.
+///
+/// Every anomaly is reported as a typed CacheError in the OpenReport; only
+/// conditions that make the store unusable (I/O failure, lock held) throw.
+///
+/// The store is size-bounded: when entries or bytes exceed the caps, the
+/// least-recently-used segment is evicted and the log compacted (rewrite +
+/// atomic rename). All public methods are thread-safe — dist_opt probes
+/// the cache from its parallel prepare phase, and the placement service
+/// shares one store across jobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vm1::cache {
+
+inline constexpr std::uint32_t kStoreMagic = 0x564D3143u;   // "VM1C"
+inline constexpr std::uint32_t kRecordMagic = 0x564D3152u;  // "VM1R"
+/// On-disk format version. Bumps on ANY layout change (header or record);
+/// an old-format log is discarded wholesale — the cache is a cache, so
+/// compatibility shims are never worth a wrong-hit risk.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+inline constexpr std::size_t kStoreHeaderSize = 16;
+inline constexpr std::size_t kRecordHeaderSize = 16;
+/// Sanity bound on one record's payload; larger lengths are corruption.
+inline constexpr std::uint32_t kMaxRecordPayload = 1u << 28;
+
+/// What went wrong, machine-readably — tests assert kinds, operators read
+/// messages.
+enum class CacheErrorKind {
+  kIo,               ///< open/read/write/rename failed (errno in message)
+  kLocked,           ///< another open store holds the directory lock
+  kVersionMismatch,  ///< on-disk format version != kStoreFormatVersion
+  kStaleEpoch,       ///< header epoch != the configured epoch
+  kCorrupt,          ///< record checksum/framing failure
+  kTruncated,        ///< incomplete record at the log tail
+};
+
+const char* to_string(CacheErrorKind k);
+
+/// Typed cache failure. Thrown for unusable-store conditions (kIo,
+/// kLocked); collected in OpenReport::errors for anomalies the store
+/// absorbs as misses.
+class CacheError : public std::runtime_error {
+ public:
+  CacheError(CacheErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+  CacheErrorKind kind() const { return kind_; }
+
+ private:
+  CacheErrorKind kind_;
+};
+
+struct StoreOptions {
+  std::string dir;  ///< store directory; created if absent
+  /// Content epoch (solver/config generation, see cache/solve_cache.h). A
+  /// log recorded under a different epoch is discarded at open: signatures
+  /// only key *inputs*, the epoch is what invalidates them when the solve
+  /// *semantics* change.
+  std::uint64_t epoch = 0;
+  /// Size bounds. Exceeding either triggers LRU-segment eviction down to
+  /// `evict_to_fraction` of the cap, then a log compaction.
+  std::size_t max_entries = 1u << 20;
+  std::size_t max_bytes = 256u << 20;
+  double evict_to_fraction = 0.75;
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+/// Open-time scan summary: every anomaly the store absorbed, as typed
+/// errors plus quick-check flags/counts.
+struct OpenReport {
+  bool created = false;          ///< no usable log existed; started fresh
+  bool stale_epoch = false;      ///< discarded: header epoch mismatch
+  bool version_mismatch = false; ///< discarded: format version mismatch
+  bool truncated_tail = false;   ///< dropped a partial record at the tail
+  long corrupt_records = 0;      ///< checksum-failed records skipped
+  long records_loaded = 0;       ///< records indexed (after overwrites)
+  std::vector<CacheError> errors;
+};
+
+class CacheStore {
+ public:
+  /// Opens (creating if needed) the store, scanning the log into the
+  /// in-memory index. Throws CacheError kIo/kLocked; every other anomaly
+  /// lands in open_report() and costs at most cache contents.
+  explicit CacheStore(StoreOptions opts);
+  ~CacheStore();
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  /// Value bytes for the 128-bit key, or nullopt. A hit refreshes the
+  /// entry's LRU ordinal.
+  std::optional<std::vector<std::uint8_t>> lookup(std::uint64_t a,
+                                                  std::uint64_t b);
+
+  /// Inserts or overwrites, appending one record to the log (write errors
+  /// throw CacheError kIo — the in-memory entry is still served). May
+  /// trigger eviction + compaction when the caps are exceeded.
+  void put(std::uint64_t a, std::uint64_t b, std::vector<std::uint8_t> value);
+
+  const OpenReport& open_report() const { return report_; }
+  const StoreOptions& options() const { return opts_; }
+
+  std::size_t entries() const;
+  std::size_t bytes() const;  ///< indexed payload bytes (keys + values)
+  long evictions() const;     ///< entries evicted over this store's life
+
+  /// One indexed entry, for the vm1_cache inspect tool.
+  struct EntryInfo {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::size_t value_bytes = 0;
+    std::uint64_t last_use = 0;  ///< LRU ordinal (higher = more recent)
+  };
+  std::vector<EntryInfo> list() const;
+
+  /// Rewrites the log compacted (drops overwritten/evicted records). Also
+  /// runs automatically after an eviction.
+  void compact();
+
+  /// Drops every entry and truncates the log to a fresh header.
+  void clear();
+
+ private:
+  struct Rec {
+    std::vector<std::uint8_t> value;
+    std::uint64_t last_use = 0;
+  };
+
+  void open_locked();
+  void scan_log_locked(const std::vector<std::uint8_t>& data);
+  void write_header_locked();
+  void append_record_locked(std::uint64_t a, std::uint64_t b,
+                            const std::vector<std::uint8_t>& value);
+  void rewrite_locked();
+  void evict_if_over_locked();
+  void set_bytes_gauge_locked();
+
+  StoreOptions opts_;
+  OpenReport report_;
+  mutable std::mutex mu_;
+  int log_fd_ = -1;
+  int lock_fd_ = -1;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Rec> index_;
+  std::size_t bytes_ = 0;      ///< sum of indexed key+value payload bytes
+  std::uint64_t use_clock_ = 0;
+  long evictions_ = 0;
+};
+
+}  // namespace vm1::cache

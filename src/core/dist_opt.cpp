@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -37,6 +38,8 @@ const char* to_string(WindowOutcome o) {
       return "faulted";
     case WindowOutcome::kSkipped:
       return "skipped";
+    case WindowOutcome::kCachedRemote:
+      return "cached_remote";
   }
   return "?";
 }
@@ -93,6 +96,7 @@ obs::Counter& outcome_counter(WindowOutcome o) {
       &obs::counter("dist_opt.outcome.kept"),
       &obs::counter("dist_opt.outcome.faulted"),
       &obs::counter("dist_opt.outcome.skipped"),
+      &obs::counter("dist_opt.outcome.cached_remote"),
   };
   return *by_outcome[static_cast<int>(o)];
 }
@@ -108,6 +112,13 @@ struct Job {
   WindowSig sig;
   bool sig_valid = false;
   bool memo_hit = false;
+  /// memo_hit came from the tier-2 CacheBackend (persistent store), not
+  /// the run-local table: classified kCachedRemote and promoted to tier 1.
+  bool from_cache = false;
+  /// A worker served this solve from its memo tier (kReplyBatch `cached`
+  /// tag or a kCacheQuery hit): classified kCachedRemote instead of
+  /// kSolved when the solution applies cleanly.
+  bool cached_remote = false;
   WindowMemo memo;
 };
 
@@ -151,6 +162,9 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
   std::vector<std::vector<int>> incident_nets;
   if (inc || coord) incident_nets = window_incident_nets(grid, d.netlist());
   if (inc) inc->bind(d);
+  // The incremental state persists across passes; report this pass's
+  // eviction delta, not the lifetime total.
+  const long memo_evictions_base = inc ? inc->memo_evictions() : 0;
   // Fleet-shared mode (src/svc): the coordinator is multiplexed between
   // jobs, so the pass-level begin_pass/end_pass certification is replaced
   // by per-batch leasing inside the throttle gate — calling it here would
@@ -173,6 +187,10 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     fleet_stats.bytes_retransmitted += cs.bytes_retransmitted;
     fleet_stats.bytes_dropped += cs.bytes_dropped;
     fleet_stats.faults_scheduled += cs.faults_scheduled;
+    fleet_stats.cache_queries += cs.cache_queries;
+    fleet_stats.cache_query_hits += cs.cache_query_hits;
+    fleet_stats.frames_sent += cs.frames_sent;
+    fleet_stats.frames_received += cs.frames_received;
   };
   if (coord && !fleet) coord->begin_pass(d);
 
@@ -285,6 +303,21 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
               return false;
             }
           }
+          // Tier-2 probe (persistent solve cache). Trusted on the full
+          // 128-bit signature alone: backend entries outlive the run, so
+          // run-local generation stamps say nothing about them — the
+          // signature covers every solve input, which IS the cleanliness
+          // proof. The backend is thread-safe; everything else here is
+          // read-only until the serial apply phase.
+          if (CacheBackend* cb = inc->backend()) {
+            if (std::optional<WindowMemo> m = cb->lookup(job.sig)) {
+              job.memo_hit = true;
+              job.from_cache = true;
+              job.memo = std::move(*m);
+              progress.advance();
+              return false;
+            }
+          }
         }
       }
       if (opts.time_budget_sec > 0) {
@@ -308,6 +341,7 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
       // dispatches to workers with retry-once-then-local-fallback. Every
       // job's `out` is filled on return.
       std::vector<dist::RemoteJob> remote;
+      std::vector<Job*> dispatched;  // parallel to `remote`
       for (const auto& job : jobs) {
         if (!prepare(*job)) continue;
         dist::RemoteJob rj;
@@ -317,10 +351,14 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         rj.greedy_fallback = opts.greedy_fallback;
         rj.sig_mip = opts.mip;
         remote.push_back(rj);
+        dispatched.push_back(job.get());
       }
       if (!remote.empty()) {
         coord->solve_batch(d, remote, &cancelled);
-        for (std::size_t j = 0; j < remote.size(); ++j) progress.advance();
+        for (std::size_t j = 0; j < remote.size(); ++j) {
+          dispatched[j]->cached_remote = remote[j].cached;
+          progress.advance();
+        }
       }
     } else {
       // Threads backend: windows in a batch touch disjoint cells and the
@@ -399,12 +437,23 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
           return;
         }
         WindowMemo m;
+        m.sig2 = job->sig.b;  // collision guard; persisted, unlike gen
         m.recorded_gen = inc->generation();
-        m.outcome = o;
+        // A remote-cache-served solve memoizes as the outcome a fresh
+        // solve would have produced: kCachedRemote only describes *how*
+        // this run obtained it.
+        m.outcome = o == WindowOutcome::kCachedRemote ? WindowOutcome::kSolved
+                                                      : o;
         m.empty_build = empty_build;
         m.obj_delta = obj_delta;
         m.changed = std::move(changed);
-        inc->store(job->sig, m);
+        // Write-through to the persistent tier under the same guard: only
+        // signature-pure results ever reach the backend.
+        if (CacheBackend* cb = inc->backend()) {
+          cb->store(job->sig, m);
+          ++stats.cache_stores;
+        }
+        inc->store(job->sig, std::move(m));
       };
 
       if (job->out.failed) {
@@ -429,18 +478,38 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
         // Replay the recorded delta. No audit re-run: the entry was
         // recorded from an audited (or no-op) application of the very same
         // signed inputs, so this is the state a full re-solve would reach.
-        ++stats.signature_hits;
-        sig_hits_metric.add();
+        if (job->from_cache) {
+          ++stats.cache_hits;
+        } else {
+          ++stats.signature_hits;
+          sig_hits_metric.add();
+        }
+        // Promote a tier-2 hit into the run-local table so later passes
+        // take the cheap tier-1 path. Stamped with the current generation
+        // (matching commit(): the entry describes the state this apply
+        // phase establishes).
+        auto promote = [&] {
+          if (!job->from_cache) return;
+          WindowMemo m = job->memo;
+          m.recorded_gen = inc->generation();
+          inc->store(job->sig, std::move(m));
+        };
         if (job->memo.empty_build) {
           // Matches the uncounted "empty build" case below.
           apply_span.arg("outcome", "empty");
           apply_span.arg("window_skip", 1);
+          promote();
           continue;
         }
         ++stats.windows;
-        ++stats.skipped;
-        skipped_metric.add();
-        classify(WindowOutcome::kSkipped);
+        if (job->from_cache) {
+          ++stats.cached_remote;
+          classify(WindowOutcome::kCachedRemote);
+        } else {
+          ++stats.skipped;
+          skipped_metric.add();
+          classify(WindowOutcome::kSkipped);
+        }
         stats.cells_changed += static_cast<int>(job->memo.changed.size());
         if (coord) {
           batch_changed.insert(batch_changed.end(), job->memo.changed.begin(),
@@ -455,6 +524,7 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
           }
           stats.nets_dirtied += inc->mark_changed(insts, d.netlist());
         }
+        promote();
         continue;
       }
       if (job->out.empty_build) {
@@ -522,8 +592,18 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
             outcome = WindowOutcome::kFallbackRounding;
             classify(outcome);
           } else {
-            ++stats.solved;
-            outcome = WindowOutcome::kSolved;
+            // A worker-cache-served solution that applied and audited
+            // cleanly classifies kCachedRemote; fallback-path results keep
+            // their natural buckets above even when cached (the bucket
+            // describes what the result IS, the cached tag only how the
+            // solved case was obtained).
+            if (job->cached_remote) {
+              ++stats.cached_remote;
+              outcome = WindowOutcome::kCachedRemote;
+            } else {
+              ++stats.solved;
+              outcome = WindowOutcome::kSolved;
+            }
             classify(outcome);
             obj_delta = job->out.warm_obj - job->out.objective;
             if (job->out.objective < job->out.warm_obj - 1e-9) {
@@ -606,6 +686,17 @@ DistOptStats dist_opt(Design& d, const DistOptOptions& opts,
     stats.wire_bytes_retransmitted = cs.bytes_retransmitted;
     stats.wire_bytes_dropped = cs.bytes_dropped;
     stats.remote_faults_scheduled = cs.faults_scheduled;
+    stats.remote_cache_queries = cs.cache_queries;
+    stats.remote_cache_query_hits = cs.cache_query_hits;
+    stats.remote_frames_sent = cs.frames_sent;
+    stats.remote_frames_received = cs.frames_received;
+  }
+
+  if (inc) {
+    static obs::Counter& memo_evict_metric =
+        obs::counter("dist_opt.memo_evictions");
+    stats.memo_evictions = inc->memo_evictions() - memo_evictions_base;
+    memo_evict_metric.add(stats.memo_evictions);
   }
 
   stats.deadline_hit = deadline_fired.load();

@@ -42,6 +42,7 @@ enum class WindowOutcome {
   kKept,              ///< nothing applied (no fallback fired, or deadline)
   kFaulted,           ///< build/solve/apply threw; window left untouched
   kSkipped,           ///< clean signature hit; memoized result replayed
+  kCachedRemote,      ///< clean solve served by a cache tier (no MILP ran)
 };
 
 const char* to_string(WindowOutcome o);
@@ -163,12 +164,17 @@ struct DistOptStats {
   int kept = 0;              ///< kKept
   int faulted = 0;           ///< kFaulted (exception; window untouched)
   int skipped = 0;           ///< kSkipped (memoized replay; no MILP built)
+  int cached_remote = 0;     ///< kCachedRemote (cache tier served the solve)
   long faults_injected = 0;  ///< fault-injection firings observed (VM1_FAULTS)
   bool deadline_hit = false; ///< pass was cut off by time_budget_sec
   // Incremental-engine observability (zero when no IncrementalState given).
   long signature_hits = 0;   ///< memo lookups that skipped a window
   long signature_misses = 0; ///< memo lookups that had to solve
   long nets_dirtied = 0;     ///< net generation stamps from applied windows
+  // Solve-cache observability (zero when no CacheBackend is attached).
+  long cache_hits = 0;       ///< tier-2 backend hits replayed without solving
+  long cache_stores = 0;     ///< memoized solves written through to tier 2
+  long memo_evictions = 0;   ///< tier-1 memo entries evicted (capacity)
   /// Cells whose placement changed in this pass. Counted in both modes
   /// (replays included), so vm1opt's zero-change early exit is
   /// mode-independent.
@@ -192,13 +198,18 @@ struct DistOptStats {
   /// CoordinatorStats::faults_scheduled): timing-invariant, unlike the
   /// per-drill counters above.
   long remote_faults_scheduled = 0;
+  // Cache-aware dispatch counters (processes backend only).
+  long remote_cache_queries = 0;    ///< signatures probed via kCacheQuery
+  long remote_cache_query_hits = 0; ///< probes a worker answered with a hit
+  long remote_frames_sent = 0;      ///< frames the coordinator wrote
+  long remote_frames_received = 0;  ///< frames the coordinator parsed
   double objective = 0;      ///< full-design objective after this DistOpt
   double seconds = 0;
 
   /// Sum of the outcome buckets; always equals `windows`.
   int outcome_total() const {
     return solved + fallback_rounding + fallback_greedy + rejected_audit +
-           kept + faulted + skipped;
+           kept + faulted + skipped + cached_remote;
   }
 };
 

@@ -52,10 +52,53 @@ const WindowMemo* IncrementalState::lookup(const WindowSig& sig) const {
   return &it->second;
 }
 
+std::size_t IncrementalState::memo_cost(const WindowMemo& m) {
+  // Rough resident estimate: struct + hash-table slot + delta payload.
+  return sizeof(WindowMemo) + 64 +
+         m.changed.size() * sizeof(std::pair<int, Placement>);
+}
+
 void IncrementalState::store(const WindowSig& sig, WindowMemo memo) {
-  if (memo_.size() >= kMaxEntries) memo_.clear();
   memo.sig2 = sig.b;
-  memo_[sig.a] = std::move(memo);
+  auto it = memo_.find(sig.a);
+  if (it != memo_.end()) {
+    // Overwrite keeps the key's original FIFO position.
+    memo_bytes_ -= memo_cost(it->second);
+    memo_bytes_ += memo_cost(memo);
+    it->second = std::move(memo);
+  } else {
+    memo_bytes_ += memo_cost(memo);
+    memo_fifo_.push_back(sig.a);
+    memo_.emplace(sig.a, std::move(memo));
+  }
+  while ((memo_.size() > max_memo_entries_ ||
+          memo_bytes_ > max_memo_bytes_) &&
+         !memo_fifo_.empty()) {
+    std::uint64_t victim = memo_fifo_.front();
+    memo_fifo_.pop_front();
+    auto vit = memo_.find(victim);
+    if (vit == memo_.end()) continue;
+    memo_bytes_ -= memo_cost(vit->second);
+    memo_.erase(vit);
+    ++memo_evictions_;
+  }
+}
+
+void IncrementalState::set_memo_limits(std::size_t max_entries,
+                                       std::size_t max_bytes) {
+  max_memo_entries_ = max_entries == 0 ? 1 : max_entries;
+  max_memo_bytes_ = max_bytes == 0 ? 1 : max_bytes;
+  while ((memo_.size() > max_memo_entries_ ||
+          memo_bytes_ > max_memo_bytes_) &&
+         !memo_fifo_.empty()) {
+    std::uint64_t victim = memo_fifo_.front();
+    memo_fifo_.pop_front();
+    auto vit = memo_.find(victim);
+    if (vit == memo_.end()) continue;
+    memo_bytes_ -= memo_cost(vit->second);
+    memo_.erase(vit);
+    ++memo_evictions_;
+  }
 }
 
 void IncrementalState::clear() {
@@ -63,6 +106,8 @@ void IncrementalState::clear() {
   cell_gen_.clear();
   net_gen_.clear();
   memo_.clear();
+  memo_fifo_.clear();
+  memo_bytes_ = 0;
 }
 
 WindowSig window_signature(const Design& d, const Window& win,

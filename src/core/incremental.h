@@ -34,48 +34,21 @@
 
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/dist_opt.h"
+#include "util/hash.h"
 
 namespace vm1 {
 
-/// Streaming 2x64-bit FNV-1a-style hasher. Stable across platforms and
-/// runs: it consumes explicit integer words only — callers hash doubles by
-/// bit pattern, never pointers, clocks, or container addresses.
-class SignatureHasher {
- public:
-  void add(std::uint64_t v) {
-    a_ = step(a_, v, kPrimeA);
-    b_ = step(b_, v ^ kTweak, kPrimeB);
-  }
-  void add_int(long long v) { add(static_cast<std::uint64_t>(v)); }
-  void add_double(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    add(bits);
-  }
-  void add_bool(bool v) { add(v ? 1u : 0u); }
-
-  std::uint64_t low() const { return a_; }
-  std::uint64_t high() const { return b_; }
-
- private:
-  static std::uint64_t step(std::uint64_t h, std::uint64_t v,
-                            std::uint64_t prime) {
-    h ^= v;
-    h *= prime;
-    h ^= h >> 29;
-    return h;
-  }
-  static constexpr std::uint64_t kPrimeA = 1099511628211ULL;  // FNV-1a prime
-  static constexpr std::uint64_t kPrimeB = 0x9E3779B97F4A7C15ULL;
-  static constexpr std::uint64_t kTweak = 0xA5A5A5A55A5A5A5AULL;
-  std::uint64_t a_ = 14695981039346656037ULL;  // FNV-1a offset basis
-  std::uint64_t b_ = 0x6C62272E07BB0142ULL;
-};
+/// The signature stream hasher lives in util/hash.h (shared with the wire
+/// checksums and fault keys); the historical unqualified name stays valid
+/// for every signature-computing call site.
+using hash::SignatureHasher;
 
 /// 128-bit window signature. `a` keys the memo table; `b` is stored in the
 /// entry and must also match on lookup, so a false skip needs a full
@@ -97,6 +70,26 @@ struct WindowMemo {
   /// Exact placement delta the solve produced (empty for fixpoints, which
   /// is the common case: a window that re-solves to identity).
   std::vector<std::pair<int, Placement>> changed;
+};
+
+/// Second-tier memo storage behind IncrementalState — the seam the solve
+/// cache (src/cache) plugs into. The in-memory memo table is tier 1; a
+/// backend, when attached, is tier 2: probed on a tier-1 miss, written
+/// through on every memoized solve. Unlike tier-1 hits, a backend hit is
+/// trusted on the full 128-bit signature alone — no clean_since() check —
+/// because backend entries outlive the run and cross-run generation stamps
+/// are meaningless; the signature covers every input the solve reads, so
+/// matching it IS the cleanliness proof. Implementations must be
+/// thread-safe: dist_opt() probes from its parallel prepare phase.
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+  /// Memo for `sig`, or nullopt on miss. Must never return a value for a
+  /// different signature (a corrupt or torn store entry is a miss).
+  virtual std::optional<WindowMemo> lookup(const WindowSig& sig) = 0;
+  /// Write-through of a freshly recorded memo. Failures must be absorbed
+  /// (a lost store is a future miss, not an error).
+  virtual void store(const WindowSig& sig, const WindowMemo& memo) = 0;
 };
 
 /// Cross-pass state of the incremental engine: per-cell and per-net dirty
@@ -126,20 +119,41 @@ class IncrementalState {
   /// mismatch). The pointer is invalidated by store()/clear().
   const WindowMemo* lookup(const WindowSig& sig) const;
 
-  /// Inserts or overwrites the entry for `sig`. The table is capped: when
-  /// it exceeds ~1M entries it is cleared wholesale (correctness is
-  /// unaffected — a lost entry is just a future miss).
+  /// Inserts or overwrites the entry for `sig`. The table is bounded by
+  /// entry and byte caps (set_memo_limits): exceeding either evicts the
+  /// oldest-inserted entries first. Correctness is unaffected — a lost
+  /// entry is just a future miss — but unlike the historical wholesale
+  /// clear, eviction is incremental and counted (memo_evictions), so a
+  /// long service run degrades smoothly instead of periodically losing the
+  /// whole table.
   void store(const WindowSig& sig, WindowMemo memo);
 
+  /// Caps for the memo table. Defaults: 1M entries / 256 MiB estimated.
+  void set_memo_limits(std::size_t max_entries, std::size_t max_bytes);
+
+  /// Attaches (or detaches, with nullptr) the tier-2 backend. Not owned;
+  /// must outlive every dist_opt() pass run against this state.
+  void set_backend(CacheBackend* backend) { backend_ = backend; }
+  CacheBackend* backend() const { return backend_; }
+
   std::size_t memo_entries() const { return memo_.size(); }
+  std::size_t memo_bytes() const { return memo_bytes_; }
+  long memo_evictions() const { return memo_evictions_; }
   void clear();
 
  private:
-  static constexpr std::size_t kMaxEntries = 1u << 20;
+  static std::size_t memo_cost(const WindowMemo& m);
+
+  std::size_t max_memo_entries_ = 1u << 20;
+  std::size_t max_memo_bytes_ = 256u << 20;
   std::uint64_t gen_ = 0;
   std::vector<std::uint64_t> cell_gen_;
   std::vector<std::uint64_t> net_gen_;
   std::unordered_map<std::uint64_t, WindowMemo> memo_;
+  std::deque<std::uint64_t> memo_fifo_;  ///< keys in first-insertion order
+  std::size_t memo_bytes_ = 0;
+  long memo_evictions_ = 0;
+  CacheBackend* backend_ = nullptr;
 };
 
 /// Canonical signature of one window solve under `opts`: hashes the window

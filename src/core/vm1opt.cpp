@@ -75,7 +75,12 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
   // pass are hit in later iterations whenever the window grid repeats
   // (shift period 2) and the window's neighborhood stayed clean.
   IncrementalState inc_state;
-  if (opts.incremental) inc_state.bind(d);
+  if (opts.incremental) {
+    inc_state.bind(d);
+    // Tier-2 solve cache (src/cache): memo write-through + probe-on-miss.
+    // Requires the incremental engine — the backend hangs off its memo.
+    inc_state.set_backend(opts.cache);
+  }
 
   auto accumulate = [&stats](const DistOptStats& s) {
     stats.windows += s.windows;
@@ -87,11 +92,15 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     stats.kept += s.kept;
     stats.faulted += s.faulted;
     stats.skipped += s.skipped;
+    stats.cached_remote += s.cached_remote;
     stats.faults_injected += s.faults_injected;
     stats.deadline_hit = stats.deadline_hit || s.deadline_hit;
     stats.signature_hits += s.signature_hits;
     stats.signature_misses += s.signature_misses;
     stats.cells_changed += s.cells_changed;
+    stats.cache_hits += s.cache_hits;
+    stats.cache_stores += s.cache_stores;
+    stats.memo_evictions += s.memo_evictions;
     stats.remote_requests += s.remote_requests;
     stats.remote_replies += s.remote_replies;
     stats.remote_retries += s.remote_retries;
@@ -106,6 +115,10 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
     stats.wire_bytes_retransmitted += s.wire_bytes_retransmitted;
     stats.wire_bytes_dropped += s.wire_bytes_dropped;
     stats.remote_faults_scheduled += s.remote_faults_scheduled;
+    stats.remote_cache_queries += s.remote_cache_queries;
+    stats.remote_cache_query_hits += s.remote_cache_query_hits;
+    stats.remote_frames_sent += s.remote_frames_sent;
+    stats.remote_frames_received += s.remote_frames_received;
   };
   auto cancelled = [&opts] {
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
@@ -143,7 +156,9 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
       accumulate(ms);
       obj = ms.objective;
       int iter_windows = ms.windows;
-      int iter_skipped = ms.skipped;
+      // "Skipped" for the per-iteration skip-rate report means "no MILP
+      // ran", whichever cache tier served the window.
+      int iter_skipped = ms.skipped + ms.cached_remote;
       int iter_changed = ms.cells_changed;
 
       if (opts.flip_pass && !cancelled()) {
@@ -156,7 +171,7 @@ VM1OptStats vm1opt(Design& d, const VM1OptOptions& opts) {
         accumulate(fs);
         obj = fs.objective;
         iter_windows += fs.windows;
-        iter_skipped += fs.skipped;
+        iter_skipped += fs.skipped + fs.cached_remote;
         iter_changed += fs.cells_changed;
       }
       stats.windows_per_iter.push_back(iter_windows);

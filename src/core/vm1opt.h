@@ -14,6 +14,8 @@
 
 namespace vm1 {
 
+class CacheBackend;  // core/incremental.h
+
 /// One entry of the input parameter-set queue U.
 struct ParamSet {
   int bw = 20;  ///< window width (sites) — also sets bh when bh == 0
@@ -70,6 +72,12 @@ struct VM1OptOptions {
   dist::Coordinator* coordinator = nullptr;
   std::uint64_t fleet_token = 0;
   BatchThrottle* throttle = nullptr;
+  /// Tier-2 solve cache (src/cache): when non-null (and `incremental` is
+  /// on, since the backend hangs off the run's IncrementalState), window
+  /// memos are written through to it and probed on tier-1 misses — a
+  /// persistent CacheStore makes whole re-runs skip their solves. The
+  /// backend must outlive the run and be thread-safe.
+  CacheBackend* cache = nullptr;
   milp::BranchAndBound::Options mip = default_mip();
   /// Per-DistOpt-pass wall-clock budget forwarded to
   /// DistOptOptions::time_budget_sec (0 = unlimited). See DESIGN.md
@@ -101,7 +109,7 @@ struct VM1OptStats {
   int windows = 0;
   long milp_nodes = 0;
   // Window-outcome taxonomy aggregated over every DistOpt pass (see
-  // WindowOutcome); the seven buckets sum to `windows`.
+  // WindowOutcome); the eight buckets sum to `windows`.
   long solved = 0;
   long fallback_rounding = 0;
   long fallback_greedy = 0;
@@ -109,12 +117,17 @@ struct VM1OptStats {
   long kept = 0;
   long faulted = 0;
   long skipped = 0;          ///< kSkipped: memoized replays (no MILP built)
+  long cached_remote = 0;    ///< kCachedRemote: cache tier served the solve
   long faults_injected = 0;  ///< VM1_FAULTS firings observed across passes
   bool deadline_hit = false; ///< any pass cut off by its time budget
   // Incremental-engine observability, aggregated over every pass.
   long signature_hits = 0;
   long signature_misses = 0;
   long cells_changed = 0;
+  // Solve-cache observability (zero without VM1OptOptions::cache).
+  long cache_hits = 0;       ///< tier-2 hits replayed without solving
+  long cache_stores = 0;     ///< memoized solves written through to tier 2
+  long memo_evictions = 0;   ///< tier-1 memo entries evicted (capacity)
   // Distributed-backend transport counters, aggregated over every pass
   // (all zero for the threads backend).
   long remote_requests = 0;
@@ -131,6 +144,13 @@ struct VM1OptStats {
   long wire_bytes_retransmitted = 0;
   long wire_bytes_dropped = 0;
   long remote_faults_scheduled = 0;  ///< timing-invariant drill census
+  // Cache-aware dispatch (src/cache + dist::Coordinator remote_cache /
+  // coalesce): probe volume and frame economy. frames-per-window =
+  // remote_frames_sent / windows, the quantity coalescing drives < 1.0.
+  long remote_cache_queries = 0;     ///< signatures probed via kCacheQuery
+  long remote_cache_query_hits = 0;  ///< probes answered with a hit
+  long remote_frames_sent = 0;       ///< wire frames the coordinator wrote
+  long remote_frames_received = 0;   ///< wire frames the coordinator parsed
   /// True when a parameter set's inner loop exited because a full
   /// move+flip iteration changed zero cells (sweep-level early
   /// termination), rather than via theta or max_inner_iters.

@@ -119,10 +119,13 @@ void CoordinatorOptions::validate() const {
   if (retry_budget_factor < 0 || min_retry_budget < 0) {
     bad("retry budget must be non-negative");
   }
+  if (coalesce < 1 || coalesce > 1024) {
+    bad("coalesce must be in [1, 1024], got " + std::to_string(coalesce));
+  }
 }
 
 struct Coordinator::Pending {
-  RemoteJob rj;
+  RemoteJob* rj = nullptr;  ///< caller's job entry (results + cached tag)
   int attempts = 0;   ///< remote attempts consumed
   bool done = false;
 };
@@ -133,8 +136,11 @@ struct Coordinator::Slot {
   bool current = false;     ///< replica bound and synced to the design
   bool restart = false;     ///< next successful establish is a restart
   std::vector<std::uint8_t> rbuf;
-  Pending* inflight = nullptr;
-  std::uint64_t inflight_req = 0;
+  /// Windows awaiting this worker's answer, keyed by request id: one entry
+  /// per embedded request of the in-flight frame (a single kRequest, or a
+  /// coalesced kRequestBatch). At most one frame is ever in flight per
+  /// worker, so `deadline` below covers the whole vector.
+  std::vector<std::pair<std::uint64_t, Pending*>> inflight;
   double sent_at = 0;
   double deadline = 0;
   // Supervision state (see WorkerHealth).
@@ -192,7 +198,7 @@ void Coordinator::shutdown_workers() {
     }
     s.alive = false;
     s.current = false;
-    s.inflight = nullptr;
+    s.inflight.clear();
   }
 }
 
@@ -274,7 +280,10 @@ bool Coordinator::send_frame_to(Slot& slot, std::vector<std::uint8_t> frame) {
   std::size_t written = slot.conn->write_all(frame.data(), frame.size());
   stats_.bytes_sent += static_cast<long>(written);
   metrics().bytes_sent.add(static_cast<long>(written));
-  if (written == frame.size()) return true;
+  if (written == frame.size()) {
+    ++stats_.frames_sent;
+    return true;
+  }
   // Mid-frame short write: the stream cannot be re-framed, so the unsent
   // tail is dropped along with the connection.
   stats_.bytes_dropped += static_cast<long>(frame.size() - written);
@@ -399,7 +408,7 @@ void Coordinator::handle_pong(Slot& slot, std::uint64_t seq) {
 
 int Coordinator::heartbeat(double timeout_sec) {
   for (Slot& s : slots_) {
-    if (!s.alive || s.inflight || s.ping_outstanding) continue;
+    if (!s.alive || !s.inflight.empty() || s.ping_outstanding) continue;
     send_ping(s);
   }
   const double deadline = clock_.seconds() + timeout_sec;
@@ -442,11 +451,14 @@ int Coordinator::heartbeat(double timeout_sec) {
       try {
         std::optional<Frame> f;
         while (slot.alive && (f = extract_frame(slot.rbuf))) {
+          ++stats_.frames_received;
           if (f->type == MsgType::kPong) {
             handle_pong(slot, decode_ping(f->payload).seq);
           } else if (f->type == MsgType::kHello ||
-                     f->type == MsgType::kError) {
-            // Tolerated between batches; nothing is in flight.
+                     f->type == MsgType::kError ||
+                     f->type == MsgType::kCacheReply) {
+            // Tolerated between batches; nothing is in flight (a late
+            // cache-probe answer is simply a dead letter).
           } else {
             throw WireError("unexpected frame during heartbeat");
           }
@@ -508,6 +520,120 @@ void Coordinator::sync(const std::vector<std::pair<int, Placement>>& changed) {
   }
 }
 
+void Coordinator::probe_cache(std::vector<Pending>& pendings,
+                              std::size_t& remaining) {
+  if (!opts_.remote_cache || remaining == 0) return;
+  WireCacheQuery q;
+  q.sigs.reserve(pendings.size());
+  for (const Pending& p : pendings) {
+    if (!p.done) q.sigs.push_back(p.rj->expected_sig);
+  }
+  if (q.sigs.empty()) return;
+
+  // One batched probe per live worker. Establishing a worker just to ask
+  // it would be pointless (a fresh process has an empty memo), so only
+  // already-live connections are queried.
+  struct Waiting {
+    Slot* slot;
+    std::uint64_t query_id;
+    bool answered = false;
+  };
+  std::vector<Waiting> waiting;
+  for (Slot& slot : slots_) {
+    if (!slot.alive) continue;
+    q.query_id = ++seq_;
+    if (!send_frame_to(slot, encode_frame(MsgType::kCacheQuery,
+                                          encode_cache_query(q)))) {
+      continue;  // send_frame_to already tore the slot down
+    }
+    stats_.cache_queries += static_cast<long>(q.sigs.size());
+    waiting.push_back({&slot, q.query_id});
+  }
+  if (waiting.empty()) return;
+
+  auto apply_hits = [&](const WireCacheReply& reply) {
+    for (const WireCacheHit& h : reply.hits) {
+      for (Pending& p : pendings) {
+        if (p.done) continue;
+        if (p.rj->expected_sig.a != h.sig.a ||
+            p.rj->expected_sig.b != h.sig.b) {
+          continue;
+        }
+        *p.rj->result = h.result;
+        p.rj->cached = true;
+        p.done = true;
+        --remaining;
+        ++stats_.cache_query_hits;
+      }
+    }
+  };
+
+  // Probes are pure memo lookups; a worker that stays silent past the
+  // heartbeat timeout is simply treated as all-miss — its windows dispatch
+  // normally and the health machinery is not engaged for slowness here
+  // (EOF/corruption still tears the slot down as usual).
+  const double deadline = clock_.seconds() + opts_.heartbeat_timeout_sec;
+  std::size_t unanswered = waiting.size();
+  while (unanswered > 0) {
+    double wait = deadline - clock_.seconds();
+    if (wait <= 0) break;
+    std::vector<pollfd> fds;
+    std::vector<Waiting*> fd_waiting;
+    for (Waiting& w : waiting) {
+      if (w.answered || !w.slot->alive) continue;
+      fds.push_back(pollfd{w.slot->conn->fd(), POLLIN, 0});
+      fd_waiting.push_back(&w);
+    }
+    if (fds.empty()) break;
+    poll(fds.data(), static_cast<nfds_t>(fds.size()),
+         static_cast<int>(std::min(wait * 1000.0 + 1.0, 100.0)));
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      Waiting& w = *fd_waiting[i];
+      Slot& slot = *w.slot;
+      if (!slot.alive) continue;
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      std::uint8_t chunk[1 << 16];
+      long n = slot.conn->read_some(chunk, sizeof chunk);
+      if (n <= 0) {
+        worker_died(slot, n == 0 ? "worker exited" : "read error");
+        --unanswered;
+        continue;
+      }
+      stats_.bytes_received += n;
+      metrics().bytes_received.add(n);
+      slot.last_activity = clock_.seconds();
+      slot.rbuf.insert(slot.rbuf.end(), chunk, chunk + n);
+      try {
+        std::optional<Frame> f;
+        while (slot.alive && (f = extract_frame(slot.rbuf))) {
+          ++stats_.frames_received;
+          if (f->type == MsgType::kCacheReply) {
+            WireCacheReply reply;
+            {
+              obs::ScopedTimer t(metrics().deserialize_sec);
+              reply = decode_cache_reply(f->payload);
+            }
+            if (reply.query_id != w.query_id) continue;  // stale probe
+            apply_hits(reply);
+            w.answered = true;
+            --unanswered;
+          } else if (f->type == MsgType::kPong) {
+            handle_pong(slot, decode_ping(f->payload).seq);
+          } else if (f->type == MsgType::kHello ||
+                     f->type == MsgType::kError) {
+            // Tolerated: nothing but the probe is in flight.
+          } else {
+            throw WireError("unexpected frame during cache probe");
+          }
+        }
+      } catch (const WireError& e) {
+        worker_died(slot, e.what());
+        --unanswered;
+      }
+    }
+  }
+}
+
 void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
                               const std::atomic<bool>* cancel) {
   obs::ObsSpan span("dist.solve_batch");
@@ -535,13 +661,19 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
   }
 
   std::vector<Pending> pendings(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) pendings[i].rj = &jobs[i];
+  std::size_t remaining = pendings.size();
+
+  // Phase 0: probe live workers' memo tiers in one batched kCacheQuery per
+  // worker. Hits are filled and marked done before a single request frame
+  // is built — the cheapest possible way to serve a window.
+  probe_cache(pendings, remaining);
+
   std::deque<Pending*> queue;
   std::deque<Pending*> local;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    pendings[i].rj = jobs[i];
-    queue.push_back(&pendings[i]);
+  for (Pending& p : pendings) {
+    if (!p.done) queue.push_back(&p);
   }
-  std::size_t remaining = pendings.size();
 
   // Retry budget: a storm of failures must not turn into quadratic
   // re-dispatching — once the batch's budget is spent, further failures
@@ -562,6 +694,27 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
     }
   };
 
+  // Resolve one in-flight window by request id (stale ids return null).
+  auto take_inflight = [](Slot& slot, std::uint64_t req_id) -> Pending* {
+    for (auto it = slot.inflight.begin(); it != slot.inflight.end(); ++it) {
+      if (it->first == req_id) {
+        Pending* p = it->second;
+        slot.inflight.erase(it);
+        return p;
+      }
+    }
+    return nullptr;
+  };
+  // Fail every window still in flight on a slot (worker death, corrupt
+  // stream, deadline, or batch entries the worker omitted).
+  auto fail_all_inflight = [&](Slot& slot) {
+    std::vector<std::pair<std::uint64_t, Pending*>> inflight;
+    inflight.swap(slot.inflight);
+    for (auto& entry : inflight) {
+      if (entry.second) fail_attempt(entry.second);
+    }
+  };
+
   while (remaining > 0) {
     // Local fallbacks drain first: they are the guaranteed-progress path,
     // so the loop can never spin without shrinking `remaining`.
@@ -570,59 +723,169 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       local.pop_front();
       ++stats_.local_fallbacks;
       metrics().local_fallbacks.add();
-      *p->rj.result = solve_window(d, *p->rj.job, cancel);
+      *p->rj->result = solve_window(d, *p->rj->job, cancel);
       p->done = true;
       --remaining;
     }
     if (remaining == 0) break;
 
-    // Dispatch: one request in flight per worker.
+    // Dispatch: one frame in flight per worker — a single kRequest
+    // (coalesce == 1, the bit-exact historical path) or a kRequestBatch of
+    // up to `coalesce` cache-missing windows.
     for (Slot& slot : slots_) {
       if (queue.empty()) break;
-      if (slot.inflight) continue;
+      if (!slot.inflight.empty()) continue;
       if (!ensure_worker(slot)) continue;
-      Pending* p = queue.front();
-      queue.pop_front();
-      if (fault_on && fault::should_fire(fault::Site::kConnectRefused,
-                                         p->rj.job->key)) {
-        // Unlike connect_timeout, a refusal discredits the connection:
-        // tear it down so the next dispatch has to re-establish. Checked
-        // before connect_timeout so a key firing both still exercises the
-        // teardown path (the timeout drill has no side effects to shadow).
-        log_warn("dist: injected connect_refused, window ", p->rj.job->widx);
-        ++stats_.connect_failures;
-        metrics().connect_failures.add();
-        worker_died(slot, "injected connect refused");
-        fail_attempt(p);
+      if (opts_.coalesce <= 1) {
+        Pending* p = queue.front();
+        queue.pop_front();
+        if (fault_on && fault::should_fire(fault::Site::kConnectRefused,
+                                           p->rj->job->key)) {
+          // Unlike connect_timeout, a refusal discredits the connection:
+          // tear it down so the next dispatch has to re-establish. Checked
+          // before connect_timeout so a key firing both still exercises the
+          // teardown path (the timeout drill has no side effects to shadow).
+          log_warn("dist: injected connect_refused, window ",
+                   p->rj->job->widx);
+          ++stats_.connect_failures;
+          metrics().connect_failures.add();
+          worker_died(slot, "injected connect refused");
+          fail_attempt(p);
+          continue;
+        }
+        if (fault_on && fault::should_fire(fault::Site::kConnectTimeout,
+                                           p->rj->job->key)) {
+          log_warn("dist: injected connect_timeout, window ",
+                   p->rj->job->widx);
+          fail_attempt(p);
+          continue;
+        }
+        if (!bind_if_stale(slot, d)) {
+          fail_attempt(p);
+          continue;
+        }
+        WireRequest rq;
+        rq.req_id = ++seq_;
+        rq.job = *p->rj->job;
+        rq.greedy_fallback = p->rj->greedy_fallback;
+        rq.sig_mip = p->rj->sig_mip;
+        rq.faults = fault::config();
+        rq.expected_sig = p->rj->expected_sig;
+        std::vector<std::uint8_t> frame;
+        {
+          obs::ScopedTimer t(metrics().serialize_sec);
+          frame = encode_frame(MsgType::kRequest, encode_request(rq));
+        }
+        if (fault_on && fault::should_fire(fault::Site::kPartition,
+                                           p->rj->job->key)) {
+          // Mid-frame partition: half the request leaves, the link dies.
+          // The worker sees a truncated frame then EOF; we account the
+          // stranded tail as dropped and retry elsewhere.
+          std::size_t half = frame.size() / 2;
+          std::size_t written = slot.conn->write_all(frame.data(), half);
+          stats_.bytes_sent += static_cast<long>(written);
+          metrics().bytes_sent.add(static_cast<long>(written));
+          stats_.bytes_dropped += static_cast<long>(frame.size() - written);
+          metrics().bytes_dropped.add(
+              static_cast<long>(frame.size() - written));
+          log_warn("dist: injected partition, window ", p->rj->job->widx);
+          worker_died(slot, "injected mid-frame partition");
+          fail_attempt(p);
+          continue;
+        }
+        if (p->attempts > 0) {
+          stats_.bytes_retransmitted += static_cast<long>(frame.size());
+          metrics().bytes_retransmitted.add(static_cast<long>(frame.size()));
+        }
+        if (!send_frame_to(slot, std::move(frame))) {
+          fail_attempt(p);
+          continue;
+        }
+        ++stats_.requests;
+        metrics().requests.add();
+        slot.inflight.push_back({rq.req_id, p});
+        slot.sent_at = clock_.seconds();
+        slot.deadline =
+            slot.sent_at + p->rj->job->mip.time_limit_sec +
+            opts_.request_timeout_sec;
         continue;
       }
-      if (fault_on && fault::should_fire(fault::Site::kConnectTimeout,
-                                         p->rj.job->key)) {
-        log_warn("dist: injected connect_timeout, window ", p->rj.job->widx);
-        fail_attempt(p);
+
+      // Coalesced dispatch: pop up to `coalesce` windows, running the same
+      // pre-send drills per window the single path runs.
+      std::vector<Pending*> chunk;
+      bool slot_down = false;
+      while (!queue.empty() &&
+             static_cast<int>(chunk.size()) < opts_.coalesce) {
+        Pending* p = queue.front();
+        queue.pop_front();
+        if (fault_on && fault::should_fire(fault::Site::kConnectRefused,
+                                           p->rj->job->key)) {
+          log_warn("dist: injected connect_refused, window ",
+                   p->rj->job->widx);
+          ++stats_.connect_failures;
+          metrics().connect_failures.add();
+          worker_died(slot, "injected connect refused");
+          fail_attempt(p);
+          slot_down = true;
+          break;
+        }
+        if (fault_on && fault::should_fire(fault::Site::kConnectTimeout,
+                                           p->rj->job->key)) {
+          log_warn("dist: injected connect_timeout, window ",
+                   p->rj->job->widx);
+          fail_attempt(p);
+          continue;
+        }
+        chunk.push_back(p);
+      }
+      if (slot_down || chunk.empty() || !bind_if_stale(slot, d)) {
+        if (slot_down) {
+          // A refused teardown aborts the chunk: windows already assembled
+          // go back to the queue head in order, drills unconsumed.
+          for (auto it = chunk.rbegin(); it != chunk.rend(); ++it) {
+            queue.push_front(*it);
+          }
+        } else {
+          for (Pending* p : chunk) fail_attempt(p);
+        }
         continue;
       }
-      if (!bind_if_stale(slot, d)) {
-        fail_attempt(p);
-        continue;
+      WireRequestBatch batch;
+      batch.requests.reserve(chunk.size());
+      double time_limits = 0;
+      bool retransmit = false;
+      for (Pending* p : chunk) {
+        WireRequest rq;
+        rq.req_id = ++seq_;
+        rq.job = *p->rj->job;
+        rq.greedy_fallback = p->rj->greedy_fallback;
+        rq.sig_mip = p->rj->sig_mip;
+        rq.faults = fault::config();
+        rq.expected_sig = p->rj->expected_sig;
+        time_limits += p->rj->job->mip.time_limit_sec;
+        retransmit = retransmit || p->attempts > 0;
+        batch.requests.push_back(std::move(rq));
       }
-      WireRequest rq;
-      rq.req_id = ++seq_;
-      rq.job = *p->rj.job;
-      rq.greedy_fallback = p->rj.greedy_fallback;
-      rq.sig_mip = p->rj.sig_mip;
-      rq.faults = fault::config();
-      rq.expected_sig = p->rj.expected_sig;
       std::vector<std::uint8_t> frame;
       {
         obs::ScopedTimer t(metrics().serialize_sec);
-        frame = encode_frame(MsgType::kRequest, encode_request(rq));
+        frame = encode_frame(MsgType::kRequestBatch,
+                             encode_request_batch(batch));
       }
-      if (fault_on && fault::should_fire(fault::Site::kPartition,
-                                         p->rj.job->key)) {
-        // Mid-frame partition: half the request leaves, the link dies.
-        // The worker sees a truncated frame then EOF; we account the
-        // stranded tail as dropped and retry elsewhere.
+      bool partition = false;
+      if (fault_on) {
+        for (Pending* p : chunk) {
+          if (fault::should_fire(fault::Site::kPartition, p->rj->job->key)) {
+            log_warn("dist: injected partition, window ", p->rj->job->widx);
+            partition = true;
+            break;
+          }
+        }
+      }
+      if (partition) {
+        // Any scheduled partition kills the shared frame: every window in
+        // the chunk shares the fate the single path gives one window.
         std::size_t half = frame.size() / 2;
         std::size_t written = slot.conn->write_all(frame.data(), half);
         stats_.bytes_sent += static_cast<long>(written);
@@ -630,33 +893,34 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
         stats_.bytes_dropped += static_cast<long>(frame.size() - written);
         metrics().bytes_dropped.add(
             static_cast<long>(frame.size() - written));
-        log_warn("dist: injected partition, window ", p->rj.job->widx);
         worker_died(slot, "injected mid-frame partition");
-        fail_attempt(p);
+        for (Pending* p : chunk) fail_attempt(p);
         continue;
       }
-      if (p->attempts > 0) {
+      if (retransmit) {
         stats_.bytes_retransmitted += static_cast<long>(frame.size());
         metrics().bytes_retransmitted.add(static_cast<long>(frame.size()));
       }
       if (!send_frame_to(slot, std::move(frame))) {
-        fail_attempt(p);
+        for (Pending* p : chunk) fail_attempt(p);
         continue;
       }
-      ++stats_.requests;
-      metrics().requests.add();
-      slot.inflight = p;
-      slot.inflight_req = rq.req_id;
+      stats_.requests += static_cast<long>(chunk.size());
+      metrics().requests.add(static_cast<long>(chunk.size()));
+      for (std::size_t k = 0; k < chunk.size(); ++k) {
+        slot.inflight.push_back({batch.requests[k].req_id, chunk[k]});
+      }
       slot.sent_at = clock_.seconds();
+      // The worker solves the chunk serially, so the shared deadline is
+      // the sum of the per-window limits plus the usual slack.
       slot.deadline =
-          slot.sent_at + p->rj.job->mip.time_limit_sec +
-          opts_.request_timeout_sec;
+          slot.sent_at + time_limits + opts_.request_timeout_sec;
     }
     metrics().queue_depth.set(static_cast<double>(queue.size()));
 
     bool any_inflight = false;
     for (const Slot& slot : slots_) {
-      if (slot.inflight) {
+      if (!slot.inflight.empty()) {
         any_inflight = true;
         break;
       }
@@ -691,7 +955,9 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
     {
       const double now = clock_.seconds();
       for (Slot& slot : slots_) {
-        if (!slot.alive || slot.inflight || slot.ping_outstanding) continue;
+        if (!slot.alive || !slot.inflight.empty() || slot.ping_outstanding) {
+          continue;
+        }
         if (now - slot.last_activity >= opts_.heartbeat_interval_sec) {
           send_ping(slot);
         }
@@ -707,7 +973,9 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       if (!slot.alive) continue;
       fds.push_back(pollfd{slot.conn->fd(), POLLIN, 0});
       fd_slots.push_back(&slot);
-      if (slot.inflight) next_deadline = std::min(next_deadline, slot.deadline);
+      if (!slot.inflight.empty()) {
+        next_deadline = std::min(next_deadline, slot.deadline);
+      }
       if (slot.ping_outstanding) {
         next_deadline = std::min(next_deadline, slot.ping_deadline);
       }
@@ -725,10 +993,8 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       std::uint8_t chunk[1 << 16];
       long n = slot.conn->read_some(chunk, sizeof chunk);
       if (n <= 0) {
-        Pending* p = slot.inflight;
         worker_died(slot, n == 0 ? "worker exited" : "read error");
-        slot.inflight = nullptr;
-        if (p) fail_attempt(p);
+        fail_all_inflight(slot);
         continue;
       }
       stats_.bytes_received += n;
@@ -738,8 +1004,8 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       try {
         std::optional<Frame> f;
         while (slot.alive && (f = extract_frame(slot.rbuf))) {
+          ++stats_.frames_received;
           if (f->type == MsgType::kReply) {
-            Pending* p = slot.inflight;
             WireReply rp;
             try {
               obs::ScopedTimer t(metrics().deserialize_sec);
@@ -749,25 +1015,64 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
               // not line noise — but still a malformed reply. Retry, then
               // local.
               log_warn("dist: malformed reply: ", e.what());
-              slot.inflight = nullptr;
-              if (p) fail_attempt(p);
+              fail_all_inflight(slot);
               continue;
             }
-            if (!p || rp.req_id != slot.inflight_req) continue;  // stale
+            Pending* p = take_inflight(slot, rp.req_id);
+            if (!p) continue;  // stale
             metrics().rpc_sec.observe(clock_.seconds() - slot.sent_at);
             ++stats_.replies;
             metrics().replies.add();
-            *p->rj.result = std::move(rp.result);
+            *p->rj->result = std::move(rp.result);
             p->done = true;
             --remaining;
-            slot.inflight = nullptr;
             note_success(slot);
+          } else if (f->type == MsgType::kReplyBatch) {
+            WireReplyBatch rb;
+            try {
+              obs::ScopedTimer t(metrics().deserialize_sec);
+              rb = decode_reply_batch(f->payload);
+            } catch (const WireError& e) {
+              log_warn("dist: malformed reply batch: ", e.what());
+              fail_all_inflight(slot);
+              continue;
+            }
+            metrics().rpc_sec.observe(clock_.seconds() - slot.sent_at);
+            for (WireBatchEntry& entry : rb.entries) {
+              if (entry.is_error) {
+                Pending* p = take_inflight(slot, entry.error.req_id);
+                if (entry.error.code == ErrorCode::kDesync) {
+                  ++stats_.desyncs;
+                  metrics().desyncs.add();
+                  slot.current = false;  // next dispatch rebinds
+                } else {
+                  log_warn("dist: worker error (",
+                           static_cast<int>(entry.error.code), "): ",
+                           entry.error.message);
+                }
+                if (p) fail_attempt(p);
+                continue;
+              }
+              Pending* p = take_inflight(slot, entry.reply.req_id);
+              if (!p) continue;  // stale
+              ++stats_.replies;
+              metrics().replies.add();
+              *p->rj->result = std::move(entry.reply.result);
+              if (entry.cached) p->rj->cached = true;
+              p->done = true;
+              --remaining;
+            }
+            // The batch answer is complete: any window it omitted was
+            // deliberately dropped worker-side (reply-drop drill), so fail
+            // those now instead of waiting out the shared deadline.
+            fail_all_inflight(slot);
+            note_success(slot);
+          } else if (f->type == MsgType::kCacheReply) {
+            // Probe answer that outlived its probe window: a dead letter.
           } else if (f->type == MsgType::kPong) {
             handle_pong(slot, decode_ping(f->payload).seq);
           } else if (f->type == MsgType::kError) {
             WireErrorMsg e = decode_error(f->payload);
-            Pending* p = slot.inflight;
-            slot.inflight = nullptr;
             if (e.code == ErrorCode::kDesync) {
               ++stats_.desyncs;
               metrics().desyncs.add();
@@ -776,7 +1081,14 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
               log_warn("dist: worker error (", static_cast<int>(e.code),
                        "): ", e.message);
             }
-            if (p) fail_attempt(p);
+            // A top-level error names one request when it can (desync,
+            // bad request); an unattributable one fails the whole frame.
+            Pending* p = take_inflight(slot, e.req_id);
+            if (p) {
+              fail_attempt(p);
+            } else {
+              fail_all_inflight(slot);
+            }
           } else if (f->type == MsgType::kHello) {
             // Duplicate hello after an internal restart: harmless.
           } else {
@@ -786,10 +1098,8 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       } catch (const WireError& e) {
         // Framing/checksum failure: the byte stream itself cannot be
         // trusted any further (this is where reply_corrupt drills land).
-        Pending* p = slot.inflight;
         worker_died(slot, e.what());
-        slot.inflight = nullptr;
-        if (p) fail_attempt(p);
+        fail_all_inflight(slot);
       }
     }
 
@@ -801,19 +1111,15 @@ void Coordinator::solve_batch(const Design& d, std::vector<RemoteJob>& jobs,
       if (slot.alive && slot.ping_outstanding && now >= slot.ping_deadline) {
         ++stats_.heartbeats_missed;
         metrics().heartbeats_missed.add();
-        Pending* p = slot.inflight;
         worker_died(slot, "heartbeat missed");
-        slot.inflight = nullptr;
-        if (p) fail_attempt(p);
+        fail_all_inflight(slot);
         continue;
       }
-      if (!slot.inflight || now < slot.deadline) continue;
+      if (slot.inflight.empty() || now < slot.deadline) continue;
       ++stats_.timeouts;
       metrics().timeouts.add();
-      Pending* p = slot.inflight;
       worker_died(slot, "request deadline exceeded");
-      slot.inflight = nullptr;
-      if (p) fail_attempt(p);
+      fail_all_inflight(slot);
     }
   }
   metrics().queue_depth.set(0);

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <memory>
 
+#include "util/hash.h"
+
 namespace vm1::dist {
 
 const char* to_string(MsgType t) {
@@ -35,6 +37,14 @@ const char* to_string(MsgType t) {
       return "job_result";
     case MsgType::kCancelJob:
       return "cancel_job";
+    case MsgType::kCacheQuery:
+      return "cache_query";
+    case MsgType::kCacheReply:
+      return "cache_reply";
+    case MsgType::kRequestBatch:
+      return "request_batch";
+    case MsgType::kReplyBatch:
+      return "reply_batch";
   }
   return "?";
 }
@@ -133,12 +143,7 @@ void WireReader::expect_end() const {
 }
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return hash::fnv1a64(data, len);
 }
 
 std::vector<std::uint8_t> encode_frame(MsgType type,
@@ -168,7 +173,7 @@ std::optional<Frame> extract_frame(std::vector<std::uint8_t>& buf) {
   std::uint64_t checksum = r.u64();
   if (len > kMaxPayload) throw WireError("wire: oversized frame payload");
   if (type < static_cast<std::uint16_t>(MsgType::kHello) ||
-      type > static_cast<std::uint16_t>(MsgType::kCancelJob)) {
+      type > static_cast<std::uint16_t>(MsgType::kReplyBatch)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   if (buf.size() < kFrameHeaderSize + len) return std::nullopt;
@@ -275,6 +280,68 @@ fault::Config get_faults(WireReader& r) {
   for (double& rate : fc.rate) rate = r.f64();
   fc.seed = r.u64();
   return fc;
+}
+
+// The WindowSolveResult codec is shared by kReply and the kCacheReply hit
+// entries; the cross-field invariants live in get_solve_result so every
+// path that materializes a result enforces them.
+void put_solve_result(WireWriter& w, const WindowSolveResult& res) {
+  w.boolean(res.failed);
+  w.str(res.error);
+  w.i32(res.faults);
+  w.boolean(res.empty_build);
+  w.u32(static_cast<std::uint32_t>(res.cells.size()));
+  for (int c : res.cells) w.i32(c);
+  w.boolean(res.has_solution);
+  w.boolean(res.usable);
+  w.boolean(res.has_fallback);
+  w.u32(static_cast<std::uint32_t>(res.placements.size()));
+  for (const Placement& p : res.placements) put_placement(w, p);
+  w.f64(res.warm_obj);
+  w.f64(res.objective);
+  w.i64(res.nodes);
+  w.i64(res.lp_iterations);
+  w.i64(res.dual_pivots);
+  w.i64(res.warm_solves);
+  w.i64(res.cold_restarts);
+  w.i64(res.rc_fixed);
+}
+
+WindowSolveResult get_solve_result(WireReader& r) {
+  WindowSolveResult res;
+  res.failed = r.boolean();
+  res.error = r.str();
+  res.faults = r.i32();
+  res.empty_build = r.boolean();
+  std::uint32_t nc = r.count(4);
+  res.cells.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) res.cells.push_back(r.i32());
+  res.has_solution = r.boolean();
+  res.usable = r.boolean();
+  res.has_fallback = r.boolean();
+  std::uint32_t np = r.count(9);
+  res.placements.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    res.placements.push_back(get_placement(r));
+  }
+  res.warm_obj = r.f64();
+  res.objective = r.f64();
+  res.nodes = r.i64();
+  res.lp_iterations = r.i64();
+  res.dual_pivots = r.i64();
+  res.warm_solves = r.i64();
+  res.cold_restarts = r.i64();
+  res.rc_fixed = r.i64();
+  // Cross-field invariants the apply phase relies on; a result violating
+  // them is malformed even if every scalar decoded.
+  if ((res.usable || res.has_fallback) &&
+      res.placements.size() != res.cells.size()) {
+    throw WireError("wire: reply placements/cells size mismatch");
+  }
+  if (res.usable && res.has_fallback) {
+    throw WireError("wire: reply claims both usable and fallback");
+  }
+  return res;
 }
 
 }  // namespace
@@ -393,69 +460,18 @@ WireRequest decode_request(const std::vector<std::uint8_t>& payload) {
 }
 
 std::vector<std::uint8_t> encode_reply(const WireReply& rp) {
-  const WindowSolveResult& res = rp.result;
   WireWriter w;
   w.u64(rp.req_id);
-  w.boolean(res.failed);
-  w.str(res.error);
-  w.i32(res.faults);
-  w.boolean(res.empty_build);
-  w.u32(static_cast<std::uint32_t>(res.cells.size()));
-  for (int c : res.cells) w.i32(c);
-  w.boolean(res.has_solution);
-  w.boolean(res.usable);
-  w.boolean(res.has_fallback);
-  w.u32(static_cast<std::uint32_t>(res.placements.size()));
-  for (const Placement& p : res.placements) put_placement(w, p);
-  w.f64(res.warm_obj);
-  w.f64(res.objective);
-  w.i64(res.nodes);
-  w.i64(res.lp_iterations);
-  w.i64(res.dual_pivots);
-  w.i64(res.warm_solves);
-  w.i64(res.cold_restarts);
-  w.i64(res.rc_fixed);
+  put_solve_result(w, rp.result);
   return w.take();
 }
 
 WireReply decode_reply(const std::vector<std::uint8_t>& payload) {
   WireReader r(payload);
   WireReply rp;
-  WindowSolveResult& res = rp.result;
   rp.req_id = r.u64();
-  res.failed = r.boolean();
-  res.error = r.str();
-  res.faults = r.i32();
-  res.empty_build = r.boolean();
-  std::uint32_t nc = r.count(4);
-  res.cells.reserve(nc);
-  for (std::uint32_t i = 0; i < nc; ++i) res.cells.push_back(r.i32());
-  res.has_solution = r.boolean();
-  res.usable = r.boolean();
-  res.has_fallback = r.boolean();
-  std::uint32_t np = r.count(9);
-  res.placements.reserve(np);
-  for (std::uint32_t i = 0; i < np; ++i) {
-    res.placements.push_back(get_placement(r));
-  }
-  res.warm_obj = r.f64();
-  res.objective = r.f64();
-  res.nodes = r.i64();
-  res.lp_iterations = r.i64();
-  res.dual_pivots = r.i64();
-  res.warm_solves = r.i64();
-  res.cold_restarts = r.i64();
-  res.rc_fixed = r.i64();
+  rp.result = get_solve_result(r);
   r.expect_end();
-  // Cross-field invariants the apply phase relies on; a reply violating
-  // them is malformed even if every scalar decoded.
-  if ((res.usable || res.has_fallback) &&
-      res.placements.size() != res.cells.size()) {
-    throw WireError("wire: reply placements/cells size mismatch");
-  }
-  if (res.usable && res.has_fallback) {
-    throw WireError("wire: reply claims both usable and fallback");
-  }
   return rp;
 }
 
@@ -503,6 +519,141 @@ WireErrorMsg decode_error(const std::vector<std::uint8_t>& payload) {
   e.message = r.str();
   r.expect_end();
   return e;
+}
+
+// ---------------------------------------------------------------------------
+// Cache-aware dispatch messages.
+
+namespace {
+
+/// Length-prefixed embedded payload: batch frames carry whole single-frame
+/// payloads (encode_request / encode_reply / encode_error bytes) so the
+/// embedded codecs — and their invariant checks — are reused verbatim.
+void put_blob(WireWriter& w, const std::vector<std::uint8_t>& b) {
+  w.u32(static_cast<std::uint32_t>(b.size()));
+  for (std::uint8_t byte : b) w.u8(byte);
+}
+
+std::vector<std::uint8_t> get_blob(WireReader& r) {
+  std::uint32_t n = r.count(1);
+  std::vector<std::uint8_t> b;
+  b.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) b.push_back(r.u8());
+  return b;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_cache_query(const WireCacheQuery& q) {
+  WireWriter w;
+  w.u64(q.query_id);
+  w.u32(static_cast<std::uint32_t>(q.sigs.size()));
+  for (const WindowSig& s : q.sigs) {
+    w.u64(s.a);
+    w.u64(s.b);
+  }
+  return w.take();
+}
+
+WireCacheQuery decode_cache_query(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireCacheQuery q;
+  q.query_id = r.u64();
+  std::uint32_t n = r.count(16);
+  q.sigs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WindowSig s;
+    s.a = r.u64();
+    s.b = r.u64();
+    q.sigs.push_back(s);
+  }
+  r.expect_end();
+  return q;
+}
+
+std::vector<std::uint8_t> encode_cache_reply(const WireCacheReply& cr) {
+  WireWriter w;
+  w.u64(cr.query_id);
+  w.u32(static_cast<std::uint32_t>(cr.hits.size()));
+  for (const WireCacheHit& h : cr.hits) {
+    w.u64(h.sig.a);
+    w.u64(h.sig.b);
+    put_solve_result(w, h.result);
+  }
+  return w.take();
+}
+
+WireCacheReply decode_cache_reply(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireCacheReply cr;
+  cr.query_id = r.u64();
+  std::uint32_t n = r.count(16);
+  cr.hits.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WireCacheHit h;
+    h.sig.a = r.u64();
+    h.sig.b = r.u64();
+    h.result = get_solve_result(r);
+    cr.hits.push_back(std::move(h));
+  }
+  r.expect_end();
+  return cr;
+}
+
+std::vector<std::uint8_t> encode_request_batch(const WireRequestBatch& b) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(b.requests.size()));
+  for (const WireRequest& rq : b.requests) put_blob(w, encode_request(rq));
+  return w.take();
+}
+
+WireRequestBatch decode_request_batch(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireRequestBatch b;
+  std::uint32_t n = r.count(4);
+  b.requests.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    b.requests.push_back(decode_request(get_blob(r)));
+  }
+  r.expect_end();
+  return b;
+}
+
+std::vector<std::uint8_t> encode_reply_batch(const WireReplyBatch& b) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(b.entries.size()));
+  for (const WireBatchEntry& e : b.entries) {
+    w.u8(e.is_error ? 1 : 0);
+    w.boolean(e.cached);
+    put_blob(w, e.is_error ? encode_error(e.error) : encode_reply(e.reply));
+  }
+  return w.take();
+}
+
+WireReplyBatch decode_reply_batch(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireReplyBatch b;
+  std::uint32_t n = r.count(6);
+  b.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WireBatchEntry e;
+    std::uint8_t kind = r.u8();
+    if (kind > 1) {
+      throw WireError("wire: reply-batch entry kind out of range");
+    }
+    e.is_error = kind != 0;
+    e.cached = r.boolean();
+    std::vector<std::uint8_t> blob = get_blob(r);
+    if (e.is_error) {
+      e.error = decode_error(blob);
+    } else {
+      e.reply = decode_reply(blob);
+    }
+    b.entries.push_back(std::move(e));
+  }
+  r.expect_end();
+  return b;
 }
 
 // ---------------------------------------------------------------------------

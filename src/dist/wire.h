@@ -77,6 +77,15 @@ enum class MsgType : std::uint16_t {
   kJobStatus = 12,  ///< client -> service: WireJobQuery; reply WireJobStatus
   kJobResult = 13,  ///< client -> service: WireJobQuery; reply WireJobResult
   kCancelJob = 14,  ///< client -> service: WireJobQuery; ack is kJobStatus
+  // Cache-aware dispatch frames (src/cache + dist::Coordinator). Again new
+  // types without a version bump: no existing layout changed. A batched
+  // cache probe asks a worker for many window signatures in ONE frame; a
+  // request batch coalesces the cache-missing jobs of a dispatch chunk
+  // into one frame so the frames-per-window ratio drops below 1.
+  kCacheQuery = 15,   ///< coordinator -> worker: WireCacheQuery (many sigs)
+  kCacheReply = 16,   ///< worker -> coordinator: WireCacheReply (the hits)
+  kRequestBatch = 17, ///< coordinator -> worker: WireRequestBatch
+  kReplyBatch = 18,   ///< worker -> coordinator: WireReplyBatch
 };
 
 const char* to_string(MsgType t);
@@ -240,6 +249,56 @@ struct WireErrorMsg {
 };
 
 // ---------------------------------------------------------------------------
+// Cache-aware dispatch payloads (src/cache).
+
+/// Batched cache probe: "which of these window signatures do you have a
+/// memoized result for?" Many signatures per frame — the whole point is
+/// amortizing framing + syscall cost across a dispatch chunk.
+struct WireCacheQuery {
+  std::uint64_t query_id = 0;
+  std::vector<WindowSig> sigs;
+};
+
+/// One probe hit: the signature plus the full memoized solve result, which
+/// the coordinator replays exactly as it would a kReply.
+struct WireCacheHit {
+  WindowSig sig;
+  WindowSolveResult result;
+};
+
+/// Worker's answer to a WireCacheQuery: hits only (misses are implied by
+/// absence — the common case, so they cost zero bytes).
+struct WireCacheReply {
+  std::uint64_t query_id = 0;
+  std::vector<WireCacheHit> hits;
+};
+
+/// Coalesced dispatch: several complete WireRequests in one frame. Each
+/// embedded request is self-contained (own req_id, signature, faults), so
+/// batching changes framing only, never solve semantics.
+struct WireRequestBatch {
+  std::vector<WireRequest> requests;
+};
+
+/// One entry of a WireReplyBatch: either a reply or a typed error, plus a
+/// `cached` tag recording that the worker served it from its memo tier
+/// without running the MILP (the coordinator classifies such windows
+/// kCachedRemote).
+struct WireBatchEntry {
+  bool is_error = false;
+  bool cached = false;
+  WireReply reply;     ///< valid when !is_error
+  WireErrorMsg error;  ///< valid when is_error
+};
+
+/// Worker's answer to a WireRequestBatch, one entry per embedded request
+/// in order. Entries carry their own req_ids, so the coordinator resolves
+/// them exactly like single replies.
+struct WireReplyBatch {
+  std::vector<WireBatchEntry> entries;
+};
+
+// ---------------------------------------------------------------------------
 // Placement-service job payloads (src/svc).
 
 /// One window-parameter step of the outer sweep (mirrors
@@ -320,6 +379,19 @@ WireSync decode_sync(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_error(const WireErrorMsg& e);
 WireErrorMsg decode_error(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_cache_query(const WireCacheQuery& q);
+WireCacheQuery decode_cache_query(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_cache_reply(const WireCacheReply& r);
+WireCacheReply decode_cache_reply(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_request_batch(const WireRequestBatch& b);
+WireRequestBatch decode_request_batch(
+    const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_reply_batch(const WireReplyBatch& b);
+WireReplyBatch decode_reply_batch(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_submit_job(const WireSubmitJob& j);
 WireSubmitJob decode_submit_job(const std::vector<std::uint8_t>& payload);

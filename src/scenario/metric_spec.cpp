@@ -191,6 +191,8 @@ kept;flow:kept;exact
 faulted;flow:faulted;exact
 skipped;flow:skipped;exact
 # solver/router internals: trend context, not gated
+cached_remote;flow:cached_remote;info
+cache_hits;flow:cache_hits;info
 milp_nodes;flow:milp_nodes;info
 lp_solves;counter:lp.solves;info
 lp_iterations;counter:lp.pivots;info

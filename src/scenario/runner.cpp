@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <regex>
 #include <sstream>
 
+#include "cache/solve_cache.h"
+#include "cache/store.h"
 #include "io/report.h"
 #include "obs/metrics.h"
 #include "util/json_writer.h"
@@ -17,6 +20,32 @@ std::string fmt(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   return buf;
+}
+
+/// The runner's specs plus the scenario's extra lines. Extras whose name
+/// collides with a shared spec are dropped (reported via `err`), so a
+/// scenario cannot silently shadow a corpus-gated metric.
+std::vector<MetricSpec> combined_specs(const Scenario& s,
+                                       const RunnerOptions& opts,
+                                       std::string* err) {
+  std::vector<MetricSpec> specs = opts.specs;
+  if (s.extra_spec_text.empty()) return specs;
+  std::vector<MetricSpec> extra;
+  std::string perr;
+  if (!parse_metric_specs(s.extra_spec_text, &extra, &perr)) {
+    if (err) *err = perr;
+    return specs;
+  }
+  for (MetricSpec& e : extra) {
+    bool dup = false;
+    for (const MetricSpec& b : opts.specs) dup = dup || b.name == e.name;
+    if (dup) {
+      if (err) *err = "extra spec shadows shared metric " + e.name;
+      continue;
+    }
+    specs.push_back(std::move(e));
+  }
+  return specs;
 }
 
 /// Renders the quickstart-style before/after report for one scenario. The
@@ -68,6 +97,9 @@ std::map<std::string, double> flow_snapshot(const FlowResult& r) {
   m["kept"] = double(r.opt.kept);
   m["faulted"] = double(r.opt.faulted);
   m["skipped"] = double(r.opt.skipped);
+  m["cached_remote"] = double(r.opt.cached_remote);
+  m["cache_hits"] = double(r.opt.cache_hits);
+  m["cache_stores"] = double(r.opt.cache_stores);
   m["place_seconds"] = r.place_seconds;
   return m;
 }
@@ -76,8 +108,39 @@ ScenarioResult run_scenario(const Scenario& s, const RunnerOptions& opts) {
   ScenarioResult res;
   res.name = s.name;
 
+  std::string spec_err;
+  const std::vector<MetricSpec> specs = combined_specs(s, opts, &spec_err);
+  if (!spec_err.empty()) {
+    res.extraction_errors.push_back("extra_specs: " + spec_err);
+  }
+
   FlowOptions flow = s.to_flow();
   if (opts.perturb) opts.perturb(flow);
+
+  // Warm-cache drill: run the flow once into a cleared persistent store,
+  // discard that run's telemetry, and measure the second (warm) run —
+  // whose window solves should come out of the store.
+  std::optional<cache::CacheStore> store;
+  std::optional<cache::PersistentCache> pcache;
+  if (s.warm_cache) {
+    cache::StoreOptions so;
+    so.dir = opts.out_dir + "/cache_" + s.name;
+    so.epoch = cache::default_epoch();
+    try {
+      store.emplace(so);
+    } catch (const cache::CacheError& e) {
+      // An unusable store (locked by another sweep, unwritable out dir)
+      // fails THIS scenario's gate, not the whole sweep process.
+      res.extraction_errors.push_back(std::string("warm_cache store: ") +
+                                      e.what());
+      return res;
+    }
+    store->clear();  // the cold run must be genuinely cold
+    pcache.emplace(&*store);
+    flow.vm1.cache = &*pcache;
+    obs::reset_metrics();
+    run_flow(flow);
+  }
 
   obs::reset_metrics();
   auto t0 = std::chrono::steady_clock::now();
@@ -98,7 +161,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunnerOptions& opts) {
   ctx.flow = &res.flow;
   ctx.counters = &counters;
   ctx.report = &res.report;
-  for (const MetricSpec& spec : opts.specs) {
+  for (const MetricSpec& spec : specs) {
     double value = 0;
     std::string err;
     if (extract_metric(spec, ctx, &value, &err)) {
@@ -234,10 +297,11 @@ SweepSummary run_sweep(const std::vector<Scenario>& scenarios,
     ScenarioResult res = run_scenario(s, opts);
     ++sum.scenarios_run;
 
+    const std::vector<MetricSpec> specs = combined_specs(s, opts, nullptr);
     std::vector<Violation> violations;
     std::map<std::string, double> gold;
     if (opts.update_golden) {
-      if (write_scenario_golden(opts.golden_dir, opts.specs, res)) {
+      if (write_scenario_golden(opts.golden_dir, specs, res)) {
         ++sum.goldens_written;
         if (opts.log) opts.log("  golden rewritten: " + res.name + ".json");
       } else {
@@ -248,10 +312,10 @@ SweepSummary run_sweep(const std::vector<Scenario>& scenarios,
       gold = read_scenario_golden(opts.golden_dir, res.name);
     } else {
       gold = read_scenario_golden(opts.golden_dir, res.name);
-      violations = gate_scenario(res, opts.specs, gold);
+      violations = gate_scenario(res, specs, gold);
     }
     if (opts.write_trends) {
-      write_trend(s, res, opts.specs, gold, violations, opts.out_dir);
+      write_trend(s, res, specs, gold, violations, opts.out_dir);
     }
     for (const Violation& v : violations) {
       if (opts.log) opts.log("  VIOLATION " + v.str());

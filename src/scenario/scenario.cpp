@@ -90,6 +90,17 @@ std::vector<Scenario> sweep_matrix(bool quick) {
     s.name += "_proc2";
     m.push_back(s);
   }
+  // Warm-cache axis: a second run through a persistent solve cache must
+  // serve its windows from the store (gated: the cache.hits counter may
+  // only grow) while every quality metric stays on the shared golden —
+  // the cache contract is "bit-identical, just cheaper".
+  {
+    Scenario s = base(CellArch::kClosedM1, 0.75);
+    s.warm_cache = true;
+    s.name += "_warm";
+    s.extra_spec_text = "warm_cache_hits;counter:cache.hits;ge\n";
+    m.push_back(s);
+  }
   if (!quick) {
     // The full grid widens the axes: scaled netlist and extreme points.
     for (CellArch arch : archs) {

@@ -32,6 +32,18 @@ struct Scenario {
   int dist_workers = 2;
   std::vector<ParamSet> sequence = {ParamSet{12, 0, 4, 1}};
   int max_inner_iters = 1;
+  /// Warm-cache drill (src/cache): the runner executes the flow twice
+  /// through one persistent solve-cache store under the runner's out_dir —
+  /// a cold run that populates the store, then the measured warm run,
+  /// whose windows should be served from it. Placements are bit-identical
+  /// by the cache contract, so the scenario shares the usual quality
+  /// goldens; the cache effect itself is gated via `extra_spec_text`.
+  bool warm_cache = false;
+  /// Extra metric-spec lines appended to the runner's specs for this
+  /// scenario only (same format as default_metric_spec_text()). Lets one
+  /// scenario gate a counter the others never emit without poisoning the
+  /// shared spec with extraction errors.
+  std::string extra_spec_text;
 
   /// Flow options implementing this scenario (time limits pinned for
   /// determinism).

@@ -164,6 +164,7 @@ void JobManager::run_job(Job& job) {
   o.shift_windows = job.spec.shift_windows;
   o.incremental = job.spec.incremental;
   o.mip = job.spec.mip;
+  o.cache = opts_.cache;  // no-op unless the job runs incremental
   o.cancel = &job.cancel;
   if (opts_.coordinator) {
     o.backend = DistBackend::kProcesses;
@@ -213,6 +214,10 @@ void JobManager::run_job(Job& job) {
       // Threads-backend jobs never pass the fleet gate; credit their
       // windows so served_windows() is the one account either way.
       scheduler_.credit(job.spec.tenant, stats.windows);
+    }
+    if (stats.cache_hits > 0) {
+      obs::counter("svc.tenant." + job.spec.tenant + ".cache_hits")
+          .add(stats.cache_hits);
     }
   }
   --running_per_tenant_[job.spec.tenant];

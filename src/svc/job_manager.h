@@ -26,7 +26,9 @@
 ///
 /// SLO surface (obs): svc.queue_depth, svc.jobs_{admitted,rejected,
 /// completed,failed,cancelled,deadline_exceeded}, svc.job_latency_sec,
-/// and per-tenant svc.tenant.<name>.windows_served.
+/// and per-tenant svc.tenant.<name>.windows_served and
+/// svc.tenant.<name>.cache_hits (solve-cache tier-2 hits, zero without a
+/// configured cache backend).
 #pragma once
 
 #include <atomic>
@@ -59,6 +61,11 @@ struct JobManagerOptions {
   /// Null: each job solves in-process with `job_threads` pool threads.
   dist::Coordinator* coordinator = nullptr;
   unsigned job_threads = 1;
+  /// Shared tier-2 solve cache (src/cache). Non-null: every incremental
+  /// job probes/writes it, so tenants resubmitting the same design get
+  /// their windows served from the store. Must be thread-safe (the
+  /// PersistentCache wrapper is) and outlive the manager.
+  CacheBackend* cache = nullptr;
   /// Deadline watcher tick.
   double deadline_poll_sec = 0.02;
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/hash.h"
+
 namespace vm1::fault {
 
 namespace {
@@ -12,14 +14,7 @@ const char* kSiteNames[kNumSites] = {
     "connect_timeout", "connect_refused", "partition",   "slow_loris",
 };
 
-/// splitmix64 finalizer (same construction as util/rng.h's seeding stage):
-/// a bijective avalanche so nearby keys decorrelate completely.
-std::uint64_t finalize(std::uint64_t z) {
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+using hash::splitmix_finalize;
 
 Config& mutable_config() {
   static Config cfg = [] {
@@ -94,8 +89,8 @@ bool should_fire(Site s, std::uint64_t key) {
   double rate = cfg.rate[static_cast<int>(s)];
   if (rate <= 0) return false;
   if (rate >= 1) return true;
-  std::uint64_t h = finalize(
-      finalize(cfg.seed ^ finalize(key)) +
+  std::uint64_t h = splitmix_finalize(
+      splitmix_finalize(cfg.seed ^ splitmix_finalize(key)) +
       static_cast<std::uint64_t>(s));
   // Top 53 bits -> uniform double in [0, 1).
   double u = static_cast<double>(h >> 11) * 0x1.0p-53;
@@ -109,7 +104,7 @@ void maybe_throw(Site s, std::uint64_t key) {
 }
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  return finalize(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+  return hash::splitmix_mix(h, v);
 }
 
 }  // namespace vm1::fault

@@ -35,9 +35,10 @@ TEST(Stats, PctDelta) {
 TEST(Stats, DistOptOutcomeTotalCoversEveryBucket) {
   // Struct-level guard for the "buckets sum to windows" invariant: assign
   // each outcome bucket a distinct value and check outcome_total() adds
-  // all seven — in particular the kSkipped bucket added with the
-  // incremental engine. A bucket forgotten here would silently break the
-  // accounting every runtime test relies on.
+  // all eight — in particular the kSkipped bucket added with the
+  // incremental engine and the kCachedRemote bucket added with the solve
+  // cache. A bucket forgotten here would silently break the accounting
+  // every runtime test relies on.
   DistOptStats s;
   s.solved = 1;
   s.fallback_rounding = 2;
@@ -46,8 +47,9 @@ TEST(Stats, DistOptOutcomeTotalCoversEveryBucket) {
   s.kept = 16;
   s.faulted = 32;
   s.skipped = 64;
-  EXPECT_EQ(s.outcome_total(), 127);
-  s.windows = 127;
+  s.cached_remote = 128;
+  EXPECT_EQ(s.outcome_total(), 255);
+  s.windows = 255;
   EXPECT_EQ(s.outcome_total(), s.windows);
 }
 
@@ -57,9 +59,13 @@ TEST(Stats, VM1OptStatsDefaultsAreCoherent) {
   // cleared, so accumulation across passes never inherits garbage.
   VM1OptStats s;
   EXPECT_EQ(s.solved + s.fallback_rounding + s.fallback_greedy +
-                s.rejected_audit + s.kept + s.faulted + s.skipped,
+                s.rejected_audit + s.kept + s.faulted + s.skipped +
+                s.cached_remote,
             s.windows);
   EXPECT_EQ(s.skipped, 0);
+  EXPECT_EQ(s.cached_remote, 0);
+  EXPECT_EQ(s.cache_hits, 0);
+  EXPECT_EQ(s.cache_stores, 0);
   EXPECT_EQ(s.signature_hits, 0);
   EXPECT_EQ(s.signature_misses, 0);
   EXPECT_EQ(s.cells_changed, 0);

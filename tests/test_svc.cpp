@@ -710,7 +710,15 @@ TEST_F(SvcSoak, ThreeTenantsFairSharesAllTerminalBitIdentical) {
   const std::vector<TenantConfig> tenants = {TenantConfig{"bronze", 1.0, 8},
                                              TenantConfig{"silver", 2.0, 8},
                                              TenantConfig{"gold", 3.0, 8}};
-  dist::Coordinator coord(dist::CoordinatorOptions{});
+  // Worker-memo probing off for the same reason the comment below gives:
+  // the fairness census needs the fleet to be the bottleneck, and the
+  // cache tier exists precisely to stop repeat windows from loading the
+  // fleet — memo-served batches drain demand below each tenant's
+  // entitlement and DRR correctly lets the shares flatten. (Cache-tier
+  // correctness under a shared fleet is test_cache's job.)
+  dist::CoordinatorOptions co;
+  co.remote_cache = false;
+  dist::Coordinator coord(co);
   JobManagerOptions mo;
   mo.tenants = tenants;
   // Two runners per tenant: a tenant with only ONE job in flight has no
